@@ -1,0 +1,350 @@
+// Benchmarks that regenerate every table and figure of the paper at a
+// reduced, benchmark-friendly scale, plus ablation benches for the design
+// choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-sized numbers come from `kiffbench -scale 1` instead; these
+// benches exist so the whole evaluation pipeline is exercised (and its
+// allocations tracked) on every benchmark run.
+package kiff
+
+import (
+	"sync"
+	"testing"
+
+	"kiff/internal/core"
+	"kiff/internal/dataset"
+	"kiff/internal/experiments"
+	"kiff/internal/rcs"
+	"kiff/internal/similarity"
+	"kiff/internal/sparse"
+)
+
+// benchHarness is shared across benchmarks so dataset generation and
+// ground truth are paid once, not once per bench.
+var (
+	benchOnce sync.Once
+	benchH    *experiments.Harness
+)
+
+func harness() *experiments.Harness {
+	benchOnce.Do(func() {
+		benchH = experiments.New(experiments.Options{
+			Scale:        0.02,
+			Seed:         42,
+			RecallSample: 200,
+			KCap:         8,
+		})
+	})
+	return benchH
+}
+
+func benchErr(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- One benchmark per paper table/figure ------------------------------
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, err := h.Table1()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig1Breakdown(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		res, err := h.Fig1()
+		benchErr(b, err)
+		if i == 0 {
+			b.ReportMetric(res.Breakdowns[0].SimilarityFrac, "simfrac")
+		}
+	}
+}
+
+func BenchmarkFig4ProfileCCDF(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, err := h.Fig4()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkTable2Overall(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		res, err := h.Table2()
+		benchErr(b, err)
+		if i == 0 {
+			b.ReportMetric(res.Datasets[0].KIFF.Recall, "kiff-recall")
+			b.ReportMetric(res.Datasets[0].SpeedUp, "speedup")
+		}
+	}
+}
+
+func BenchmarkTable3Gains(b *testing.B) {
+	h := harness()
+	t2, err := h.Table2()
+	benchErr(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := h.Table3(t2)
+		if i == 0 {
+			b.ReportMetric(res.SpeedUpAvg, "speedup")
+		}
+	}
+}
+
+func BenchmarkTable4ItemProfileOverhead(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, err := h.Table4()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkTable5RCSConstruction(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		res, err := h.Table5()
+		benchErr(b, err)
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].AvgLen, "avg-rcs")
+		}
+	}
+}
+
+func BenchmarkFig5PhaseBreakdown(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, err := h.Fig5()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig6Table6Truncation(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, _, err := h.Fig6Table6()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig7Spearman(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		res, err := h.Fig7()
+		benchErr(b, err)
+		if i == 0 && len(res.Points) > 0 {
+			b.ReportMetric(res.MeanCosine, "spearman-cos")
+		}
+	}
+}
+
+func BenchmarkTable7Initialization(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		res, err := h.Table7()
+		benchErr(b, err)
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].TopKRecall, "rcs-init-recall")
+		}
+	}
+}
+
+func BenchmarkFig8Convergence(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, err := h.Fig8()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkTable8KSensitivity(b *testing.B) {
+	h := harness()
+	t2, err := h.Table2()
+	benchErr(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := h.Table8(t2)
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkFig9GammaSweep(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, err := h.Fig9()
+		benchErr(b, err)
+	}
+}
+
+func BenchmarkTable9MovieLensLadder(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		res, err := h.Table9()
+		benchErr(b, err)
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].AvgRCS, "ml1-avg-rcs")
+		}
+	}
+}
+
+func BenchmarkFig10Density(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, err := h.Fig10()
+		benchErr(b, err)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ------------------------------------
+
+func ablationDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	d, err := dataset.Wikipedia.Generate(0.05, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkAblationRCSOrder isolates the value of ranking candidates by
+// shared-item count: same pruning, same budget, shuffled order.
+func BenchmarkAblationRCSOrder(b *testing.B) {
+	d := ablationDataset(b)
+	for _, mode := range []struct {
+		name    string
+		shuffle bool
+	}{{"ranked", false}, {"random-order", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var evals int64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(10)
+				cfg.RandomOrderRCS = mode.shuffle
+				cfg.Seed = int64(i)
+				res, err := core.Build(d, cfg)
+				benchErr(b, err)
+				evals = res.Run.SimEvals
+			}
+			b.ReportMetric(float64(evals), "sim-evals")
+		})
+	}
+}
+
+// BenchmarkAblationPivot contrasts the §II-D pivot rule against complete
+// (symmetric) candidate sets: same information, twice the memory.
+func BenchmarkAblationPivot(b *testing.B) {
+	d := ablationDataset(b)
+	for _, mode := range []struct {
+		name    string
+		noPivot bool
+	}{{"pivot", false}, {"no-pivot", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var total int
+			for i := 0; i < b.N; i++ {
+				sets := rcs.Build(d, rcs.BuildOptions{NoPivot: mode.noPivot})
+				total = sets.BuildStats.TotalCandidates
+			}
+			b.ReportMetric(float64(total), "candidates")
+		})
+	}
+}
+
+// BenchmarkAblationGammaInf contrasts one-shot RCS exhaustion (the exact
+// mode of §III-D) against the default iterative refinement.
+func BenchmarkAblationGammaInf(b *testing.B) {
+	d := ablationDataset(b)
+	for _, mode := range []struct {
+		name  string
+		gamma int
+		beta  float64
+	}{{"gamma-2k", 0, 0.001}, {"gamma-inf", -1, 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(10)
+				cfg.Gamma = mode.gamma
+				cfg.Beta = mode.beta
+				_, err := core.Build(d, cfg)
+				benchErr(b, err)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRatingThreshold measures the §VII future-work
+// heuristic on a weighted dataset: inserting only positively-rated items
+// into the RCSs shrinks them and speeds up the run.
+func BenchmarkAblationRatingThreshold(b *testing.B) {
+	d, err := dataset.Gowalla.Generate(0.005, 3)
+	benchErr(b, err)
+	for _, mode := range []struct {
+		name      string
+		minRating float64
+	}{{"all-ratings", 0}, {"rating-ge-3", 3}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var evals int64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(10)
+				cfg.MinRating = mode.minRating
+				res, err := core.Build(d, cfg)
+				benchErr(b, err)
+				evals = res.Run.SimEvals
+			}
+			b.ReportMetric(float64(evals), "sim-evals")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ----------------------------------
+
+func BenchmarkSparseCommonCount(b *testing.B) {
+	a := sparse.Vector{IDs: seqIDs(0, 40, 2)}
+	c := sparse.Vector{IDs: seqIDs(1, 40, 3)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sparse.CommonCount(a, c)
+	}
+}
+
+func BenchmarkSimilarityCosineWeighted(b *testing.B) {
+	d, err := dataset.Gowalla.Generate(0.002, 5)
+	benchErr(b, err)
+	sim := similarity.Cosine{}.Prepare(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim(uint32(i%d.NumUsers()), uint32((i*7+1)%d.NumUsers()))
+	}
+}
+
+func BenchmarkRCSBuildWikipedia(b *testing.B) {
+	d := ablationDataset(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rcs.Build(d, rcs.BuildOptions{})
+	}
+}
+
+func BenchmarkKIFFEndToEnd(b *testing.B) {
+	d := ablationDataset(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := core.Build(d, core.DefaultConfig(10))
+		benchErr(b, err)
+	}
+}
+
+func seqIDs(start, n, step int) []uint32 {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(start + i*step)
+	}
+	return ids
+}

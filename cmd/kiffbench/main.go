@@ -1,0 +1,75 @@
+// Command kiffbench regenerates the tables and figures of the paper's
+// evaluation (ICDE 2016, Tables I–IX and Figures 1, 4–10).
+//
+// Usage:
+//
+//	kiffbench -exp table2                 # one experiment, quarter scale
+//	kiffbench -exp all -scale 1           # full paper-sized run
+//	kiffbench -exp fig8 -data-dir plots/  # also dump plot-ready .tsv series
+//	kiffbench -list                       # available experiment IDs
+//
+// Dataset replicas are synthetic but calibrated to the published
+// statistics; -scale 1 reproduces the published |U|, |I| and |E| (see
+// DESIGN.md §3). Recall is estimated on -recall-sample users (0 = exact,
+// as in the paper, at O(|U|²) cost).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kiff/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "kiffbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("kiffbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp          = fs.String("exp", "all", "experiment ID or 'all' (see -list)")
+		scale        = fs.Float64("scale", 0.25, "dataset scale factor (1 = published sizes)")
+		seed         = fs.Int64("seed", 42, "seed for dataset generation and baselines")
+		workers      = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
+		recallSample = fs.Int("recall-sample", 1000, "users sampled for recall ground truth (0 = all users)")
+		kcap         = fs.Int("kcap", 0, "cap per-dataset k (0 = paper values; useful for quick runs at tiny scales)")
+		dataDir      = fs.String("data-dir", "", "directory for plot-ready .tsv figure series (empty = none)")
+		list         = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+
+	h := experiments.New(experiments.Options{
+		Scale:        *scale,
+		Seed:         *seed,
+		Workers:      *workers,
+		RecallSample: *recallSample,
+		KCap:         *kcap,
+		DataDir:      *dataDir,
+		Out:          stdout,
+	})
+
+	if *exp == "all" {
+		return experiments.RunAll(h)
+	}
+	runner, ok := experiments.Registry[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q; available: %s",
+			*exp, strings.Join(experiments.IDs(), ", "))
+	}
+	return runner(h)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, id := range []string{"table1", "table2", "fig8", "fig10"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-exp", "table1", "-scale", "0.01", "-recall-sample", "50"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Table I") {
+		t.Errorf("missing Table I output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-exp", "table42"}, &out, &errOut); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestRunWithDataDirAndKCap(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	err := run([]string{"-exp", "fig9", "-scale", "0.01", "-recall-sample", "50",
+		"-kcap", "5", "-data-dir", dir}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "fig9_") {
+			found = true
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				t.Errorf("%s is empty", e.Name())
+			}
+		}
+	}
+	if !found {
+		t.Error("no fig9 series dumped")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-scale", "notanumber"}, &out, &errOut); err == nil {
+		t.Error("bad flag value must fail")
+	}
+}

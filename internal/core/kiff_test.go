@@ -1,0 +1,369 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kiff/internal/bruteforce"
+	"kiff/internal/dataset"
+	"kiff/internal/knngraph"
+	"kiff/internal/runstats"
+	"kiff/internal/similarity"
+)
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	d, _, _ := dataset.Toy()
+	bads := []Config{
+		{K: 0},
+		{K: 2, Beta: -1},
+		{K: 2, MaxIterations: -1},
+	}
+	for i, cfg := range bads {
+		if _, err := Build(d, cfg); err == nil {
+			t.Errorf("case %d: Build accepted invalid config", i)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(20)
+	if cfg.Gamma != 40 || cfg.Beta != 0.001 || cfg.K != 20 {
+		t.Errorf("DefaultConfig = %+v, want γ=2k β=0.001", cfg)
+	}
+}
+
+func TestToyExample(t *testing.T) {
+	// Figure 2/3 sanity: Alice's only possible neighbor is Bob (shared
+	// coffee); Carl and Dave pair up over shopping.
+	d, _, _ := dataset.Toy()
+	res, err := Build(d, Config{K: 2, Gamma: -1, Beta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	alice := g.Neighbors(0)
+	if len(alice) != 1 || alice[0].ID != 1 {
+		t.Errorf("Alice's neighbors = %v, want just Bob", alice)
+	}
+	carl := g.Neighbors(2)
+	if len(carl) != 1 || carl[0].ID != 3 {
+		t.Errorf("Carl's neighbors = %v, want just Dave", carl)
+	}
+	// Carl/Dave have identical profiles: cosine 1.
+	if math.Abs(carl[0].Sim-1) > 1e-12 {
+		t.Errorf("Carl–Dave similarity = %v, want 1", carl[0].Sim)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestGammaInfinityIsExact verifies the paper's §III-D optimality claim:
+// exhausting the RCSs yields the exact KNN graph for any metric that
+// satisfies Eq. (5) and (6) — here checked against brute force for every
+// registered metric on a generated sparse dataset.
+func TestGammaInfinityIsExact(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.015, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	for _, name := range similarity.Names() {
+		metric, err := similarity.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Build(d, Config{K: k, Gamma: -1, Beta: 0, Metric: metric})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := bruteforce.Exact(d, metric, k, 0)
+		if got := exact.Recall(res.Graph); math.Abs(got-1) > 1e-12 {
+			t.Errorf("metric %s: γ=∞ recall = %v, want exactly 1", name, got)
+		}
+	}
+}
+
+func TestGammaInfinityExactOnWeighted(t *testing.T) {
+	d, err := dataset.Gowalla.Generate(0.002, 9) // weighted visit counts
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 5
+	res, err := Build(d, Config{K: k, Gamma: -1, Beta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §III-D optimality is about the *positive-similarity* candidates:
+	// KIFF never evaluates disjoint pairs, so users with fewer than k
+	// overlapping candidates end up with short neighborhoods, while brute
+	// force pads the exact top-k with arbitrary zero-similarity ties. The
+	// precise property is therefore that the positive prefix of every
+	// neighborhood matches the exact one similarity-for-similarity.
+	exactG := bruteforce.Graph(d, similarity.Cosine{}, k, 0)
+	for u := range exactG.Lists {
+		var exactPos, approxPos []float64
+		for _, nb := range exactG.Lists[u] {
+			if nb.Sim > 1e-12 {
+				exactPos = append(exactPos, nb.Sim)
+			}
+		}
+		for _, nb := range res.Graph.Lists[u] {
+			if nb.Sim > 1e-12 {
+				approxPos = append(approxPos, nb.Sim)
+			}
+		}
+		if len(exactPos) != len(approxPos) {
+			t.Fatalf("user %d: %d positive neighbors, exact has %d", u, len(approxPos), len(exactPos))
+		}
+		for i := range exactPos {
+			if math.Abs(exactPos[i]-approxPos[i]) > 1e-12 {
+				t.Fatalf("user %d: positive prefix diverges at %d: %v vs %v",
+					u, i, approxPos[i], exactPos[i])
+			}
+		}
+	}
+	// And the headline number still rounds to the paper's 0.99.
+	exact := bruteforce.Exact(d, similarity.Cosine{}, k, 0)
+	if got := exact.Recall(res.Graph); got < 0.99 {
+		t.Errorf("weighted γ=∞ recall = %v, want ≥ 0.99", got)
+	}
+}
+
+func TestDefaultParametersHighRecall(t *testing.T) {
+	// With the paper's defaults (γ=2k, β=0.001) KIFF reports 0.99 recall
+	// across all datasets (Table II).
+	d, err := dataset.Wikipedia.Generate(0.03, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	res, err := Build(d, DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := bruteforce.Exact(d, similarity.Cosine{}, k, 0)
+	if got := exact.Recall(res.Graph); got < 0.95 {
+		t.Errorf("default-parameter recall = %v, want ≥ 0.95", got)
+	}
+}
+
+func TestScanRateBoundedByRCS(t *testing.T) {
+	// §III-D: the number of similarity computations cannot exceed Σ|RCSu|.
+	d, err := dataset.Arxiv.Generate(0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.SimEvals > int64(res.RCS.TotalCandidates) {
+		t.Errorf("SimEvals = %d exceeds Σ|RCS| = %d", res.Run.SimEvals, res.RCS.TotalCandidates)
+	}
+	if res.Run.SimEvals == 0 {
+		t.Error("SimEvals must be counted")
+	}
+	// Scan rate must also respect the MaxScanRate bound of §V-A2.
+	maxScan := 2 * res.RCS.AvgLen / float64(d.NumUsers()-1)
+	if got := res.Run.ScanRate(); got > maxScan+1e-9 {
+		t.Errorf("scan rate %v exceeds max scan %v", got, maxScan)
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// In exhaustive mode the final graph is a pure function of the input:
+	// worker layout must not change it.
+	d, err := dataset.Wikipedia.Generate(0.01, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(d, Config{K: 8, Gamma: -1, Beta: 0, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(d, Config{K: 8, Gamma: -1, Beta: 0, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.Graph.Lists {
+		la, lb := a.Graph.Lists[u], b.Graph.Lists[u]
+		if len(la) != len(lb) {
+			t.Fatalf("user %d: neighbor counts differ across worker counts", u)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("user %d: neighbors differ across worker counts", u)
+			}
+		}
+	}
+}
+
+func TestIterationAccounting(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.01, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Run
+	if r.Iterations < 1 {
+		t.Fatal("must run at least one iteration")
+	}
+	if len(r.UpdatesPerIter) != r.Iterations || len(r.EvalsAtIter) != r.Iterations {
+		t.Fatalf("trace lengths %d/%d != iterations %d",
+			len(r.UpdatesPerIter), len(r.EvalsAtIter), r.Iterations)
+	}
+	// Cumulative evals must be non-decreasing and end at SimEvals.
+	for i := 1; i < len(r.EvalsAtIter); i++ {
+		if r.EvalsAtIter[i] < r.EvalsAtIter[i-1] {
+			t.Fatal("EvalsAtIter must be non-decreasing")
+		}
+	}
+	if r.EvalsAtIter[len(r.EvalsAtIter)-1] != r.SimEvals {
+		t.Errorf("final cumulative evals %d != SimEvals %d",
+			r.EvalsAtIter[len(r.EvalsAtIter)-1], r.SimEvals)
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.01, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(5)
+	cfg.Gamma = 1 // force many iterations
+	cfg.Beta = 0
+	cfg.MaxIterations = 3
+	res, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Iterations != 3 {
+		t.Errorf("Iterations = %d, want capped at 3", res.Run.Iterations)
+	}
+}
+
+func TestHookObservesProgress(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.01, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters []int
+	cfg := DefaultConfig(5)
+	cfg.Hook = func(iter int, g *knngraph.Graph, evals int64) float64 {
+		iters = append(iters, iter)
+		if g.NumUsers() != d.NumUsers() {
+			t.Errorf("hook snapshot has %d users", g.NumUsers())
+		}
+		if evals <= 0 {
+			t.Error("hook must see positive eval count")
+		}
+		return float64(iter)
+	}
+	res, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != res.Run.Iterations {
+		t.Errorf("hook called %d times, want %d", len(iters), res.Run.Iterations)
+	}
+	if len(res.Run.RecallAtIter) != res.Run.Iterations {
+		t.Errorf("RecallAtIter not recorded")
+	}
+	for i, v := range res.Run.RecallAtIter {
+		if v != float64(i) {
+			t.Errorf("RecallAtIter[%d] = %v, want hook return %d", i, v, i)
+		}
+	}
+}
+
+func TestInitialIterationFillsFromRCSTop(t *testing.T) {
+	// §II-D second optimization: the first iteration plays the role of
+	// initialization. After one iteration with γ=k, every user with a
+	// non-empty RCS (or appearing in another user's RCS) has neighbors.
+	d, err := dataset.Wikipedia.Generate(0.01, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(5)
+	cfg.MaxIterations = 1
+	res, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withNeighbors := 0
+	for _, l := range res.Graph.Lists {
+		if len(l) > 0 {
+			withNeighbors++
+		}
+	}
+	if frac := float64(withNeighbors) / float64(d.NumUsers()); frac < 0.8 {
+		t.Errorf("after 1 iteration only %.0f%% of users have neighbors", frac*100)
+	}
+}
+
+func TestRandomOrderAblationStillExactWhenExhaustive(t *testing.T) {
+	// Shuffled candidate order changes the path, not the destination:
+	// exhausting the (shuffled) RCSs must still be exact.
+	d, err := dataset.Wikipedia.Generate(0.01, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 5
+	res, err := Build(d, Config{K: k, Gamma: -1, Beta: 0, RandomOrderRCS: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := bruteforce.Exact(d, similarity.Cosine{}, k, 0)
+	if got := exact.Recall(res.Graph); math.Abs(got-1) > 1e-12 {
+		t.Errorf("shuffled exhaustive recall = %v, want 1", got)
+	}
+}
+
+func TestPhaseTimesPopulated(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.02, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.PhaseTimes[runstats.PhasePreprocess] <= 0 {
+		t.Error("preprocessing time missing")
+	}
+	if res.Run.PhaseTimes[runstats.PhaseSimilarity] <= 0 {
+		t.Error("similarity time missing")
+	}
+	if res.Run.WallTime <= 0 {
+		t.Error("wall time missing")
+	}
+}
+
+func TestMinRatingReducesWork(t *testing.T) {
+	d, err := dataset.Gowalla.Generate(0.002, 19) // weighted
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(d, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(5)
+	cfg.MinRating = 3
+	thresholded, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thresholded.RCS.TotalCandidates >= full.RCS.TotalCandidates {
+		t.Errorf("§VII threshold did not shrink RCSs: %d vs %d",
+			thresholded.RCS.TotalCandidates, full.RCS.TotalCandidates)
+	}
+	if thresholded.Run.SimEvals > full.Run.SimEvals {
+		t.Errorf("§VII threshold increased similarity work: %d vs %d",
+			thresholded.Run.SimEvals, full.Run.SimEvals)
+	}
+}

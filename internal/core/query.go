@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kiff/internal/dataset"
+	"kiff/internal/knngraph"
+	"kiff/internal/similarity"
+	"kiff/internal/sparse"
+)
+
+// Index answers single-profile KNN queries against a dataset using KIFF's
+// counting-phase pruning: a query only ever compares against users that
+// share at least one item with it, examined in decreasing shared-item
+// order.
+//
+// The paper frames KIFF as a graph constructor and explicitly
+// distinguishes it from NN *search* (§VI); the index exists because a
+// library user who has built a graph over U almost always also needs to
+// place new, unseen profiles into it (the recommendation and
+// classification workloads of §I). The same Eq. (5)/(6) argument applies:
+// with an unlimited budget the result is the exact KNN of the query.
+type Index struct {
+	d      *dataset.Dataset
+	metric similarity.Metric
+}
+
+// NewIndex builds a query index over the dataset. metric nil selects
+// cosine. The dataset's item profiles are built if missing; construction
+// is O(|E|).
+func NewIndex(d *dataset.Dataset, metric similarity.Metric) *Index {
+	if metric == nil {
+		metric = similarity.Cosine{}
+	}
+	d.EnsureItemProfiles()
+	return &Index{d: d, metric: metric}
+}
+
+// Query returns the k nearest users to the given profile. budget bounds
+// the number of similarity evaluations (counted from the most-overlapping
+// candidate down); budget < 0 evaluates every overlapping candidate,
+// which yields the exact KNN for metrics satisfying Eq. (5)/(6).
+//
+// The profile uses the same item ID space as the indexed dataset; IDs at
+// or beyond NumItems are ignored (they cannot overlap with anyone).
+func (ix *Index) Query(profile sparse.Vector, k, budget int) ([]knngraph.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("kiff: query k must be ≥ 1, got %d", k)
+	}
+	if err := profile.Validate(); err != nil {
+		return nil, fmt.Errorf("kiff: query profile: %w", err)
+	}
+	// Counting phase for one user: bin the query into the item profiles.
+	counts := make(map[uint32]int32)
+	for _, it := range profile.IDs {
+		if int(it) >= ix.d.NumItems() {
+			continue
+		}
+		for _, v := range ix.d.Items[it] {
+			counts[v]++
+		}
+	}
+	cands := make([]uint32, 0, len(counts))
+	for v := range counts {
+		cands = append(cands, v)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := counts[cands[a]], counts[cands[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return cands[a] < cands[b]
+	})
+	if budget >= 0 && len(cands) > budget {
+		cands = cands[:budget]
+	}
+
+	// Refinement: evaluate the retained candidates with the real metric.
+	// The query profile is not part of the prepared dataset, so the
+	// pairwise function cannot be used directly; evaluate against each
+	// candidate's profile instead.
+	sims := make([]knngraph.Neighbor, 0, len(cands))
+	for _, v := range cands {
+		s := ix.evalAgainst(profile, v)
+		sims = append(sims, knngraph.Neighbor{ID: v, Sim: s})
+	}
+	sort.Slice(sims, func(a, b int) bool {
+		if sims[a].Sim != sims[b].Sim {
+			return sims[a].Sim > sims[b].Sim
+		}
+		return sims[a].ID < sims[b].ID
+	})
+	if len(sims) > k {
+		sims = sims[:k]
+	}
+	return sims, nil
+}
+
+// evalAgainst computes the metric between an external profile and an
+// indexed user. The supported metrics all decompose into profile-local
+// terms, so they can be computed without registering the query profile in
+// the dataset.
+func (ix *Index) evalAgainst(profile sparse.Vector, v uint32) float64 {
+	other := ix.d.Users[v]
+	switch ix.metric.(type) {
+	case similarity.Cosine:
+		nu, nv := sparse.Norm(profile), sparse.Norm(other)
+		if nu == 0 || nv == 0 {
+			return 0
+		}
+		return sparse.Dot(profile, other) / (nu * nv)
+	case similarity.Jaccard:
+		inter := sparse.CommonCount(profile, other)
+		if inter == 0 {
+			return 0
+		}
+		return float64(inter) / float64(profile.Len()+other.Len()-inter)
+	case similarity.Dice:
+		inter := sparse.CommonCount(profile, other)
+		if inter == 0 {
+			return 0
+		}
+		return 2 * float64(inter) / float64(profile.Len()+other.Len())
+	case similarity.Overlap:
+		return float64(sparse.CommonCount(profile, other))
+	default:
+		// Adamic-Adar (and any future metric) depends on dataset-global
+		// item statistics; use the item-profile-aware path.
+		return ix.evalViaTempUser(profile, v)
+	}
+}
+
+// evalViaTempUser computes metrics that need dataset-global state by
+// materializing the query as a throwaway single-user dataset view.
+func (ix *Index) evalViaTempUser(profile sparse.Vector, v uint32) float64 {
+	// Build a two-user dataset {query, candidate} sharing the original
+	// item statistics where possible. Adamic-Adar needs |IPi| of the
+	// *indexed* dataset, so reuse its item profiles for the weights.
+	ix.d.EnsureItemProfiles()
+	var s float64
+	other := ix.d.Users[v]
+	i, j := 0, 0
+	for i < len(profile.IDs) && j < len(other.IDs) {
+		a, b := profile.IDs[i], other.IDs[j]
+		switch {
+		case a == b:
+			if int(a) < len(ix.d.Items) && len(ix.d.Items[a]) >= 2 {
+				s += 1 / logFloat(len(ix.d.Items[a]))
+			}
+			i++
+			j++
+		case a < b:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+func logFloat(n int) float64 {
+	return math.Log(float64(n))
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"kiff/internal/bruteforce"
+	"kiff/internal/dataset"
+	"kiff/internal/similarity"
+)
+
+// exactCase is one randomized instance of the §III-D optimality property.
+type exactCase struct {
+	D      *dataset.Dataset
+	K      int
+	Metric similarity.Metric
+}
+
+func randCase(r *rand.Rand) exactCase {
+	users := 3 + r.Intn(40)
+	items := 2 + r.Intn(25)
+	profiles := make([]map[uint32]float64, users)
+	for u := range profiles {
+		m := map[uint32]float64{}
+		n := r.Intn(items)
+		for i := 0; i < n; i++ {
+			m[uint32(r.Intn(items))] = float64(1 + r.Intn(5))
+		}
+		profiles[u] = m
+	}
+	metrics := similarity.Names()
+	m, err := similarity.ByName(metrics[r.Intn(len(metrics))])
+	if err != nil {
+		panic(err)
+	}
+	return exactCase{
+		D:      dataset.FromProfiles("quick", profiles, r.Intn(2) == 0),
+		K:      1 + r.Intn(6),
+		Metric: m,
+	}
+}
+
+// TestQuickExhaustiveMatchesBruteForce is the paper's §III-D claim as a
+// property: for any dataset, any k and any registered metric, exhausting
+// the RCSs reproduces the exact positive-similarity neighborhoods.
+func TestQuickExhaustiveMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Rand:     r,
+		Values: func(vs []reflect.Value, _ *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(randCase(r))
+			}
+		},
+	}
+	f := func(c exactCase) bool {
+		res, err := Build(c.D, Config{K: c.K, Gamma: -1, Beta: 0, Metric: c.Metric, Workers: 2})
+		if err != nil {
+			return false
+		}
+		exact := bruteforce.Graph(c.D, c.Metric, c.K, 1)
+		for u := range exact.Lists {
+			var want, got []float64
+			for _, nb := range exact.Lists[u] {
+				if nb.Sim > 1e-12 {
+					want = append(want, nb.Sim)
+				}
+			}
+			for _, nb := range res.Graph.Lists[u] {
+				if nb.Sim > 1e-12 {
+					got = append(got, nb.Sim)
+				}
+			}
+			if len(want) != len(got) {
+				return false
+			}
+			for i := range want {
+				if math.Abs(want[i]-got[i]) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSimEvalsWithinRCSBound: the §III-D cost bound as a property —
+// similarity evaluations never exceed Σ|RCS| for any configuration.
+func TestQuickSimEvalsWithinRCSBound(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Rand:     r,
+		Values: func(vs []reflect.Value, _ *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(randCase(r))
+			}
+		},
+	}
+	f := func(c exactCase) bool {
+		gamma := r.Intn(8) - 1 // includes ∞ (-1) and tiny budgets
+		if gamma == 0 {
+			gamma = 1
+		}
+		beta := []float64{0, 0.001, 0.1, 1}[r.Intn(4)]
+		res, err := Build(c.D, Config{K: c.K, Gamma: gamma, Beta: beta, Metric: c.Metric})
+		if err != nil {
+			return false
+		}
+		return res.Run.SimEvals <= int64(res.RCS.TotalCandidates)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

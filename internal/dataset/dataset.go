@@ -1,0 +1,218 @@
+// Package dataset implements the labeled bipartite graph substrate of the
+// paper (§III-A): a set of users U, a set of items I, and a rating function
+// ρ : U × I → R materialized as per-user profiles (UPu) plus an inverted
+// index of per-item profiles (IPi).
+//
+// Because the module must run offline, the package also provides
+// deterministic synthetic generators calibrated to the published statistics
+// of the paper's four SNAP datasets (Table I, Fig 4) and of the MovieLens
+// density family (Table IX); see synth.go, coauthor.go and movielens.go.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"kiff/internal/sparse"
+)
+
+// Dataset is an in-memory user–item bipartite graph. Users and items are
+// densely numbered from 0; external identifier mappings are handled by the
+// loader (load.go).
+type Dataset struct {
+	// Name identifies the dataset in tables and reports.
+	Name string
+	// Users holds one sparse profile per user: the items the user rated,
+	// with the ratings as weights (nil weights = binary, the single-valued
+	// rating special case of §III-A).
+	Users []sparse.Vector
+	// Items is the inverted index: Items[i] lists the users that rated
+	// item i, in ascending order (the item profiles IPi of §II-B). It may
+	// be nil until EnsureItemProfiles is called; loaders and generators
+	// normally populate it at construction time, mirroring Algorithm 1
+	// lines 1–2 ("executed at loading time").
+	Items [][]uint32
+
+	numItems int
+}
+
+// New creates a dataset from user profiles. numItems must be at least one
+// greater than the largest item ID referenced by any profile.
+func New(name string, users []sparse.Vector, numItems int) (*Dataset, error) {
+	d := &Dataset{Name: name, Users: users, numItems: numItems}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// NumUsers returns |U|.
+func (d *Dataset) NumUsers() int { return len(d.Users) }
+
+// NumItems returns |I|.
+func (d *Dataset) NumItems() int { return d.numItems }
+
+// NumRatings returns |E|, the number of user→item edges.
+func (d *Dataset) NumRatings() int {
+	n := 0
+	for _, u := range d.Users {
+		n += u.Len()
+	}
+	return n
+}
+
+// Density returns |E| / (|U|·|I|), the fill ratio of the bipartite
+// adjacency matrix (Table I).
+func (d *Dataset) Density() float64 {
+	if len(d.Users) == 0 || d.numItems == 0 {
+		return 0
+	}
+	return float64(d.NumRatings()) / (float64(len(d.Users)) * float64(d.numItems))
+}
+
+// Binary reports whether every profile is unweighted.
+func (d *Dataset) Binary() bool {
+	for _, u := range d.Users {
+		if !u.IsBinary() {
+			return false
+		}
+	}
+	return true
+}
+
+// UserProfileSizes returns |UPu| for every user (Fig 4a input).
+func (d *Dataset) UserProfileSizes() []int {
+	sizes := make([]int, len(d.Users))
+	for i, u := range d.Users {
+		sizes[i] = u.Len()
+	}
+	return sizes
+}
+
+// ItemProfileSizes returns |IPi| for every item (Fig 4b input). It builds
+// the inverted index if necessary.
+func (d *Dataset) ItemProfileSizes() []int {
+	d.EnsureItemProfiles()
+	sizes := make([]int, len(d.Items))
+	for i, ip := range d.Items {
+		sizes[i] = len(ip)
+	}
+	return sizes
+}
+
+// EnsureItemProfiles builds the item-profile inverted index if it has not
+// been built yet. The index reverses every user→item edge into an
+// item→user entry; users appear in ascending order because user IDs are
+// scanned in order.
+func (d *Dataset) EnsureItemProfiles() {
+	if d.Items != nil {
+		return
+	}
+	d.Items = BuildItemProfiles(d.Users, d.numItems)
+}
+
+// BuildItemProfiles computes the inverted index for the given profiles.
+// It is exposed separately so the Table IV experiment can time item-profile
+// construction in isolation.
+func BuildItemProfiles(users []sparse.Vector, numItems int) [][]uint32 {
+	counts := make([]int, numItems)
+	for _, u := range users {
+		for _, it := range u.IDs {
+			counts[it]++
+		}
+	}
+	// One backing array, sliced per item, to avoid per-item allocations.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	backing := make([]uint32, total)
+	items := make([][]uint32, numItems)
+	offset := 0
+	for i, c := range counts {
+		items[i] = backing[offset : offset : offset+c]
+		offset += c
+	}
+	for uid := range users {
+		for _, it := range users[uid].IDs {
+			items[it] = append(items[it], uint32(uid))
+		}
+	}
+	return items
+}
+
+// Stats summarizes a dataset in the shape of the paper's Table I.
+type Stats struct {
+	Name    string
+	Users   int
+	Items   int
+	Ratings int
+	Density float64
+	AvgUP   float64
+	AvgIP   float64
+	Binary  bool
+}
+
+// Stats computes the Table I row for the dataset.
+func (d *Dataset) Stats() Stats {
+	ratings := d.NumRatings()
+	s := Stats{
+		Name:    d.Name,
+		Users:   d.NumUsers(),
+		Items:   d.NumItems(),
+		Ratings: ratings,
+		Density: d.Density(),
+		Binary:  d.Binary(),
+	}
+	if s.Users > 0 {
+		s.AvgUP = float64(ratings) / float64(s.Users)
+	}
+	if s.Items > 0 {
+		s.AvgIP = float64(ratings) / float64(s.Items)
+	}
+	return s
+}
+
+// String renders the stats as a single table row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-12s |U|=%-8d |I|=%-8d |E|=%-10d density=%.4f%% avg|UP|=%.1f avg|IP|=%.1f",
+		s.Name, s.Users, s.Items, s.Ratings, s.Density*100, s.AvgUP, s.AvgIP)
+}
+
+// Validate checks structural invariants: profiles well-formed, item IDs in
+// range, and (if present) the inverted index consistent with the profiles.
+func (d *Dataset) Validate() error {
+	if d.numItems < 0 {
+		return errors.New("dataset: negative item count")
+	}
+	for uid, u := range d.Users {
+		if err := u.Validate(); err != nil {
+			return fmt.Errorf("dataset: user %d: %w", uid, err)
+		}
+		if u.Len() > 0 && int(u.IDs[u.Len()-1]) >= d.numItems {
+			return fmt.Errorf("dataset: user %d references item %d ≥ numItems %d",
+				uid, u.IDs[u.Len()-1], d.numItems)
+		}
+	}
+	if d.Items != nil {
+		if len(d.Items) != d.numItems {
+			return fmt.Errorf("dataset: item index has %d entries, want %d", len(d.Items), d.numItems)
+		}
+		n := 0
+		for i, ip := range d.Items {
+			for j, uid := range ip {
+				if int(uid) >= len(d.Users) {
+					return fmt.Errorf("dataset: item %d references user %d out of range", i, uid)
+				}
+				if j > 0 && ip[j-1] >= uid {
+					return fmt.Errorf("dataset: item %d profile not strictly ascending", i)
+				}
+			}
+			n += len(ip)
+		}
+		if n != d.NumRatings() {
+			return fmt.Errorf("dataset: inverted index has %d edges, profiles have %d", n, d.NumRatings())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// failAfterWriter errors after n bytes; used to verify Write surfaces I/O
+// failures instead of swallowing them.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestLoadSurfacesReaderErrors(t *testing.T) {
+	wantErr := errors.New("disk on fire")
+	r := iotest.TimeoutReader(io.MultiReader(
+		strings.NewReader("u i 1\n"),
+		iotest.ErrReader(wantErr),
+	))
+	if _, err := Load(r, LoadOptions{}); err == nil {
+		t.Error("Load must surface reader errors")
+	}
+}
+
+func TestLoadPartialLineAtEOF(t *testing.T) {
+	// No trailing newline must still parse.
+	d, err := Load(strings.NewReader("u i 1"), LoadOptions{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if d.NumRatings() != 1 {
+		t.Errorf("ratings = %d, want 1", d.NumRatings())
+	}
+}
+
+func TestLoadVeryLongLine(t *testing.T) {
+	// Lines beyond the default bufio.Scanner token size must work (the
+	// loader raises the buffer cap).
+	long := "u" + strings.Repeat("x", 1<<17) + " item 1\n"
+	d, err := Load(strings.NewReader(long), LoadOptions{})
+	if err != nil {
+		t.Fatalf("Load long line: %v", err)
+	}
+	if d.NumUsers() != 1 {
+		t.Errorf("users = %d, want 1", d.NumUsers())
+	}
+}
+
+func TestWriteSurfacesWriterErrors(t *testing.T) {
+	d := FromProfiles("w", []map[uint32]float64{{0: 1}, {1: 2}}, false)
+	wantErr := errors.New("pipe closed")
+	if err := Write(&failAfterWriter{n: 4, err: wantErr}, d); err == nil {
+		t.Error("Write must surface writer errors")
+	}
+}
+
+func TestLoadEmptyInput(t *testing.T) {
+	d, err := Load(strings.NewReader(""), LoadOptions{Name: "empty"})
+	if err != nil {
+		t.Fatalf("Load empty: %v", err)
+	}
+	if d.NumUsers() != 0 || d.NumItems() != 0 {
+		t.Errorf("empty input produced %d users %d items", d.NumUsers(), d.NumItems())
+	}
+}
+
+func TestLoadWhitespaceVariants(t *testing.T) {
+	// Tabs, multiple spaces and surrounding blanks must all parse.
+	in := "u1\ti1\t2\n  u2   i1   3  \n"
+	d, err := Load(strings.NewReader(in), LoadOptions{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if d.NumUsers() != 2 || d.NumRatings() != 2 {
+		t.Errorf("parsed %d users %d ratings", d.NumUsers(), d.NumRatings())
+	}
+}

@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad asserts the edge-list parser never panics and that everything
+// it accepts is structurally valid and round-trips through Write.
+func FuzzLoad(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"u i\n",
+		"u i 2.5\nu j 1\nv i 3\n",
+		"a b -1\n",
+		"a b 1e300\n",
+		"a b NaN\n",
+		"one\n",
+		"u i notanumber\n",
+		"\x00\x01\x02\n",
+		"u\ti\t5\n",
+		strings.Repeat("u i\n", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Load(strings.NewReader(input), LoadOptions{Name: "fuzz", BuildItemProfiles: true})
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if vErr := d.Validate(); vErr != nil {
+			t.Fatalf("accepted invalid dataset: %v\ninput: %q", vErr, input)
+		}
+		var buf bytes.Buffer
+		if wErr := Write(&buf, d); wErr != nil {
+			t.Fatalf("Write failed on accepted dataset: %v", wErr)
+		}
+		back, rErr := Load(bytes.NewReader(buf.Bytes()), LoadOptions{Name: "fuzz2"})
+		if rErr != nil {
+			t.Fatalf("round trip failed: %v\noriginal input: %q\nserialized: %q", rErr, input, buf.String())
+		}
+		if back.NumRatings() != d.NumRatings() {
+			t.Fatalf("round trip changed |E|: %d vs %d (input %q)", back.NumRatings(), d.NumRatings(), input)
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"kiff/internal/sparse"
+)
+
+// Preset names one of the paper's evaluation datasets (Table I). Each
+// preset is a calibrated synthetic replica; see DESIGN.md §3.
+type Preset string
+
+const (
+	// Wikipedia: administrator-election votes, binary ratings,
+	// 6,110 users × 2,381 items, 103,689 ratings, density 0.71%.
+	Wikipedia Preset = "wikipedia"
+	// Arxiv: GR-QC/ASTRO-PH co-authorship, users = items = 18,772 authors,
+	// 396,160 edges, no ratings, density 0.11%.
+	Arxiv Preset = "arxiv"
+	// Gowalla: location check-ins with visit counts,
+	// 107,092 users × 1,280,969 items, 3,981,334 ratings, density 0.0029%.
+	Gowalla Preset = "gowalla"
+	// DBLP: co-authorship with co-publication counts, 715,610 authors,
+	// 11,755,605 edges, density 0.0011%.
+	DBLP Preset = "dblp"
+)
+
+// Presets lists the four Table I datasets in paper order.
+var Presets = []Preset{Arxiv, Wikipedia, Gowalla, DBLP}
+
+// DefaultK returns the paper's neighborhood size for the preset (§IV-D:
+// k = 20 everywhere except DBLP, where k = 50).
+func (p Preset) DefaultK() int {
+	if p == DBLP {
+		return 50
+	}
+	return 20
+}
+
+// ReducedK returns the smaller k of the Table VIII sensitivity study
+// (k = 10 everywhere except DBLP, where k = 20).
+func (p Preset) ReducedK() int {
+	if p == DBLP {
+		return 20
+	}
+	return 10
+}
+
+// Generate materializes the preset at the given scale. scale 1 reproduces
+// the published |U|, |I| and |E|; smaller scales shrink the user and item
+// populations proportionally while keeping the average profile sizes (and
+// hence the per-user workload) intact.
+func (p Preset) Generate(scale float64, seed int64) (*Dataset, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("dataset: preset %s: scale must be > 0", p)
+	}
+	n := func(published int) int {
+		v := int(float64(published) * scale)
+		if v < 50 {
+			v = 50
+		}
+		return v
+	}
+	switch p {
+	case Wikipedia:
+		return Synthesize(SynthConfig{
+			Name:       string(p),
+			Users:      n(6110),
+			Items:      n(2381),
+			AvgProfile: 16.9,
+			Alpha:      2.35,
+			ItemSkew:   1.35,
+			MaxRating:  1, // binary votes
+			Seed:       seed,
+		})
+	case Gowalla:
+		return Synthesize(SynthConfig{
+			Name:       string(p),
+			Users:      n(107092),
+			Items:      n(1280969),
+			AvgProfile: 37.1,
+			Alpha:      2.25,
+			ItemSkew:   1.45,
+			MaxRating:  8, // visit counts
+			Seed:       seed,
+		})
+	case Arxiv:
+		authors := n(18772)
+		return SynthesizeCoauthor(CoauthorConfig{
+			Name:          string(p),
+			Authors:       authors,
+			TargetRatings: int(21.1 * float64(authors)),
+			MeanPaperSize: 3.4,
+			AuthorSkew:    1.35,
+			Weighted:      false, // "this dataset does not include ratings"
+			Seed:          seed,
+		})
+	case DBLP:
+		authors := n(715610)
+		return SynthesizeCoauthor(CoauthorConfig{
+			Name:          string(p),
+			Authors:       authors,
+			TargetRatings: int(16.4 * float64(authors)),
+			MeanPaperSize: 3.2,
+			AuthorSkew:    1.30,
+			Weighted:      true, // co-publication counts
+			Seed:          seed,
+		})
+	default:
+		return nil, fmt.Errorf("dataset: unknown preset %q", p)
+	}
+}
+
+// Toy returns the running example of the paper's Figure 2: Alice likes
+// books and coffee, Bob coffee and cheese, Carl and Dave like shopping.
+// It is used by the quickstart example and by documentation tests.
+func Toy() (d *Dataset, userNames, itemNames []string) {
+	userNames = []string{"Alice", "Bob", "Carl", "Dave"}
+	itemNames = []string{"book", "coffee", "cheese", "shopping"}
+	users := []sparse.Vector{
+		{IDs: []uint32{0, 1}}, // Alice: book, coffee
+		{IDs: []uint32{1, 2}}, // Bob: coffee, cheese
+		{IDs: []uint32{3}},    // Carl: shopping
+		{IDs: []uint32{3}},    // Dave: shopping
+	}
+	d = &Dataset{Name: "toy", Users: users, numItems: len(itemNames)}
+	d.EnsureItemProfiles()
+	return d, userNames, itemNames
+}
+
+// FromProfiles builds a dataset directly from profile maps, a convenience
+// for tests and small programs. Item space is sized to the largest ID + 1.
+func FromProfiles(name string, profiles []map[uint32]float64, binary bool) *Dataset {
+	users := make([]sparse.Vector, len(profiles))
+	maxItem := -1
+	for i, m := range profiles {
+		users[i] = sparse.FromMap(m, binary)
+		for id := range m {
+			if int(id) > maxItem {
+				maxItem = int(id)
+			}
+		}
+	}
+	d := &Dataset{Name: name, Users: users, numItems: maxItem + 1}
+	d.EnsureItemProfiles()
+	return d
+}
+
+// SortedPresetNames returns preset names for flag help text.
+func SortedPresetNames() []string {
+	names := make([]string, 0, len(Presets))
+	for _, p := range Presets {
+		names = append(names, string(p))
+	}
+	sort.Strings(names)
+	return names
+}

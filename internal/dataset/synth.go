@@ -1,0 +1,205 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kiff/internal/sparse"
+)
+
+// SynthConfig parameterizes the generic sparse bipartite generator used as
+// the stand-in for the paper's Wikipedia and Gowalla datasets (see
+// DESIGN.md §3 for the substitution rationale). Profile sizes follow a
+// discrete power law so the generated CCDFs show the long tails of Fig 4;
+// item popularity follows a Zipf law so item-profile sizes are long-tailed
+// too.
+type SynthConfig struct {
+	Name  string
+	Users int
+	Items int
+	// AvgProfile is the target mean user-profile size; |E| ≈ Users·AvgProfile.
+	AvgProfile float64
+	// Alpha is the power-law exponent of user profile sizes (must be > 2
+	// for a finite mean; the paper's datasets are well fit by 2.1–2.6).
+	Alpha float64
+	// ItemSkew is the Zipf exponent of item popularity (> 1).
+	ItemSkew float64
+	// MaxRating, when > 1, draws integer ratings uniformly in [1, MaxRating]
+	// producing weighted profiles; 0 or 1 produces binary profiles.
+	MaxRating int
+	// Communities is the number of interest communities items are
+	// partitioned into (0 = auto: one community per 64 items, at least 4).
+	// Users have a home community and draw most of their items from it,
+	// giving the dataset the overlap clustering of real rating data —
+	// without it, two users only ever meet on globally popular items and
+	// shared-item counts stop predicting similarity.
+	Communities int
+	// Locality is the probability that an item is drawn from the user's
+	// home community rather than the global popularity law (0 = 0.8).
+	Locality float64
+	Seed     int64
+}
+
+// Synthesize draws a dataset from the configuration. Generation is fully
+// deterministic for a fixed config (including Seed).
+func Synthesize(cfg SynthConfig) (*Dataset, error) {
+	if cfg.Users <= 0 || cfg.Items <= 0 {
+		return nil, fmt.Errorf("dataset: synth %q: need positive Users and Items", cfg.Name)
+	}
+	if cfg.Alpha <= 2 {
+		return nil, fmt.Errorf("dataset: synth %q: Alpha must be > 2, got %v", cfg.Name, cfg.Alpha)
+	}
+	if cfg.ItemSkew <= 1 {
+		return nil, fmt.Errorf("dataset: synth %q: ItemSkew must be > 1, got %v", cfg.Name, cfg.ItemSkew)
+	}
+	if cfg.AvgProfile < 1 {
+		return nil, fmt.Errorf("dataset: synth %q: AvgProfile must be ≥ 1, got %v", cfg.Name, cfg.AvgProfile)
+	}
+	numComm := cfg.Communities
+	if numComm == 0 {
+		numComm = cfg.Items / 64
+		if numComm < 4 {
+			numComm = 4
+		}
+	}
+	if numComm < 1 || numComm > cfg.Items {
+		return nil, fmt.Errorf("dataset: synth %q: Communities must be in [1, Items]", cfg.Name)
+	}
+	locality := cfg.Locality
+	if locality == 0 {
+		locality = 0.8
+	}
+	if locality < 0 || locality > 1 {
+		return nil, fmt.Errorf("dataset: synth %q: Locality must be in [0, 1]", cfg.Name)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The Zipf offset scales with the catalogue so the most popular items
+	// stay within a plausible multiple of the mean item profile (Fig 4b
+	// shows long tails, not a handful of items rated by everyone).
+	offset := 1 + float64(cfg.Items)/128
+	zipf := rand.NewZipf(rng, cfg.ItemSkew, offset, uint64(cfg.Items-1))
+	commSize := (cfg.Items + numComm - 1) / numComm
+	// Rounding commSize up can leave the nominal last communities empty;
+	// re-derive the community count so every home block is non-empty.
+	numComm = (cfg.Items + commSize - 1) / commSize
+	localZipf := rand.NewZipf(rng, cfg.ItemSkew, 1+float64(commSize)/16, uint64(commSize-1))
+	// Item IDs are relabeled through a random permutation so ID order
+	// carries no popularity or community information.
+	perm := rng.Perm(cfg.Items)
+
+	users := make([]sparse.Vector, cfg.Users)
+	maxSize := cfg.Items / 2
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	picked := make(map[uint32]bool)
+	for u := range users {
+		size := powerLawSize(rng, cfg.AvgProfile, cfg.Alpha, maxSize)
+		home := rng.Intn(numComm)
+		homeLo := home * commSize
+		homeHi := homeLo + commSize
+		if homeHi > cfg.Items {
+			homeHi = cfg.Items
+		}
+		clear(picked)
+		ids := make([]uint32, 0, size)
+		// Rejection-sample distinct items; fall back to sequential probing
+		// if the popularity head is saturated.
+		attempts := 0
+		for len(ids) < size {
+			var it uint32
+			if rng.Float64() < locality {
+				r := int(localZipf.Uint64())
+				if homeLo+r >= homeHi {
+					r = r % (homeHi - homeLo)
+				}
+				it = uint32(perm[homeLo+r])
+			} else {
+				it = uint32(perm[zipf.Uint64()])
+			}
+			attempts++
+			if attempts > 30*size {
+				// Saturated: walk the item space deterministically.
+				for it2 := uint32(0); len(ids) < size && int(it2) < cfg.Items; it2++ {
+					if !picked[it2] {
+						picked[it2] = true
+						ids = append(ids, it2)
+					}
+				}
+				break
+			}
+			if picked[it] {
+				continue
+			}
+			picked[it] = true
+			ids = append(ids, it)
+		}
+		m := make(map[uint32]float64, len(ids))
+		for _, id := range ids {
+			if cfg.MaxRating > 1 {
+				m[id] = float64(1 + rng.Intn(cfg.MaxRating))
+			} else {
+				m[id] = 1
+			}
+		}
+		users[u] = sparse.FromMap(m, cfg.MaxRating <= 1)
+	}
+	d := &Dataset{Name: cfg.Name, Users: users, numItems: cfg.Items}
+	d.EnsureItemProfiles()
+	return d, nil
+}
+
+// powerLawSize draws a discrete Pareto-distributed profile size with the
+// given mean: X = ceil(xmin·U^(-1/(α-1))) where xmin = mean·(α-2)/(α-1).
+// The continuous Pareto with scale xmin and shape α-1 has mean
+// xmin·(α-1)/(α-2); solving for xmin targets the requested mean.
+func powerLawSize(rng *rand.Rand, mean, alpha float64, maxSize int) int {
+	xmin := mean * (alpha - 2) / (alpha - 1)
+	if xmin < 1 {
+		xmin = 1
+	}
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	x := xmin * math.Pow(u, -1/(alpha-1))
+	size := int(math.Ceil(x))
+	if size < 1 {
+		size = 1
+	}
+	if size > maxSize {
+		size = maxSize
+	}
+	return size
+}
+
+// Downsample returns a copy of d in which each rating is kept independently
+// with probability keep. This is the paper's procedure for deriving the
+// ML-2..ML-5 density family from ML-1 (§V-B3: "we progressively remove
+// randomly chosen ratings"). Users left with empty profiles are retained so
+// |U| and |I| — and hence the density denominator — stay fixed.
+func Downsample(d *Dataset, keep float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	users := make([]sparse.Vector, len(d.Users))
+	for uid, u := range d.Users {
+		ids := make([]uint32, 0, u.Len())
+		var weights []float64
+		if !u.IsBinary() {
+			weights = make([]float64, 0, u.Len())
+		}
+		for i, id := range u.IDs {
+			if rng.Float64() < keep {
+				ids = append(ids, id)
+				if weights != nil {
+					weights = append(weights, u.Weights[i])
+				}
+			}
+		}
+		users[uid] = sparse.Vector{IDs: ids, Weights: weights}
+	}
+	out := &Dataset{Name: d.Name, Users: users, numItems: d.numItems}
+	out.EnsureItemProfiles()
+	return out
+}

@@ -1,0 +1,293 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSynthesizeShape(t *testing.T) {
+	d, err := Synthesize(SynthConfig{
+		Name: "s", Users: 500, Items: 300,
+		AvgProfile: 12, Alpha: 2.4, ItemSkew: 1.4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.NumUsers() != 500 || d.NumItems() != 300 {
+		t.Fatalf("shape %dx%d", d.NumUsers(), d.NumItems())
+	}
+	if !d.Binary() {
+		t.Error("MaxRating ≤ 1 must give a binary dataset")
+	}
+	// The mean should be within 40% of the target (power-law draws are
+	// high-variance; the seed keeps this deterministic).
+	avg := d.Stats().AvgUP
+	if avg < 12*0.6 || avg > 12*1.4 {
+		t.Errorf("avg |UP| = %v, want ≈ 12", avg)
+	}
+	// Every user has at least one item.
+	for uid, u := range d.Users {
+		if u.Len() == 0 {
+			t.Fatalf("user %d has an empty profile", uid)
+		}
+	}
+}
+
+func TestSynthesizeWeighted(t *testing.T) {
+	d, err := Synthesize(SynthConfig{
+		Name: "w", Users: 100, Items: 200,
+		AvgProfile: 8, Alpha: 2.5, ItemSkew: 1.5, MaxRating: 5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if d.Binary() {
+		t.Error("MaxRating > 1 must give weighted profiles")
+	}
+	for _, u := range d.Users {
+		for i := range u.IDs {
+			w := u.Weight(i)
+			if w < 1 || w > 5 {
+				t.Fatalf("rating %v outside [1,5]", w)
+			}
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := SynthConfig{Name: "d", Users: 200, Items: 150, AvgProfile: 10, Alpha: 2.3, ItemSkew: 1.3, Seed: 7}
+	a, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for uid := range a.Users {
+		if a.Users[uid].Len() != b.Users[uid].Len() {
+			t.Fatalf("user %d profile size differs across identical seeds", uid)
+		}
+		for i := range a.Users[uid].IDs {
+			if a.Users[uid].IDs[i] != b.Users[uid].IDs[i] {
+				t.Fatalf("user %d profile differs across identical seeds", uid)
+			}
+		}
+	}
+}
+
+func TestSynthesizeRejectsBadConfig(t *testing.T) {
+	bads := []SynthConfig{
+		{Users: 0, Items: 10, AvgProfile: 5, Alpha: 2.5, ItemSkew: 1.5},
+		{Users: 10, Items: 0, AvgProfile: 5, Alpha: 2.5, ItemSkew: 1.5},
+		{Users: 10, Items: 10, AvgProfile: 5, Alpha: 1.5, ItemSkew: 1.5},
+		{Users: 10, Items: 10, AvgProfile: 5, Alpha: 2.5, ItemSkew: 0.9},
+		{Users: 10, Items: 10, AvgProfile: 0.5, Alpha: 2.5, ItemSkew: 1.5},
+	}
+	for i, cfg := range bads {
+		if _, err := Synthesize(cfg); err == nil {
+			t.Errorf("case %d: Synthesize accepted invalid config", i)
+		}
+	}
+}
+
+func TestSynthesizeLongTail(t *testing.T) {
+	d, err := Synthesize(SynthConfig{
+		Name: "tail", Users: 3000, Items: 2000,
+		AvgProfile: 15, Alpha: 2.3, ItemSkew: 1.4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := d.UserProfileSizes()
+	// Long tail: the max should far exceed the mean (Fig 4 shape), and the
+	// median should sit below the mean.
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	mean := d.Stats().AvgUP
+	if float64(maxSize) < 4*mean {
+		t.Errorf("max profile %d not long-tailed vs mean %.1f", maxSize, mean)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	d, err := Synthesize(SynthConfig{
+		Name: "ds", Users: 400, Items: 300, AvgProfile: 20, Alpha: 2.5, ItemSkew: 1.4, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := Downsample(d, 0.5, 99)
+	if half.NumUsers() != d.NumUsers() || half.NumItems() != d.NumItems() {
+		t.Fatal("Downsample must preserve |U| and |I|")
+	}
+	ratio := float64(half.NumRatings()) / float64(d.NumRatings())
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Errorf("kept ratio = %v, want ≈ 0.5", ratio)
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Downsampling must never invent ratings.
+	for uid := range half.Users {
+		for i, id := range half.Users[uid].IDs {
+			if !d.Users[uid].Contains(id) {
+				t.Fatalf("user %d gained item %d", uid, id)
+			}
+			if half.Users[uid].Weight(i) != d.Users[uid].WeightOf(id) {
+				t.Fatalf("user %d item %d weight changed", uid, id)
+			}
+		}
+	}
+}
+
+func TestCoauthorSymmetric(t *testing.T) {
+	d, err := SynthesizeCoauthor(CoauthorConfig{
+		Name: "ca", Authors: 300, TargetRatings: 3000,
+		MeanPaperSize: 3.0, AuthorSkew: 1.3, Weighted: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("SynthesizeCoauthor: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.NumUsers() != d.NumItems() {
+		t.Fatal("co-authorship must have |U| = |I|")
+	}
+	// Symmetry: b ∈ UP_a ⇔ a ∈ UP_b with equal weight.
+	for a := range d.Users {
+		ua := d.Users[a]
+		for i, b := range ua.IDs {
+			if int(b) == a {
+				t.Fatalf("author %d lists itself", a)
+			}
+			w := d.Users[b].WeightOf(uint32(a))
+			if w != ua.Weight(i) {
+				t.Fatalf("asymmetric co-pub count between %d and %d: %v vs %v",
+					a, b, ua.Weight(i), w)
+			}
+		}
+	}
+}
+
+func TestCoauthorBinaryAndTarget(t *testing.T) {
+	target := 5000
+	d, err := SynthesizeCoauthor(CoauthorConfig{
+		Name: "arxiv-ish", Authors: 500, TargetRatings: target,
+		MeanPaperSize: 3.4, AuthorSkew: 1.35, Weighted: false, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Binary() {
+		t.Error("unweighted co-author dataset must be binary")
+	}
+	// NumRatings counts distinct pairs which is ≤ total directed
+	// occurrences but should reach a sizeable share of the target.
+	if d.NumRatings() < target/4 {
+		t.Errorf("ratings = %d, want a sizeable fraction of target %d", d.NumRatings(), target)
+	}
+}
+
+func TestCoauthorRejectsBadConfig(t *testing.T) {
+	bads := []CoauthorConfig{
+		{Authors: 2, TargetRatings: 10, MeanPaperSize: 3, AuthorSkew: 1.3},
+		{Authors: 10, TargetRatings: 10, MeanPaperSize: 1, AuthorSkew: 1.3},
+		{Authors: 10, TargetRatings: 10, MeanPaperSize: 3, AuthorSkew: 0.5},
+		{Authors: 10, TargetRatings: 0, MeanPaperSize: 3, AuthorSkew: 1.3},
+	}
+	for i, cfg := range bads {
+		if _, err := SynthesizeCoauthor(cfg); err == nil {
+			t.Errorf("case %d: accepted invalid config", i)
+		}
+	}
+}
+
+func TestMovieLensShape(t *testing.T) {
+	cfg := DefaultMovieLens(0.05, 11)
+	d, err := SynthesizeMovieLens(cfg)
+	if err != nil {
+		t.Fatalf("SynthesizeMovieLens: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.Binary() {
+		t.Error("MovieLens must carry star ratings")
+	}
+	for uid, u := range d.Users {
+		if u.Len() < cfg.MinProfile {
+			t.Fatalf("user %d has %d < MinProfile ratings", uid, u.Len())
+		}
+		for i := range u.IDs {
+			w := u.Weight(i)
+			if w < 0.5 || w > 5 || math.Mod(w*2, 1) != 0 {
+				t.Fatalf("rating %v not on the half-star scale", w)
+			}
+		}
+	}
+}
+
+func TestMovieLensFamilyDensityLadder(t *testing.T) {
+	family, err := MovieLensFamily(0.05, 12)
+	if err != nil {
+		t.Fatalf("MovieLensFamily: %v", err)
+	}
+	if len(family) != 5 {
+		t.Fatalf("family size = %d, want 5", len(family))
+	}
+	for i := 1; i < len(family); i++ {
+		if family[i].NumRatings() >= family[i-1].NumRatings() {
+			t.Errorf("ML-%d not sparser than ML-%d", i+1, i)
+		}
+		if family[i].NumUsers() != family[0].NumUsers() {
+			t.Errorf("ML-%d user count changed", i+1)
+		}
+	}
+	// Published ladder halves then roughly halves again.
+	r01 := float64(family[1].NumRatings()) / float64(family[0].NumRatings())
+	if math.Abs(r01-0.5) > 0.05 {
+		t.Errorf("ML-2/ML-1 = %v, want ≈ 0.5", r01)
+	}
+}
+
+func TestPresetGenerateSmall(t *testing.T) {
+	for _, p := range Presets {
+		d, err := p.Generate(0.01, 42)
+		if err != nil {
+			t.Fatalf("preset %s: %v", p, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", p, err)
+		}
+		if d.NumUsers() < 50 {
+			t.Errorf("preset %s too small: %d users", p, d.NumUsers())
+		}
+	}
+}
+
+func TestPresetDefaultK(t *testing.T) {
+	if Wikipedia.DefaultK() != 20 || DBLP.DefaultK() != 50 {
+		t.Error("DefaultK must be 20 (50 for DBLP)")
+	}
+	if Wikipedia.ReducedK() != 10 || DBLP.ReducedK() != 20 {
+		t.Error("ReducedK must be 10 (20 for DBLP)")
+	}
+}
+
+func TestPresetRejectsBadScale(t *testing.T) {
+	if _, err := Wikipedia.Generate(0, 1); err == nil {
+		t.Error("scale 0 must be rejected")
+	}
+	if _, err := Preset("nope").Generate(1, 1); err == nil {
+		t.Error("unknown preset must be rejected")
+	}
+}

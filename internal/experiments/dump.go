@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// dumpTSV writes a plot-ready series to <DataDir>/<name>.tsv. It is a
+// no-op when Options.DataDir is empty. Errors are returned so experiments
+// fail loudly rather than silently losing figure data.
+func (h *Harness) dumpTSV(name string, header []string, rows [][]string) error {
+	if h.Opts.DataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(h.Opts.DataDir, 0o755); err != nil {
+		return fmt.Errorf("experiments: data dir: %w", err)
+	}
+	path := filepath.Join(h.Opts.DataDir, name+".tsv")
+	var b strings.Builder
+	b.WriteString("# " + strings.Join(header, "\t") + "\n")
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, "\t") + "\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("experiments: write %s: %w", path, err)
+	}
+	return nil
+}
+
+func f(v float64) string { return fmt.Sprintf("%g", v) }
+func i(v int) string     { return fmt.Sprintf("%d", v) }

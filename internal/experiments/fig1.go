@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"time"
+
+	"kiff/internal/dataset"
+	"kiff/internal/runstats"
+)
+
+// Fig1Breakdown is the activity split of one greedy baseline on the
+// Wikipedia dataset (paper Fig 1: similarity computation dominates at over
+// 90% of the total).
+type Fig1Breakdown struct {
+	Algorithm      string
+	Candidates     time.Duration
+	Similarity     time.Duration
+	Total          time.Duration
+	SimilarityFrac float64
+}
+
+// Fig1Result reproduces Figure 1.
+type Fig1Result struct {
+	Breakdowns []Fig1Breakdown
+}
+
+// Fig1 measures where NN-Descent and HyRec spend their time on the
+// Wikipedia dataset with the default k = 20 — the motivation for KIFF.
+func (h *Harness) Fig1() (*Fig1Result, error) {
+	d, err := h.Dataset(dataset.Wikipedia)
+	if err != nil {
+		return nil, err
+	}
+	k := h.K(dataset.Wikipedia.DefaultK())
+	res := &Fig1Result{}
+
+	nnd, err := h.DefaultRun("nn-descent", d, k)
+	if err != nil {
+		return nil, err
+	}
+	hy, err := h.DefaultRun("hyrec", d, k)
+	if err != nil {
+		return nil, err
+	}
+	h.printf("Fig 1 — greedy KNN time breakdown (wikipedia, k=%d)\n", k)
+	h.rule()
+	h.printf("%-12s %15s %15s %12s %16s\n",
+		"approach", "candidate sel.", "similarity", "total", "similarity frac")
+	for _, ar := range []AlgoRun{nnd, hy} {
+		cand := ar.Run.PhaseTimes[runstats.PhaseCandidates]
+		sim := ar.Run.PhaseTimes[runstats.PhaseSimilarity]
+		b := Fig1Breakdown{
+			Algorithm:  ar.Algorithm,
+			Candidates: cand,
+			Similarity: sim,
+			Total:      ar.WallTime,
+		}
+		if ar.WallTime > 0 {
+			b.SimilarityFrac = sim.Seconds() / ar.WallTime.Seconds()
+		}
+		res.Breakdowns = append(res.Breakdowns, b)
+		h.printf("%-12s %15s %15s %12s %15.1f%%\n",
+			ar.Algorithm, seconds(cand), seconds(sim), seconds(ar.WallTime), 100*b.SimilarityFrac)
+	}
+	h.rule()
+	h.printf("(paper: both approaches spend >90%% of their time on similarity values)\n\n")
+	rows := make([][]string, 0, len(res.Breakdowns))
+	for _, b := range res.Breakdowns {
+		rows = append(rows, []string{b.Algorithm, f(b.Candidates.Seconds()), f(b.Similarity.Seconds()), f(b.Total.Seconds())})
+	}
+	if err := h.dumpTSV("fig1_wikipedia", []string{"algorithm", "candidates_s", "similarity_s", "total_s"}, rows); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"time"
+
+	"kiff/internal/dataset"
+	"kiff/internal/runstats"
+)
+
+// Fig5Bar is one stacked bar of Figure 5: the per-activity time breakdown
+// of one algorithm on one dataset.
+type Fig5Bar struct {
+	Dataset    string
+	Algorithm  string
+	Preprocess time.Duration
+	Candidates time.Duration
+	Similarity time.Duration
+	Total      time.Duration
+}
+
+// Fig5Result reproduces Figure 5 (a–d).
+type Fig5Result struct {
+	Bars []Fig5Bar
+}
+
+// Fig5 breaks down the computation time of KIFF, NN-Descent and HyRec on
+// all four datasets: KIFF pays a preprocessing (counting) cost that buys a
+// much smaller similarity bill.
+func (h *Harness) Fig5() (*Fig5Result, error) {
+	res := &Fig5Result{}
+	h.printf("Fig 5 — computation time breakdown per activity\n")
+	h.rule()
+	h.printf("%-12s %-12s %12s %14s %12s %10s\n",
+		"dataset", "approach", "preprocess", "candidate sel.", "similarity", "total")
+	for _, p := range dataset.Presets {
+		d, err := h.Dataset(p)
+		if err != nil {
+			return nil, err
+		}
+		k := h.K(p.DefaultK())
+		kf, err := h.DefaultRun("kiff", d, k)
+		if err != nil {
+			return nil, err
+		}
+		nnd, err := h.DefaultRun("nn-descent", d, k)
+		if err != nil {
+			return nil, err
+		}
+		hy, err := h.DefaultRun("hyrec", d, k)
+		if err != nil {
+			return nil, err
+		}
+		for _, ar := range []AlgoRun{kf, nnd, hy} {
+			bar := Fig5Bar{
+				Dataset:    d.Name,
+				Algorithm:  ar.Algorithm,
+				Preprocess: ar.Run.PhaseTimes[runstats.PhasePreprocess],
+				Candidates: ar.Run.PhaseTimes[runstats.PhaseCandidates],
+				Similarity: ar.Run.PhaseTimes[runstats.PhaseSimilarity],
+				Total:      ar.WallTime,
+			}
+			res.Bars = append(res.Bars, bar)
+			h.printf("%-12s %-12s %12s %14s %12s %10s\n",
+				d.Name, ar.Algorithm, seconds(bar.Preprocess), seconds(bar.Candidates),
+				seconds(bar.Similarity), seconds(bar.Total))
+		}
+		h.rule()
+	}
+	h.printf("(paper: KIFF's counting overhead is balanced out by far fewer similarity computations)\n\n")
+	rows := make([][]string, 0, len(res.Bars))
+	for _, b := range res.Bars {
+		rows = append(rows, []string{b.Dataset, b.Algorithm,
+			f(b.Preprocess.Seconds()), f(b.Candidates.Seconds()), f(b.Similarity.Seconds()), f(b.Total.Seconds())})
+	}
+	if err := h.dumpTSV("fig5", []string{"dataset", "algorithm", "preprocess_s", "candidates_s", "similarity_s", "total_s"}, rows); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

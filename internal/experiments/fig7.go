@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"kiff/internal/dataset"
+	"kiff/internal/rcs"
+	"kiff/internal/similarity"
+	"kiff/internal/stats"
+)
+
+// Fig7Point is one truncated RCS of Figure 7: its size and the Spearman
+// correlation between the common-item-count order and the order induced
+// by a full similarity metric.
+type Fig7Point struct {
+	User    uint32
+	Size    int
+	Jaccard float64
+	Cosine  float64
+}
+
+// Fig7Result reproduces Figure 7.
+type Fig7Result struct {
+	Cut         int
+	Points      []Fig7Point
+	MeanJaccard float64
+	MeanCosine  float64
+}
+
+// Fig7 checks that truncation is benign: for Wikipedia users whose RCS
+// exceeds the termination budget, the count-based RCS order correlates
+// strongly with the orders induced by Jaccard and cosine, so good
+// candidates are not pushed past the cut-off. Paper means: 0.60 (Jaccard)
+// and 0.63 (cosine).
+func (h *Harness) Fig7() (*Fig7Result, error) {
+	d, err := h.Dataset(dataset.Wikipedia)
+	if err != nil {
+		return nil, err
+	}
+	k := h.K(dataset.Wikipedia.DefaultK())
+	kf, err := h.DefaultRun("kiff", d, k)
+	if err != nil {
+		return nil, err
+	}
+	cut := kf.Iters * 2 * k // γ = 2k in the memoized default run
+
+	// Complete (unpivoted) candidate sets with counts: Fig 7 studies the
+	// per-user ranking itself, so the sets must not be halved by the pivot.
+	sets := rcs.Build(d, rcs.BuildOptions{Workers: h.Opts.Workers, KeepCounts: true, NoPivot: true})
+	jac := similarity.Jaccard{}.Prepare(d)
+	cos := similarity.Cosine{}.Prepare(d)
+
+	res := &Fig7Result{Cut: cut}
+	for u := uint32(0); int(u) < d.NumUsers(); u++ {
+		if sets.Len(u) <= cut {
+			continue
+		}
+		list := sets.List(u)
+		counts := sets.Counts(u)
+		countVals := make([]float64, len(list))
+		jacVals := make([]float64, len(list))
+		cosVals := make([]float64, len(list))
+		for i, v := range list {
+			countVals[i] = float64(counts[i])
+			jacVals[i] = jac(u, v)
+			cosVals[i] = cos(u, v)
+		}
+		res.Points = append(res.Points, Fig7Point{
+			User:    u,
+			Size:    len(list),
+			Jaccard: stats.Spearman(countVals, jacVals),
+			Cosine:  stats.Spearman(countVals, cosVals),
+		})
+	}
+	for _, pt := range res.Points {
+		res.MeanJaccard += pt.Jaccard
+		res.MeanCosine += pt.Cosine
+	}
+	if n := float64(len(res.Points)); n > 0 {
+		res.MeanJaccard /= n
+		res.MeanCosine /= n
+	}
+
+	rows := make([][]string, 0, len(res.Points))
+	for _, pt := range res.Points {
+		rows = append(rows, []string{i(pt.Size), f(pt.Jaccard), f(pt.Cosine)})
+	}
+	if err := h.dumpTSV("fig7_wikipedia", []string{"rcs_size", "spearman_jaccard", "spearman_cosine"}, rows); err != nil {
+		return nil, err
+	}
+
+	h.printf("Fig 7 — Spearman correlation of RCS order vs metric order (wikipedia, |RCS| > %d)\n", cut)
+	h.rule()
+	h.printf("truncated users: %d\n", len(res.Points))
+	h.printf("mean Spearman vs Jaccard: %.2f   vs cosine: %.2f\n", res.MeanJaccard, res.MeanCosine)
+	limit := len(res.Points)
+	if limit > 10 {
+		limit = 10
+	}
+	h.printf("%8s %8s %10s %10s\n", "user", "|RCS|", "jaccard", "cosine")
+	for _, pt := range res.Points[:limit] {
+		h.printf("%8d %8d %10.2f %10.2f\n", pt.User, pt.Size, pt.Jaccard, pt.Cosine)
+	}
+	h.rule()
+	h.printf("(paper: averages 0.60 for Jaccard, 0.63 for cosine; correlation grows with |RCS|)\n\n")
+	return res, nil
+}

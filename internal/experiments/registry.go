@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment end to end (generation, runs, rendering).
+type Runner func(h *Harness) error
+
+// Registry maps experiment IDs (as used by `kiffbench -exp`) to runners.
+var Registry = map[string]Runner{
+	"table1": func(h *Harness) error { _, err := h.Table1(); return err },
+	"fig1":   func(h *Harness) error { _, err := h.Fig1(); return err },
+	"fig4":   func(h *Harness) error { _, err := h.Fig4(); return err },
+	"table2": func(h *Harness) error { _, err := h.Table2(); return err },
+	"table3": func(h *Harness) error {
+		t2, err := h.Table2()
+		if err != nil {
+			return err
+		}
+		h.Table3(t2)
+		return nil
+	},
+	"table4": func(h *Harness) error { _, err := h.Table4(); return err },
+	"table5": func(h *Harness) error { _, err := h.Table5(); return err },
+	"fig5":   func(h *Harness) error { _, err := h.Fig5(); return err },
+	"fig6": func(h *Harness) error {
+		_, _, err := h.Fig6Table6()
+		return err
+	},
+	"table6": func(h *Harness) error {
+		_, _, err := h.Fig6Table6()
+		return err
+	},
+	"fig7":   func(h *Harness) error { _, err := h.Fig7(); return err },
+	"table7": func(h *Harness) error { _, err := h.Table7(); return err },
+	"fig8":   func(h *Harness) error { _, err := h.Fig8(); return err },
+	"table8": func(h *Harness) error { _, err := h.Table8(nil); return err },
+	"fig9":   func(h *Harness) error { _, err := h.Fig9(); return err },
+	"table9": func(h *Harness) error { _, err := h.Table9(); return err },
+	"fig10":  func(h *Harness) error { _, err := h.Fig10(); return err },
+	// Sensitivity studies discussed in the paper's prose (§V-B2, §IV-D)
+	// without a numbered table or figure.
+	"beta":    func(h *Harness) error { _, err := h.BetaSweep(); return err },
+	"hyrec-r": func(h *Harness) error { _, err := h.HyRecRSweep(); return err },
+}
+
+// IDs returns the registered experiment identifiers in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAll executes every experiment in a stable order, sharing the
+// harness's dataset, ground-truth and default-run caches so each
+// (algorithm, dataset, k) combination executes exactly once.
+func RunAll(h *Harness) error {
+	step := func(id string, fn func() error) error {
+		if err := fn(); err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		return nil
+	}
+	if err := step("table1", func() error { _, err := h.Table1(); return err }); err != nil {
+		return err
+	}
+	if err := step("fig1", func() error { _, err := h.Fig1(); return err }); err != nil {
+		return err
+	}
+	if err := step("fig4", func() error { _, err := h.Fig4(); return err }); err != nil {
+		return err
+	}
+	t2, err := h.Table2()
+	if err != nil {
+		return fmt.Errorf("experiments: table2: %w", err)
+	}
+	h.Table3(t2)
+	if err := step("table4", func() error { _, err := h.Table4(); return err }); err != nil {
+		return err
+	}
+	if err := step("table5", func() error { _, err := h.Table5(); return err }); err != nil {
+		return err
+	}
+	if err := step("fig5", func() error { _, err := h.Fig5(); return err }); err != nil {
+		return err
+	}
+	if err := step("fig6", func() error { _, _, err := h.Fig6Table6(); return err }); err != nil {
+		return err
+	}
+	if err := step("fig7", func() error { _, err := h.Fig7(); return err }); err != nil {
+		return err
+	}
+	if err := step("table7", func() error { _, err := h.Table7(); return err }); err != nil {
+		return err
+	}
+	if err := step("fig8", func() error { _, err := h.Fig8(); return err }); err != nil {
+		return err
+	}
+	if err := step("table8", func() error { _, err := h.Table8(t2); return err }); err != nil {
+		return err
+	}
+	if err := step("fig9", func() error { _, err := h.Fig9(); return err }); err != nil {
+		return err
+	}
+	if err := step("table9", func() error { _, err := h.Table9(); return err }); err != nil {
+		return err
+	}
+	if err := step("fig10", func() error { _, err := h.Fig10(); return err }); err != nil {
+		return err
+	}
+	if err := step("beta", func() error { _, err := h.BetaSweep(); return err }); err != nil {
+		return err
+	}
+	return step("hyrec-r", func() error { _, err := h.HyRecRSweep(); return err })
+}

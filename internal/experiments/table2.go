@@ -1,0 +1,120 @@
+package experiments
+
+import "kiff/internal/dataset"
+
+// Table2Dataset groups the three per-algorithm rows of Table II for one
+// dataset, plus the "KIFF's Gain" line.
+type Table2Dataset struct {
+	Dataset    string
+	K          int
+	NNDescent  AlgoRun
+	HyRec      AlgoRun
+	KIFF       AlgoRun
+	GainRecall float64 // mean recall improvement over the two baselines
+	SpeedUp    float64 // mean wall-time ratio over the two baselines
+}
+
+// Table2Result reproduces Table II (overall performance) and carries the
+// per-dataset gains that Table III averages.
+type Table2Result struct {
+	Datasets []Table2Dataset
+}
+
+// Table2 runs NN-Descent, HyRec and KIFF with the paper's default
+// parameters on the four datasets (k = 20, DBLP k = 50; β = 0.001,
+// γ = 2k; NN-Descent without sampling; HyRec r = 0).
+func (h *Harness) Table2() (*Table2Result, error) {
+	return h.table2WithK(func(p dataset.Preset) int { return h.K(p.DefaultK()) },
+		"Table II — overall performance (paper defaults)")
+}
+
+// table2WithK is shared with Table VIII, which reruns the study at
+// smaller k.
+func (h *Harness) table2WithK(kOf func(dataset.Preset) int, title string) (*Table2Result, error) {
+	res := &Table2Result{}
+	h.printf("%s\n", title)
+	h.rule()
+	h.printf("%-12s %-12s %8s %12s %10s %7s\n",
+		"dataset", "approach", "recall", "wall-time", "scanrate", "#iter")
+	for _, p := range dataset.Presets {
+		d, err := h.Dataset(p)
+		if err != nil {
+			return nil, err
+		}
+		k := kOf(p)
+		nnd, err := h.DefaultRun("nn-descent", d, k)
+		if err != nil {
+			return nil, err
+		}
+		hy, err := h.DefaultRun("hyrec", d, k)
+		if err != nil {
+			return nil, err
+		}
+		kf, err := h.DefaultRun("kiff", d, k)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Dataset{Dataset: d.Name, K: k, NNDescent: nnd, HyRec: hy, KIFF: kf}
+		row.GainRecall = kf.Recall - (nnd.Recall+hy.Recall)/2
+		baseMean := (nnd.WallTime.Seconds() + hy.WallTime.Seconds()) / 2
+		if kf.WallTime.Seconds() > 0 {
+			row.SpeedUp = baseMean / kf.WallTime.Seconds()
+		}
+		res.Datasets = append(res.Datasets, row)
+
+		for _, ar := range []AlgoRun{nnd, hy, kf} {
+			h.printf("%-12s %-12s %8.2f %12s %10s %7d\n",
+				d.Name, ar.Algorithm, ar.Recall, seconds(ar.WallTime), pct(ar.ScanRate), ar.Iters)
+		}
+		h.printf("%-12s %-12s %+8.2f %11.1fx\n", d.Name, "KIFF's gain", row.GainRecall, row.SpeedUp)
+		h.rule()
+	}
+	return res, nil
+}
+
+// Table3Result reproduces Table III: KIFF's average speed-up and recall
+// gain against each competitor.
+type Table3Result struct {
+	SpeedUpVsNND   float64
+	SpeedUpVsHyRec float64
+	DRecallVsNND   float64
+	DRecallVsHyRec float64
+	SpeedUpAvg     float64
+	DRecallAvg     float64
+}
+
+// Table3 derives the averaged gains from a Table II run. Paper values:
+// ×15.42 / +0.14 vs NN-Descent, ×12.51 / +0.23 vs HyRec, ×13.97 / +0.19
+// on average.
+func (h *Harness) Table3(t2 *Table2Result) *Table3Result {
+	res := &Table3Result{}
+	n := float64(len(t2.Datasets))
+	if n == 0 {
+		return res
+	}
+	for _, row := range t2.Datasets {
+		kf := row.KIFF.WallTime.Seconds()
+		if kf > 0 {
+			res.SpeedUpVsNND += row.NNDescent.WallTime.Seconds() / kf
+			res.SpeedUpVsHyRec += row.HyRec.WallTime.Seconds() / kf
+		}
+		res.DRecallVsNND += row.KIFF.Recall - row.NNDescent.Recall
+		res.DRecallVsHyRec += row.KIFF.Recall - row.HyRec.Recall
+	}
+	res.SpeedUpVsNND /= n
+	res.SpeedUpVsHyRec /= n
+	res.DRecallVsNND /= n
+	res.DRecallVsHyRec /= n
+	res.SpeedUpAvg = (res.SpeedUpVsNND + res.SpeedUpVsHyRec) / 2
+	res.DRecallAvg = (res.DRecallVsNND + res.DRecallVsHyRec) / 2
+
+	h.printf("Table III — average speed-up and recall gain of KIFF\n")
+	h.rule()
+	h.printf("%-12s %10s %10s\n", "competitor", "speed-up", "Δrecall")
+	h.printf("%-12s %9.2fx %+10.2f\n", "NN-Descent", res.SpeedUpVsNND, res.DRecallVsNND)
+	h.printf("%-12s %9.2fx %+10.2f\n", "HyRec", res.SpeedUpVsHyRec, res.DRecallVsHyRec)
+	h.printf("%-12s %9.2fx %+10.2f\n", "average", res.SpeedUpAvg, res.DRecallAvg)
+	h.rule()
+	h.printf("(paper: ×15.42/+0.14 vs NND, ×12.51/+0.23 vs HyRec, ×13.97/+0.19 average)\n\n")
+	return res
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"time"
+
+	"kiff/internal/dataset"
+)
+
+// Table5Row reports the counting-phase cost and the shape of the resulting
+// candidate sets for one dataset (Table V).
+type Table5Row struct {
+	Dataset     string
+	RCSBuild    time.Duration
+	FracOfTotal float64
+	AvgLen      float64
+	MaxScanRate float64
+}
+
+// Table5Result reproduces Table V.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// Table5 measures RCS construction inside a full default-parameter KIFF
+// run. MaxScanRate is 2·avg|RCS|/(|U|−1): the scan rate of an exhaustive
+// iteration (§V-A2).
+func (h *Harness) Table5() (*Table5Result, error) {
+	res := &Table5Result{}
+	h.printf("Table V — overhead of RCS construction & statistics\n")
+	h.rule()
+	h.printf("%-12s %14s %10s %12s %14s\n",
+		"dataset", "RCS const.", "% total", "avg |RCS|", "max scanrate")
+	for _, p := range dataset.Presets {
+		d, err := h.Dataset(p)
+		if err != nil {
+			return nil, err
+		}
+		kf, err := h.DefaultRun("kiff", d, h.K(p.DefaultK()))
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{
+			Dataset:  d.Name,
+			RCSBuild: kf.RCS.Duration,
+			AvgLen:   kf.RCS.AvgLen,
+		}
+		if kf.WallTime > 0 {
+			row.FracOfTotal = kf.RCS.Duration.Seconds() / kf.WallTime.Seconds()
+		}
+		if n := d.NumUsers(); n > 1 {
+			row.MaxScanRate = 2 * kf.RCS.AvgLen / float64(n-1)
+		}
+		res.Rows = append(res.Rows, row)
+		h.printf("%-12s %14s %9.1f%% %12.1f %14s\n",
+			row.Dataset, seconds(row.RCSBuild), 100*row.FracOfTotal, row.AvgLen, pct(row.MaxScanRate))
+	}
+	h.rule()
+	h.printf("(paper: RCS construction is 7.5–13.1%% of KIFF's total time)\n\n")
+	return res, nil
+}

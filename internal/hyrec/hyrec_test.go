@@ -1,0 +1,148 @@
+package hyrec
+
+import (
+	"testing"
+
+	"kiff/internal/bruteforce"
+	"kiff/internal/dataset"
+	"kiff/internal/knngraph"
+	"kiff/internal/similarity"
+)
+
+func TestRejectsBadConfig(t *testing.T) {
+	d, _, _ := dataset.Toy()
+	bads := []Config{
+		{K: 0},
+		{K: 2, R: -1},
+		{K: 2, Beta: -0.1},
+		{K: 2, MaxIterations: -1},
+	}
+	for i, cfg := range bads {
+		if _, err := Build(d, cfg); err == nil {
+			t.Errorf("case %d: accepted invalid config", i)
+		}
+	}
+}
+
+func TestConvergesToReasonableRecall(t *testing.T) {
+	// Table II: HyRec reaches 0.90–0.95 on denser datasets, below
+	// NN-Descent but far above random.
+	d, err := dataset.Wikipedia.Generate(0.03, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	cfg := DefaultConfig(k)
+	cfg.Seed = 1
+	res, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatalf("graph invalid: %v", err)
+	}
+	exact := bruteforce.Exact(d, similarity.Cosine{}, k, 0)
+	if got := exact.Recall(res.Graph); got < 0.7 {
+		t.Errorf("recall = %v, want ≥ 0.7", got)
+	}
+}
+
+func TestEveryUserGetsKNeighbors(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.01, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 5
+	res, err := Build(d, DefaultConfig(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, l := range res.Graph.Lists {
+		if len(l) != k {
+			t.Fatalf("user %d has %d neighbors, want %d", u, len(l), k)
+		}
+	}
+}
+
+func TestRandomCandidatesIncreaseWork(t *testing.T) {
+	// §IV-D: random nodes increase wall-time (and similarity work) for a
+	// small recall benefit; verify the work increase direction.
+	d, err := dataset.Wikipedia.Generate(0.015, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultConfig(10)
+	base.Seed = 2
+	baseRes, err := Build(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withRandom := DefaultConfig(10)
+	withRandom.Seed = 2
+	withRandom.R = 5
+	randRes, err := Build(d, withRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if randRes.Run.SimEvals <= baseRes.Run.SimEvals {
+		t.Errorf("r=5 did not increase similarity work: %d vs %d",
+			randRes.Run.SimEvals, baseRes.Run.SimEvals)
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.01, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(5)
+	cfg.MaxIterations = 2
+	res, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Iterations > 2 {
+		t.Errorf("Iterations = %d, want ≤ 2", res.Run.Iterations)
+	}
+}
+
+func TestHookInvoked(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.01, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	cfg := DefaultConfig(5)
+	cfg.Hook = func(iter int, g *knngraph.Graph, evals int64) float64 {
+		calls++
+		return 0
+	}
+	res, err := Build(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Run.Iterations {
+		t.Errorf("hook called %d times, want %d", calls, res.Run.Iterations)
+	}
+}
+
+func TestTraceAccounting(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.01, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(d, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Run
+	if len(r.UpdatesPerIter) != r.Iterations || len(r.EvalsAtIter) != r.Iterations {
+		t.Fatalf("trace lengths inconsistent with %d iterations", r.Iterations)
+	}
+	if r.EvalsAtIter[len(r.EvalsAtIter)-1] != r.SimEvals {
+		t.Error("cumulative evals must end at SimEvals")
+	}
+	if r.WallTime <= 0 {
+		t.Error("wall time missing")
+	}
+}

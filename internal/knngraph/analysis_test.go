@@ -1,0 +1,104 @@
+package knngraph
+
+import (
+	"math"
+	"testing"
+)
+
+func analysisFixture() *Graph {
+	// 0 -> {1, 2}; 1 -> {0}; 2 -> {}; 3 -> {0}
+	return &Graph{K: 2, Lists: [][]Neighbor{
+		{{ID: 1, Sim: 0.8}, {ID: 2, Sim: 0.4}},
+		{{ID: 0, Sim: 0.8}},
+		{},
+		{{ID: 0, Sim: 0.2}},
+	}}
+}
+
+func TestDegrees(t *testing.T) {
+	st := analysisFixture().Degrees()
+	if st.MinOut != 0 || st.MaxOut != 2 {
+		t.Errorf("out degrees = [%d, %d], want [0, 2]", st.MinOut, st.MaxOut)
+	}
+	if st.Isolated != 1 {
+		t.Errorf("Isolated = %d, want 1", st.Isolated)
+	}
+	if math.Abs(st.MeanOut-1.0) > 1e-12 {
+		t.Errorf("MeanOut = %v, want 1.0", st.MeanOut)
+	}
+	// in-degrees: 0←{1,3}=2, 1←{0}=1, 2←{0}=1, 3←{}=0
+	if st.MaxIn != 2 {
+		t.Errorf("MaxIn = %d, want 2", st.MaxIn)
+	}
+	if math.Abs(st.MeanIn-1.0) > 1e-12 {
+		t.Errorf("MeanIn = %v, want 1.0", st.MeanIn)
+	}
+}
+
+func TestDegreesEmptyGraph(t *testing.T) {
+	g := &Graph{K: 2}
+	st := g.Degrees()
+	if st.MinOut != 0 || st.MaxOut != 0 || st.MeanOut != 0 {
+		t.Errorf("empty graph stats = %+v", st)
+	}
+}
+
+func TestMeanSimilarity(t *testing.T) {
+	g := analysisFixture()
+	want := (0.8 + 0.4 + 0.8 + 0.2) / 4
+	if got := g.MeanSimilarity(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanSimilarity = %v, want %v", got, want)
+	}
+	if got := (&Graph{}).MeanSimilarity(); got != 0 {
+		t.Errorf("empty MeanSimilarity = %v, want 0", got)
+	}
+}
+
+func TestAgreementIdentical(t *testing.T) {
+	g := analysisFixture()
+	if got := Agreement(g, g); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self Agreement = %v, want 1", got)
+	}
+}
+
+func TestAgreementDisjoint(t *testing.T) {
+	a := &Graph{K: 1, Lists: [][]Neighbor{{{ID: 1, Sim: 1}}}}
+	b := &Graph{K: 1, Lists: [][]Neighbor{{{ID: 2, Sim: 1}}}}
+	if got := Agreement(a, b); got != 0 {
+		t.Errorf("disjoint Agreement = %v, want 0", got)
+	}
+}
+
+func TestAgreementPartial(t *testing.T) {
+	a := &Graph{K: 2, Lists: [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 2, Sim: 0.5}}}}
+	b := &Graph{K: 2, Lists: [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 3, Sim: 0.5}}}}
+	// intersection 1, union 3.
+	if got := Agreement(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Agreement = %v, want 1/3", got)
+	}
+}
+
+func TestAgreementBothEmptyLists(t *testing.T) {
+	a := &Graph{K: 1, Lists: [][]Neighbor{{}}}
+	b := &Graph{K: 1, Lists: [][]Neighbor{{}}}
+	if got := Agreement(a, b); got != 1 {
+		t.Errorf("empty-lists Agreement = %v, want 1", got)
+	}
+}
+
+func TestTopHubs(t *testing.T) {
+	hubs := analysisFixture().TopHubs(2)
+	if len(hubs) != 2 || hubs[0] != 0 {
+		t.Errorf("TopHubs = %v, want user 0 first", hubs)
+	}
+}
+
+func TestInDegreeCCDFInput(t *testing.T) {
+	in := analysisFixture().InDegreeCCDFInput()
+	want := []int{2, 1, 1, 0}
+	for i := range want {
+		if in[i] != want[i] {
+			t.Fatalf("in-degrees = %v, want %v", in, want)
+		}
+	}
+}

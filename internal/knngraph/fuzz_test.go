@@ -1,0 +1,47 @@
+package knngraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead asserts the graph parser never panics and that accepted graphs
+// are valid and survive a Write/Read round trip.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"",
+		"# header\n",
+		"0 1 0.5\n",
+		"0 1 0.5\n1 0 0.5\n",
+		"0 1 NaN\n",
+		"0 0 1\n",
+		"9 1 0.25\n",
+		"a b c\n",
+		"0 1\n",
+		"0 1 0.5 extra\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if vErr := g.Validate(); vErr != nil {
+			t.Fatalf("accepted invalid graph: %v\ninput: %q", vErr, input)
+		}
+		var buf bytes.Buffer
+		if wErr := g.Write(&buf); wErr != nil {
+			t.Fatalf("Write failed: %v", wErr)
+		}
+		back, rErr := Read(bytes.NewReader(buf.Bytes()))
+		if rErr != nil {
+			t.Fatalf("round trip failed: %v\nserialized: %q", rErr, buf.String())
+		}
+		if back.NumUsers() < g.NumUsers() {
+			t.Fatalf("round trip lost users: %d vs %d", back.NumUsers(), g.NumUsers())
+		}
+	})
+}

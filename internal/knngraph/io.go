@@ -1,0 +1,70 @@
+package knngraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Read parses the text format emitted by Graph.Write: one
+// "user neighbor similarity" triple per line, '#' comments ignored.
+// Users are sized to the largest ID seen on either side; neighbor lists
+// are re-sorted into the canonical (sim desc, ID asc) order.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	g := &Graph{}
+	maxUser := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("knngraph: line %d: want 'user neighbor sim', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("knngraph: line %d: bad user %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("knngraph: line %d: bad neighbor %q: %v", lineNo, fields[1], err)
+		}
+		sim, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("knngraph: line %d: bad similarity %q: %v", lineNo, fields[2], err)
+		}
+		for int(u) >= len(g.Lists) {
+			g.Lists = append(g.Lists, nil)
+		}
+		g.Lists[u] = append(g.Lists[u], Neighbor{ID: uint32(v), Sim: sim})
+		if int(u) > maxUser {
+			maxUser = int(u)
+		}
+		if int(v) > maxUser {
+			maxUser = int(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("knngraph: read: %w", err)
+	}
+	for int(maxUser) >= len(g.Lists) {
+		g.Lists = append(g.Lists, nil)
+	}
+	for u := range g.Lists {
+		sortNeighbors(g.Lists[u])
+		if len(g.Lists[u]) > g.K {
+			g.K = len(g.Lists[u])
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,101 @@
+// Package knngraph defines the directed KNN graph produced by the
+// construction algorithms and the recall metric used to score it against
+// the exact graph (paper §III-B).
+package knngraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"kiff/internal/knnheap"
+)
+
+// Neighbor is one edge of the KNN graph, annotated with the similarity
+// that justified it.
+type Neighbor struct {
+	ID  uint32
+	Sim float64
+}
+
+// Graph is a directed k-NN graph: Lists[u] holds u's neighbors sorted by
+// (similarity desc, ID asc).
+type Graph struct {
+	K     int
+	Lists [][]Neighbor
+}
+
+// NumUsers returns the number of nodes.
+func (g *Graph) NumUsers() int { return len(g.Lists) }
+
+// Neighbors returns u's neighbor list (do not mutate).
+func (g *Graph) Neighbors(u uint32) []Neighbor { return g.Lists[u] }
+
+// FromSet snapshots a heap set into a Graph. The heaps are read under
+// their locks, so FromSet may run while another goroutine still updates
+// them (used by per-iteration convergence traces).
+func FromSet(s *knnheap.Set) *Graph {
+	g := &Graph{K: s.K(), Lists: make([][]Neighbor, s.Len())}
+	var buf []knnheap.Entry
+	for u := 0; u < s.Len(); u++ {
+		buf = s.Neighbors(buf[:0], uint32(u))
+		list := make([]Neighbor, len(buf))
+		for i, e := range buf {
+			list[i] = Neighbor{ID: e.ID, Sim: e.Sim}
+		}
+		sortNeighbors(list)
+		g.Lists[u] = list
+	}
+	return g
+}
+
+func sortNeighbors(list []Neighbor) {
+	sort.Slice(list, func(a, b int) bool {
+		if list[a].Sim != list[b].Sim {
+			return list[a].Sim > list[b].Sim
+		}
+		return list[a].ID < list[b].ID
+	})
+}
+
+// Validate checks structural invariants: no self-loops, no duplicate
+// neighbors, lists sorted and bounded by K.
+func (g *Graph) Validate() error {
+	for u, list := range g.Lists {
+		if len(list) > g.K {
+			return fmt.Errorf("knngraph: user %d has %d > k neighbors", u, len(list))
+		}
+		seen := make(map[uint32]bool, len(list))
+		for i, nb := range list {
+			if int(nb.ID) == u {
+				return fmt.Errorf("knngraph: user %d has a self-loop", u)
+			}
+			if seen[nb.ID] {
+				return fmt.Errorf("knngraph: user %d lists %d twice", u, nb.ID)
+			}
+			seen[nb.ID] = true
+			if i > 0 {
+				prev := list[i-1]
+				if prev.Sim < nb.Sim || (prev.Sim == nb.Sim && prev.ID > nb.ID) {
+					return fmt.Errorf("knngraph: user %d list unsorted at %d", u, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Write serializes the graph as text: one "u v sim" edge per line.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# knn graph: %d users, k=%d\n", g.NumUsers(), g.K)
+	for u, list := range g.Lists {
+		for _, nb := range list {
+			if _, err := fmt.Fprintf(bw, "%d %d %.6g\n", u, nb.ID, nb.Sim); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,116 @@
+package knngraph
+
+// simEps absorbs floating-point noise when comparing similarities computed
+// along different code paths.
+const simEps = 1e-12
+
+// Exact is the ground-truth side of the recall computation: for each
+// evaluated user, the exact top-k list plus the k-th exact similarity
+// (the tie threshold of Eq. 3).
+//
+// Users is nil when every user was evaluated; otherwise it lists the
+// sampled user IDs, in ascending order, and Lists/Thresholds/AboveCounts
+// are indexed by sample position. Sampling the mean of per-user recalls is
+// an unbiased estimator of the overall recall of Eq. (4).
+type Exact struct {
+	K          int
+	Users      []uint32
+	Lists      [][]Neighbor
+	Thresholds []float64
+	// AboveCounts[i] is the number of users with similarity strictly above
+	// Thresholds[i] — these appear in *every* exact top-k set, so an
+	// approximation can use at most K−AboveCounts[i] tie slots.
+	AboveCounts []int
+}
+
+// NumEvaluated returns the number of users with ground truth available.
+func (e *Exact) NumEvaluated() int { return len(e.Lists) }
+
+// UserAt maps a sample position to the user ID it describes.
+func (e *Exact) UserAt(i int) uint32 {
+	if e.Users == nil {
+		return uint32(i)
+	}
+	return e.Users[i]
+}
+
+// RecallUser computes Eq. (3) for the i-th evaluated user against the
+// approximate neighbor list approx.
+//
+// The exact KNN set is rarely unique: several users may tie at the k-th
+// similarity. Eq. (3) takes the best match over all tie-equivalent exact
+// sets, which decomposes as: every approximate neighbor strictly above the
+// threshold is correct (it belongs to all exact sets), and approximate
+// neighbors *at* the threshold are correct up to the number of free tie
+// slots, K − AboveCounts[i].
+func (e *Exact) RecallUser(i int, approx []Neighbor) float64 {
+	if e.K == 0 {
+		return 0
+	}
+	theta := e.Thresholds[i]
+	above := 0
+	at := 0
+	for _, nb := range approx {
+		switch {
+		case nb.Sim > theta+simEps:
+			above++
+		case nb.Sim >= theta-simEps:
+			at++
+		}
+	}
+	slots := e.K - e.AboveCounts[i]
+	if at > slots {
+		at = slots
+	}
+	hits := above + at
+	if hits > e.K {
+		hits = e.K
+	}
+	return float64(hits) / float64(e.K)
+}
+
+// Recall computes the mean recall of Eq. (4) of the approximate graph over
+// the evaluated users.
+func (e *Exact) Recall(g *Graph) float64 {
+	if e.NumEvaluated() == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < e.NumEvaluated(); i++ {
+		sum += e.RecallUser(i, g.Lists[e.UserAt(i)])
+	}
+	return sum / float64(e.NumEvaluated())
+}
+
+// BuildExact assembles an Exact from per-user ground-truth lists (already
+// sorted by sim desc, ID asc). users follows the same convention as
+// Exact.Users. Exposed for the bruteforce package and for tests that
+// construct ground truth by hand.
+func BuildExact(k int, users []uint32, lists [][]Neighbor) *Exact {
+	e := &Exact{
+		K:           k,
+		Users:       users,
+		Lists:       lists,
+		Thresholds:  make([]float64, len(lists)),
+		AboveCounts: make([]int, len(lists)),
+	}
+	for i, list := range lists {
+		if len(list) < k {
+			// Fewer than k candidates exist at all (tiny datasets): any
+			// approximate neighbor counts, and there is no tie pressure.
+			e.Thresholds[i] = -1
+			e.AboveCounts[i] = 0
+			continue
+		}
+		theta := list[k-1].Sim
+		e.Thresholds[i] = theta
+		above := 0
+		for _, nb := range list {
+			if nb.Sim > theta+simEps {
+				above++
+			}
+		}
+		e.AboveCounts[i] = above
+	}
+	return e
+}

@@ -1,0 +1,195 @@
+// Package knnheap implements the bounded per-user neighborhood heaps used
+// by all KNN construction algorithms: "the current approximation k̂nnu of
+// each user u's neighborhood is stored as a heap of maximum size k, with
+// the similarity between u and its neighbors used as priority" (paper
+// §III-C).
+//
+// Entries are ordered by the total order (similarity desc, ID asc). Using
+// a total order — rather than similarity alone — makes the retained top-k
+// set independent of insertion order even under similarity ties, so
+// parallel runs produce identical graphs.
+package knnheap
+
+import "sync"
+
+// Entry is one neighbor candidate held in a heap. New is the NN-Descent
+// incremental-join flag (true until the entry has participated in a local
+// join); KIFF and HyRec ignore it.
+type Entry struct {
+	ID  uint32
+	Sim float64
+	New bool
+}
+
+// worse reports whether a is a strictly worse neighbor than b under the
+// total order (lower similarity, then higher ID).
+func worse(a, b Entry) bool {
+	if a.Sim != b.Sim {
+		return a.Sim < b.Sim
+	}
+	return a.ID > b.ID
+}
+
+// Heap is a single bounded neighborhood: a min-heap whose root is the
+// worst retained neighbor. The zero value is unusable; heaps are created
+// through NewSet so capacity is shared.
+type Heap struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// Set is the collection of one heap per user, all bounded by the same k.
+type Set struct {
+	k     int
+	heaps []Heap
+}
+
+// NewSet creates n empty heaps of capacity k.
+func NewSet(n, k int) *Set {
+	if n < 0 || k < 1 {
+		panic("knnheap: NewSet requires n ≥ 0 and k ≥ 1")
+	}
+	s := &Set{k: k, heaps: make([]Heap, n)}
+	for i := range s.heaps {
+		s.heaps[i].entries = make([]Entry, 0, k)
+	}
+	return s
+}
+
+// K returns the neighborhood bound.
+func (s *Set) K() int { return s.k }
+
+// Len returns the number of heaps.
+func (s *Set) Len() int { return len(s.heaps) }
+
+// Size returns the current number of neighbors of user u.
+func (s *Set) Size(u uint32) int {
+	h := &s.heaps[u]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.entries)
+}
+
+// Update implements UPDATENN of Algorithm 1 (lines 14–16): offer (id, sim)
+// to user u's heap and report 1 if the neighborhood changed, 0 otherwise.
+// A candidate already present leaves the heap unchanged; a candidate worse
+// than the current root of a full heap is rejected.
+func (s *Set) Update(u uint32, id uint32, sim float64) int {
+	return s.update(u, Entry{ID: id, Sim: sim, New: true})
+}
+
+func (s *Set) update(u uint32, e Entry) int {
+	h := &s.heaps[u]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.entries {
+		if h.entries[i].ID == e.ID {
+			return 0
+		}
+	}
+	if len(h.entries) < s.k {
+		h.entries = append(h.entries, e)
+		h.siftUp(len(h.entries) - 1)
+		return 1
+	}
+	if !worse(e, h.entries[0]) {
+		h.entries[0] = e
+		h.siftDown(0)
+		return 1
+	}
+	return 0
+}
+
+// Worst returns the root (worst retained neighbor) of u's heap and whether
+// the heap is non-empty.
+func (s *Set) Worst(u uint32) (Entry, bool) {
+	h := &s.heaps[u]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.entries) == 0 {
+		return Entry{}, false
+	}
+	return h.entries[0], true
+}
+
+// Contains reports whether id is currently a neighbor of u.
+func (s *Set) Contains(u uint32, id uint32) bool {
+	h := &s.heaps[u]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.entries {
+		if h.entries[i].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors appends u's current neighbors to dst in arbitrary (heap)
+// order and returns the extended slice.
+func (s *Set) Neighbors(dst []Entry, u uint32) []Entry {
+	h := &s.heaps[u]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append(dst, h.entries...)
+}
+
+// IDs appends the IDs of u's current neighbors to dst.
+func (s *Set) IDs(dst []uint32, u uint32) []uint32 {
+	h := &s.heaps[u]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.entries {
+		dst = append(dst, h.entries[i].ID)
+	}
+	return dst
+}
+
+// CollectFlagged appends the IDs of u's neighbors to newIDs or oldIDs
+// according to their New flag, clearing the flags of the entries reported
+// as new. This is the per-iteration flag harvest of NN-Descent's
+// incremental local join.
+func (s *Set) CollectFlagged(newIDs, oldIDs []uint32, u uint32) ([]uint32, []uint32) {
+	h := &s.heaps[u]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.entries {
+		if h.entries[i].New {
+			newIDs = append(newIDs, h.entries[i].ID)
+			h.entries[i].New = false
+		} else {
+			oldIDs = append(oldIDs, h.entries[i].ID)
+		}
+	}
+	return newIDs, oldIDs
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h.entries[i], h.entries[parent]) {
+			break
+		}
+		h.entries[i], h.entries[parent] = h.entries[parent], h.entries[i]
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && worse(h.entries[l], h.entries[smallest]) {
+			smallest = l
+		}
+		if r < n && worse(h.entries[r], h.entries[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.entries[i], h.entries[smallest] = h.entries[smallest], h.entries[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,244 @@
+package knnheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedNeighbors(s *Set, u uint32) []Entry {
+	es := s.Neighbors(nil, u)
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].Sim != es[b].Sim {
+			return es[a].Sim > es[b].Sim
+		}
+		return es[a].ID < es[b].ID
+	})
+	return es
+}
+
+func TestUpdateFillsToK(t *testing.T) {
+	s := NewSet(1, 3)
+	for i, changed := range []int{1, 1, 1} {
+		if got := s.Update(0, uint32(i), float64(i)); got != changed {
+			t.Fatalf("insert %d: Update = %d, want %d", i, got, changed)
+		}
+	}
+	if s.Size(0) != 3 {
+		t.Fatalf("Size = %d, want 3", s.Size(0))
+	}
+}
+
+func TestUpdateRejectsWorse(t *testing.T) {
+	s := NewSet(1, 2)
+	s.Update(0, 1, 0.9)
+	s.Update(0, 2, 0.8)
+	if got := s.Update(0, 3, 0.1); got != 0 {
+		t.Errorf("worse candidate accepted: Update = %d, want 0", got)
+	}
+	if got := s.Update(0, 4, 0.95); got != 1 {
+		t.Errorf("better candidate rejected: Update = %d, want 1", got)
+	}
+	es := sortedNeighbors(s, 0)
+	if es[0].ID != 4 || es[1].ID != 1 {
+		t.Errorf("neighbors = %v, want [4 1]", es)
+	}
+}
+
+func TestUpdateDuplicateIsNoop(t *testing.T) {
+	s := NewSet(1, 3)
+	s.Update(0, 7, 0.5)
+	if got := s.Update(0, 7, 0.5); got != 0 {
+		t.Errorf("duplicate Update = %d, want 0", got)
+	}
+	if s.Size(0) != 1 {
+		t.Errorf("Size = %d, want 1", s.Size(0))
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	// With equal similarity, the smaller ID must win a full heap.
+	s := NewSet(1, 1)
+	s.Update(0, 9, 0.5)
+	if got := s.Update(0, 3, 0.5); got != 1 {
+		t.Fatalf("equal-sim smaller-ID candidate rejected")
+	}
+	if got := s.Update(0, 12, 0.5); got != 0 {
+		t.Fatalf("equal-sim larger-ID candidate accepted")
+	}
+	es := sortedNeighbors(s, 0)
+	if len(es) != 1 || es[0].ID != 3 {
+		t.Errorf("neighbors = %v, want [3]", es)
+	}
+}
+
+func TestWorst(t *testing.T) {
+	s := NewSet(1, 3)
+	if _, ok := s.Worst(0); ok {
+		t.Error("empty heap must report no worst entry")
+	}
+	s.Update(0, 1, 0.9)
+	s.Update(0, 2, 0.2)
+	s.Update(0, 3, 0.5)
+	w, ok := s.Worst(0)
+	if !ok || w.ID != 2 {
+		t.Errorf("Worst = %+v, want ID 2", w)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := NewSet(2, 2)
+	s.Update(1, 5, 0.1)
+	if !s.Contains(1, 5) {
+		t.Error("Contains(1,5) = false")
+	}
+	if s.Contains(1, 6) || s.Contains(0, 5) {
+		t.Error("Contains must be per-user and per-id")
+	}
+}
+
+func TestIDs(t *testing.T) {
+	s := NewSet(1, 3)
+	s.Update(0, 4, 0.4)
+	s.Update(0, 2, 0.2)
+	ids := s.IDs(nil, 0)
+	if len(ids) != 2 {
+		t.Fatalf("IDs = %v", ids)
+	}
+	seen := map[uint32]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if !seen[4] || !seen[2] {
+		t.Errorf("IDs = %v, want {2,4}", ids)
+	}
+}
+
+func TestCollectFlagged(t *testing.T) {
+	s := NewSet(1, 4)
+	s.Update(0, 1, 0.1)
+	s.Update(0, 2, 0.2)
+	newIDs, oldIDs := s.CollectFlagged(nil, nil, 0)
+	if len(newIDs) != 2 || len(oldIDs) != 0 {
+		t.Fatalf("first harvest: new=%v old=%v", newIDs, oldIDs)
+	}
+	// Second harvest: everything is old now.
+	newIDs, oldIDs = s.CollectFlagged(nil, nil, 0)
+	if len(newIDs) != 0 || len(oldIDs) != 2 {
+		t.Fatalf("second harvest: new=%v old=%v", newIDs, oldIDs)
+	}
+	// A fresh insert is new again.
+	s.Update(0, 3, 0.3)
+	newIDs, oldIDs = s.CollectFlagged(nil, nil, 0)
+	if len(newIDs) != 1 || newIDs[0] != 3 || len(oldIDs) != 2 {
+		t.Fatalf("third harvest: new=%v old=%v", newIDs, oldIDs)
+	}
+}
+
+func TestOrderIndependenceUnderTies(t *testing.T) {
+	// The retained top-k set must not depend on insertion order, even with
+	// tied similarities — this is what makes parallel runs reproducible.
+	type cand struct {
+		id  uint32
+		sim float64
+	}
+	cands := []cand{
+		{1, 0.5}, {2, 0.5}, {3, 0.5}, {4, 0.9}, {5, 0.1}, {6, 0.5}, {7, 0.7},
+	}
+	r := rand.New(rand.NewSource(3))
+	var want []Entry
+	for trial := 0; trial < 50; trial++ {
+		perm := r.Perm(len(cands))
+		s := NewSet(1, 3)
+		for _, pi := range perm {
+			s.Update(0, cands[pi].id, cands[pi].sim)
+		}
+		got := sortedNeighbors(s, 0)
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: size %d != %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: neighbors %v != %v", trial, got, want)
+			}
+		}
+	}
+	// And the deterministic winner set is {4:0.9, 7:0.7, 1:0.5} (smallest ID
+	// wins the 0.5 tie).
+	if want[0].ID != 4 || want[1].ID != 7 || want[2].ID != 1 {
+		t.Errorf("winner set = %v, want IDs [4 7 1]", want)
+	}
+}
+
+func TestHeapInvariantRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := NewSet(1, 16)
+	for i := 0; i < 2000; i++ {
+		s.Update(0, uint32(r.Intn(500)), float64(r.Intn(20))/20)
+		h := &s.heaps[0]
+		for idx := 1; idx < len(h.entries); idx++ {
+			parent := (idx - 1) / 2
+			if worse(h.entries[idx], h.entries[parent]) {
+				t.Fatalf("heap invariant violated at step %d", i)
+			}
+		}
+	}
+}
+
+func TestTopKMatchesSortRandomized(t *testing.T) {
+	// The heap must retain exactly the top-k under the total order.
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		k := 1 + r.Intn(10)
+		n := 1 + r.Intn(100)
+		s := NewSet(1, k)
+		type cand struct {
+			id  uint32
+			sim float64
+		}
+		var all []cand
+		usedID := map[uint32]bool{}
+		for i := 0; i < n; i++ {
+			id := uint32(r.Intn(1000))
+			if usedID[id] {
+				continue
+			}
+			usedID[id] = true
+			c := cand{id: id, sim: float64(r.Intn(10)) / 10}
+			all = append(all, c)
+			s.Update(0, c.id, c.sim)
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].sim != all[b].sim {
+				return all[a].sim > all[b].sim
+			}
+			return all[a].id < all[b].id
+		})
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := sortedNeighbors(s, 0)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d entries, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].id || got[i].Sim != want[i].sim {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestNewSetPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSet(1, 0) must panic")
+		}
+	}()
+	NewSet(1, 0)
+}

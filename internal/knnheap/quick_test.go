@@ -1,0 +1,190 @@
+package knnheap
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// offer is a generated candidate for property tests. Similarities are a
+// deterministic function of the ID, as they are in the real algorithms
+// (the similarity of a pair never changes between offers).
+type offer struct {
+	ID  uint32
+	Sim float64
+}
+
+type offerStream struct {
+	K      int
+	Offers []offer
+}
+
+func randStream(r *rand.Rand) offerStream {
+	n := 1 + r.Intn(60)
+	s := offerStream{K: 1 + r.Intn(8)}
+	simOf := map[uint32]float64{}
+	for i := 0; i < n; i++ {
+		id := uint32(1 + r.Intn(30))
+		if _, ok := simOf[id]; !ok {
+			// Coarse similarity grid to force ties across IDs.
+			simOf[id] = float64(r.Intn(5)) / 4
+		}
+		s.Offers = append(s.Offers, offer{ID: id, Sim: simOf[id]})
+	}
+	return s
+}
+
+func streamCfg(seed int64) *quick.Config {
+	r := rand.New(rand.NewSource(seed))
+	return &quick.Config{
+		MaxCount: 200,
+		Rand:     r,
+		Values: func(vs []reflect.Value, _ *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(randStream(r))
+			}
+		},
+	}
+}
+
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].Sim != es[b].Sim {
+			return es[a].Sim > es[b].Sim
+		}
+		return es[a].ID < es[b].ID
+	})
+}
+
+// apply feeds the stream to a fresh heap and returns the retained set in
+// canonical order.
+func apply(s offerStream) []Entry {
+	set := NewSet(1, s.K)
+	for _, o := range s.Offers {
+		set.Update(0, o.ID, o.Sim)
+	}
+	es := set.Neighbors(nil, 0)
+	sortEntries(es)
+	return es
+}
+
+// TestQuickHeapEqualsSortTopK: the streamed heap must retain exactly the
+// deduplicated top-k under the total order.
+func TestQuickHeapEqualsSortTopK(t *testing.T) {
+	f := func(s offerStream) bool {
+		got := apply(s)
+		seen := map[uint32]bool{}
+		var ref []Entry
+		for _, o := range s.Offers {
+			if seen[o.ID] {
+				continue
+			}
+			seen[o.ID] = true
+			ref = append(ref, Entry{ID: o.ID, Sim: o.Sim})
+		}
+		sortEntries(ref)
+		if len(ref) > s.K {
+			ref = ref[:s.K]
+		}
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if got[i].ID != ref[i].ID || got[i].Sim != ref[i].Sim {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, streamCfg(11)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeapPermutationInvariant: shuffling the offer stream never
+// changes the retained set — the property that makes parallel runs
+// reproducible.
+func TestQuickHeapPermutationInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := func(s offerStream) bool {
+		base := apply(s)
+		for trial := 0; trial < 3; trial++ {
+			shuffled := offerStream{K: s.K, Offers: append([]offer(nil), s.Offers...)}
+			r.Shuffle(len(shuffled.Offers), func(i, j int) {
+				shuffled.Offers[i], shuffled.Offers[j] = shuffled.Offers[j], shuffled.Offers[i]
+			})
+			other := apply(shuffled)
+			if len(other) != len(base) {
+				return false
+			}
+			for i := range base {
+				if base[i] != other[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, streamCfg(13)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUpdateChangeFlag: Update's return value must faithfully report
+// whether the retained set changed — Algorithm 1's convergence counter c
+// depends on it.
+func TestQuickUpdateChangeFlag(t *testing.T) {
+	f := func(s offerStream) bool {
+		set := NewSet(1, s.K)
+		var prev []Entry
+		for _, o := range s.Offers {
+			changed := set.Update(0, o.ID, o.Sim)
+			cur := set.Neighbors(nil, 0)
+			sortEntries(cur)
+			same := len(cur) == len(prev)
+			if same {
+				for i := range cur {
+					if cur[i].ID != prev[i].ID || cur[i].Sim != prev[i].Sim {
+						same = false
+						break
+					}
+				}
+			}
+			if (changed == 0) != same {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, streamCfg(17)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWorstIsMinimum: the reported worst entry is the minimum of the
+// retained set under the total order.
+func TestQuickWorstIsMinimum(t *testing.T) {
+	f := func(s offerStream) bool {
+		set := NewSet(1, s.K)
+		for _, o := range s.Offers {
+			set.Update(0, o.ID, o.Sim)
+		}
+		w, ok := set.Worst(0)
+		es := set.Neighbors(nil, 0)
+		if !ok {
+			return len(es) == 0
+		}
+		for _, e := range es {
+			if worse(e, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, streamCfg(19)); err != nil {
+		t.Error(err)
+	}
+}

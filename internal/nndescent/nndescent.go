@@ -1,0 +1,251 @@
+// Package nndescent implements the NN-Descent baseline of Dong, Moses &
+// Li (WWW 2011), as described and configured in the paper (§IV-B, §VI):
+//
+//   - start from a random k-degree graph;
+//   - per iteration, perform a local join around every user over its
+//     forward and reverse neighbors, restricted by the new/old flag system
+//     so a pair is only evaluated when at least one endpoint entered a
+//     neighborhood since the previous iteration;
+//   - terminate when the number of neighborhood changes in an iteration
+//     falls below δ·k·|U| (original default δ = 0.001).
+//
+// The paper evaluates NN-Descent "without sampling (as in the original
+// publication)", which Sample = 1 reproduces; smaller values enable the
+// original's ρ-sampling of the join lists.
+package nndescent
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"kiff/internal/dataset"
+	"kiff/internal/knngraph"
+	"kiff/internal/knnheap"
+	"kiff/internal/parallel"
+	"kiff/internal/runstats"
+	"kiff/internal/similarity"
+)
+
+// Config parameterizes an NN-Descent run.
+type Config struct {
+	// K is the neighborhood size.
+	K int
+	// Delta is the termination threshold: stop when per-iteration changes
+	// < Delta·K·|U| (original default 0.001). Delta == 0 selects the
+	// default.
+	Delta float64
+	// Sample is the ρ sampling rate of the original algorithm in (0, 1];
+	// 0 selects 1 (no sampling, the paper's configuration).
+	Sample float64
+	// Metric is the similarity measure; nil selects cosine.
+	Metric similarity.Metric
+	// Workers bounds parallelism (< 1 = all CPUs).
+	Workers int
+	// MaxIterations caps the loop (0 = unlimited).
+	MaxIterations int
+	// Seed drives the random initial graph.
+	Seed int64
+	// Hook, when non-nil, observes every iteration (Fig 8 traces).
+	Hook runstats.IterHook
+}
+
+// DefaultConfig returns the configuration used in the paper's evaluation.
+func DefaultConfig(k int) Config {
+	return Config{K: k, Delta: 0.001, Sample: 1, Metric: similarity.Cosine{}}
+}
+
+// Result bundles the constructed graph with the run's cost metrics.
+type Result struct {
+	Graph *knngraph.Graph
+	Run   runstats.Run
+}
+
+// Build runs NN-Descent on the dataset.
+func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := normalize(&cfg); err != nil {
+		return nil, err
+	}
+	n := d.NumUsers()
+	start := time.Now()
+	var timer runstats.PhaseTimer
+
+	preStart := time.Now()
+	var evals atomic.Int64
+	sim := similarity.Counted(cfg.Metric.Prepare(d), &evals)
+	heaps := knnheap.NewSet(n, cfg.K)
+	timer.Add(runstats.PhasePreprocess, time.Since(preStart))
+
+	run := runstats.Run{Algorithm: "nn-descent", NumUsers: n, K: cfg.K}
+
+	// Random k-degree initial graph. Each user's picks are derived from a
+	// per-user seed so the graph is independent of the worker layout.
+	simStart := time.Now()
+	parallel.Blocks(n, cfg.Workers, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(u)*0x9e3779b1))
+			need := cfg.K
+			if need > n-1 {
+				need = n - 1
+			}
+			seen := make(map[uint32]bool, need)
+			for len(seen) < need {
+				v := uint32(rng.Intn(n))
+				if int(v) == u || seen[v] {
+					continue
+				}
+				seen[v] = true
+				heaps.Update(uint32(u), v, sim(uint32(u), v))
+			}
+		}
+	})
+	timer.Add(runstats.PhaseSimilarity, time.Since(simStart))
+
+	// Per-user join lists, rebuilt every iteration.
+	newLists := make([][]uint32, n)
+	oldLists := make([][]uint32, n)
+	threshold := cfg.Delta * float64(cfg.K) * float64(n)
+
+	for iter := 0; ; iter++ {
+		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
+			break
+		}
+		// Phase 1 (candidate selection): harvest flags, build forward
+		// new/old lists, then merge in the reverse directions.
+		candStart := time.Now()
+		parallel.Blocks(n, cfg.Workers, func(_, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				newLists[u], oldLists[u] = heaps.CollectFlagged(newLists[u][:0], oldLists[u][:0], uint32(u))
+			}
+		})
+		// Reverse neighbors: u ∈ rnew[v] iff v ∈ new[u]. Built serially —
+		// it is a cheap scatter compared to the similarity work — then
+		// sampled if ρ < 1.
+		rnew := make([][]uint32, n)
+		rold := make([][]uint32, n)
+		for u := 0; u < n; u++ {
+			for _, v := range newLists[u] {
+				rnew[v] = append(rnew[v], uint32(u))
+			}
+			for _, v := range oldLists[u] {
+				rold[v] = append(rold[v], uint32(u))
+			}
+		}
+		sampleCap := int(cfg.Sample * float64(cfg.K))
+		timer.Add(runstats.PhaseCandidates, time.Since(candStart))
+
+		// Phase 2 (similarity): local join around every user.
+		joinStart := time.Now()
+		changes := parallel.SumInt64(n, cfg.Workers, func(_, lo, hi int) int64 {
+			var c int64
+			var nn, on []uint32
+			rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5bf0_3635 ^ int64(lo+iter*n)))
+			for u := lo; u < hi; u++ {
+				nn = append(nn[:0], newLists[u]...)
+				nn = appendSampled(nn, rnew[u], sampleCap, cfg.Sample, rng)
+				on = append(on[:0], oldLists[u]...)
+				on = appendSampled(on, rold[u], sampleCap, cfg.Sample, rng)
+				nn = dedup(nn)
+				on = dedup(on)
+				// new × new (each unordered pair once) and new × old.
+				for i, p := range nn {
+					for _, q := range nn[i+1:] {
+						if p == q {
+							continue
+						}
+						s := sim(p, q)
+						c += int64(heaps.Update(p, q, s))
+						c += int64(heaps.Update(q, p, s))
+					}
+					for _, q := range on {
+						if p == q {
+							continue
+						}
+						s := sim(p, q)
+						c += int64(heaps.Update(p, q, s))
+						c += int64(heaps.Update(q, p, s))
+					}
+				}
+			}
+			return c
+		})
+		timer.Add(runstats.PhaseSimilarity, time.Since(joinStart))
+
+		run.Iterations++
+		run.UpdatesPerIter = append(run.UpdatesPerIter, changes)
+		run.EvalsAtIter = append(run.EvalsAtIter, evals.Load())
+		if cfg.Hook != nil {
+			r := cfg.Hook(iter, knngraph.FromSet(heaps), evals.Load())
+			run.RecallAtIter = append(run.RecallAtIter, r)
+		}
+		if float64(changes) < threshold {
+			break
+		}
+	}
+
+	run.WallTime = time.Since(start)
+	run.SimEvals = evals.Load()
+	for p := runstats.PhasePreprocess; p <= runstats.PhaseSimilarity; p++ {
+		run.PhaseTimes[p] = timer.Duration(p)
+	}
+	return &Result{Graph: knngraph.FromSet(heaps), Run: run}, nil
+}
+
+// appendSampled appends src to dst, keeping at most capN elements of src
+// when sampling is active (rate < 1), chosen uniformly.
+func appendSampled(dst, src []uint32, capN int, rate float64, rng *rand.Rand) []uint32 {
+	if rate >= 1 || len(src) <= capN {
+		return append(dst, src...)
+	}
+	// Reservoir-free partial Fisher–Yates over a scratch copy.
+	idx := rng.Perm(len(src))[:capN]
+	for _, i := range idx {
+		dst = append(dst, src[i])
+	}
+	return dst
+}
+
+// dedup removes duplicates in place; join lists are O(k) long, so the
+// quadratic membership scan is cheaper than sorting. Membership is checked
+// against the already-kept prefix (out aliases xs, so earlier positions
+// hold exactly the kept elements).
+func dedup(xs []uint32) []uint32 {
+	out := xs[:0]
+outer:
+	for i := 0; i < len(xs); i++ {
+		x := xs[i]
+		for _, y := range out {
+			if y == x {
+				continue outer
+			}
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func normalize(cfg *Config) error {
+	if cfg.K < 1 {
+		return errors.New("nndescent: K must be ≥ 1")
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.001
+	}
+	if cfg.Delta < 0 {
+		return errors.New("nndescent: Delta must be ≥ 0")
+	}
+	if cfg.Sample == 0 {
+		cfg.Sample = 1
+	}
+	if cfg.Sample < 0 || cfg.Sample > 1 {
+		return errors.New("nndescent: Sample must be in (0, 1]")
+	}
+	if cfg.Metric == nil {
+		cfg.Metric = similarity.Cosine{}
+	}
+	if cfg.MaxIterations < 0 {
+		return errors.New("nndescent: MaxIterations must be ≥ 0")
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package parallel provides the block-sharded worker pool used by every
+// KNN construction algorithm in this module. The paper's implementations
+// are "multi-threaded to parallelize the treatment of individual users"
+// (§IV); we mirror that by splitting the user range into one contiguous
+// block per worker, which preserves the memory locality greedy KNN
+// approaches rely on (§II).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count request: values < 1 mean "use all
+// available CPUs".
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Blocks runs fn(worker, lo, hi) concurrently on workers goroutines, where
+// [lo, hi) partitions [0, n) into near-equal contiguous blocks. It returns
+// once every block completes. fn is never invoked for empty blocks.
+func Blocks(n, workers int, fn func(worker, lo, hi int)) {
+	workers = Workers(workers)
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// For runs fn(worker, i) for every i in [0, n) using Blocks sharding.
+func For(n, workers int, fn func(worker, i int)) {
+	Blocks(n, workers, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(w, i)
+		}
+	})
+}
+
+// SumInt64 runs fn on each block and sums the per-block results. It is the
+// reduction used to accumulate per-iteration change counters (variable c of
+// Algorithm 1) without atomic traffic in the hot loop.
+func SumInt64(n, workers int, fn func(worker, lo, hi int) int64) int64 {
+	workers = Workers(workers)
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return fn(0, 0, n)
+	}
+	results := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total int64
+	for _, r := range results {
+		total += r
+	}
+	return total
+}

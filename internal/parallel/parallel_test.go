@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d, want 4", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestBlocksCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		for _, n := range []int{0, 1, 2, 5, 97, 1000} {
+			seen := make([]int32, n)
+			Blocks(n, workers, func(_, lo, hi int) {
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty block [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksDistinctWorkerIDs(t *testing.T) {
+	n, workers := 1000, 8
+	hit := make([]int32, workers)
+	Blocks(n, workers, func(w, lo, hi int) {
+		atomic.AddInt32(&hit[w], 1)
+	})
+	for w, c := range hit {
+		if c != 1 {
+			t.Errorf("worker %d invoked %d times, want 1", w, c)
+		}
+	}
+}
+
+func TestForVisitsAll(t *testing.T) {
+	n := 257
+	var sum int64
+	For(n, 4, func(_, i int) {
+		atomic.AddInt64(&sum, int64(i))
+	})
+	want := int64(n*(n-1)) / 2
+	if sum != want {
+		t.Errorf("For sum = %d, want %d", sum, want)
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got := SumInt64(100, workers, func(_, lo, hi int) int64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i)
+			}
+			return s
+		})
+		if got != 4950 {
+			t.Errorf("workers=%d: SumInt64 = %d, want 4950", workers, got)
+		}
+	}
+}
+
+func TestSumInt64Empty(t *testing.T) {
+	if got := SumInt64(0, 4, func(_, _, _ int) int64 { return 99 }); got != 0 {
+		t.Errorf("SumInt64(0) = %d, want 0", got)
+	}
+}
+
+func TestBlocksZero(t *testing.T) {
+	called := false
+	Blocks(0, 4, func(_, _, _ int) { called = true })
+	if called {
+		t.Error("Blocks(0) must not invoke fn")
+	}
+}
+
+func TestBlocksMoreWorkersThanItems(t *testing.T) {
+	var count int32
+	Blocks(3, 64, func(_, lo, hi int) {
+		atomic.AddInt32(&count, int32(hi-lo))
+	})
+	if count != 3 {
+		t.Errorf("covered %d items, want 3", count)
+	}
+}

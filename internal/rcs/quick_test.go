@@ -1,0 +1,159 @@
+package rcs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"kiff/internal/dataset"
+	"kiff/internal/sparse"
+)
+
+// randDataset draws a small random bipartite dataset with enough overlap
+// to exercise every RCS code path.
+func randDataset(r *rand.Rand) *dataset.Dataset {
+	users := 2 + r.Intn(30)
+	items := 1 + r.Intn(20)
+	profiles := make([]map[uint32]float64, users)
+	for u := range profiles {
+		m := map[uint32]float64{}
+		n := r.Intn(items + 1)
+		for i := 0; i < n; i++ {
+			m[uint32(r.Intn(items))] = float64(1 + r.Intn(5))
+		}
+		profiles[u] = m
+	}
+	return dataset.FromProfiles("quick", profiles, r.Intn(2) == 0)
+}
+
+func dsCfg(seed int64) *quick.Config {
+	r := rand.New(rand.NewSource(seed))
+	return &quick.Config{
+		MaxCount: 120,
+		Rand:     r,
+		Values: func(vs []reflect.Value, _ *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(randDataset(r))
+			}
+		},
+	}
+}
+
+// TestQuickPivotPartition: across all RCSs, each overlapping unordered
+// pair appears exactly once, stored at its lower endpoint.
+func TestQuickPivotPartition(t *testing.T) {
+	f := func(d *dataset.Dataset) bool {
+		s := Build(d, BuildOptions{Workers: 2})
+		seen := map[[2]uint32]int{}
+		for u := uint32(0); int(u) < d.NumUsers(); u++ {
+			for _, v := range s.List(u) {
+				if v <= u {
+					return false
+				}
+				seen[[2]uint32{u, v}]++
+			}
+		}
+		for u := 0; u < d.NumUsers(); u++ {
+			for v := u + 1; v < d.NumUsers(); v++ {
+				want := 0
+				if sparse.CommonCount(d.Users[u], d.Users[v]) > 0 {
+					want = 1
+				}
+				if seen[[2]uint32{uint32(u), uint32(v)}] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, dsCfg(23)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoPivotSymmetry: complete sets are symmetric and exactly twice
+// the pivoted volume.
+func TestQuickNoPivotSymmetry(t *testing.T) {
+	f := func(d *dataset.Dataset) bool {
+		piv := Build(d, BuildOptions{Workers: 1})
+		full := Build(d, BuildOptions{Workers: 3, NoPivot: true})
+		if full.BuildStats.TotalCandidates != 2*piv.BuildStats.TotalCandidates {
+			return false
+		}
+		for u := uint32(0); int(u) < d.NumUsers(); u++ {
+			for _, v := range full.List(u) {
+				found := false
+				for _, w := range full.List(v) {
+					if w == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, dsCfg(29)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTopPopDrainsExactly: popping in arbitrary chunk sizes yields
+// every candidate exactly once, in stored order.
+func TestQuickTopPopDrainsExactly(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	f := func(d *dataset.Dataset) bool {
+		s := Build(d, BuildOptions{Workers: 1})
+		for u := uint32(0); int(u) < d.NumUsers(); u++ {
+			want := append([]uint32(nil), s.List(u)...)
+			var got []uint32
+			for {
+				chunk := s.TopPop(u, 1+r.Intn(4))
+				if len(chunk) == 0 {
+					break
+				}
+				got = append(got, chunk...)
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, dsCfg(31)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCountsDecreasing: with KeepCounts, stored counts are
+// non-increasing and match the true common-item counts.
+func TestQuickCountsDecreasing(t *testing.T) {
+	f := func(d *dataset.Dataset) bool {
+		s := Build(d, BuildOptions{Workers: 2, KeepCounts: true})
+		for u := uint32(0); int(u) < d.NumUsers(); u++ {
+			counts := s.Counts(u)
+			list := s.List(u)
+			for i, v := range list {
+				if int(counts[i]) != sparse.CommonCount(d.Users[u], d.Users[v]) {
+					return false
+				}
+				if i > 0 && counts[i-1] < counts[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, dsCfg(37)); err != nil {
+		t.Error(err)
+	}
+}

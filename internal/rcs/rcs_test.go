@@ -1,0 +1,309 @@
+package rcs
+
+import (
+	"math"
+	"testing"
+
+	"kiff/internal/dataset"
+	"kiff/internal/sparse"
+)
+
+// fixture: 4 users over 4 items.
+//
+//	user 0: items 0,1,2
+//	user 1: items 0,1,2   (shares 3 with user 0)
+//	user 2: items 2,3     (shares 1 with users 0,1)
+//	user 3: item 3        (shares 1 with user 2)
+func fixture(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.FromProfiles("rcs-test", []map[uint32]float64{
+		{0: 1, 1: 1, 2: 1},
+		{0: 1, 1: 1, 2: 1},
+		{2: 1, 3: 1},
+		{3: 1},
+	}, true)
+}
+
+func TestBuildPivotAndOrder(t *testing.T) {
+	s := Build(fixture(t), BuildOptions{Workers: 1})
+	// user 0: candidates {1 (count 3), 2 (count 1)} — pivot keeps v > 0.
+	l0 := s.List(0)
+	if len(l0) != 2 || l0[0] != 1 || l0[1] != 2 {
+		t.Errorf("RCS(0) = %v, want [1 2] (count order)", l0)
+	}
+	// user 1: only 2 (count 1); user 0 excluded by pivot.
+	l1 := s.List(1)
+	if len(l1) != 1 || l1[0] != 2 {
+		t.Errorf("RCS(1) = %v, want [2]", l1)
+	}
+	// user 2: only 3.
+	l2 := s.List(2)
+	if len(l2) != 1 || l2[0] != 3 {
+		t.Errorf("RCS(2) = %v, want [3]", l2)
+	}
+	// user 3 (highest id): empty.
+	if s.Len(3) != 0 {
+		t.Errorf("RCS(3) = %v, want empty", s.List(3))
+	}
+}
+
+func TestBuildStats(t *testing.T) {
+	s := Build(fixture(t), BuildOptions{Workers: 2})
+	bs := s.BuildStats
+	if bs.TotalCandidates != 4 {
+		t.Errorf("TotalCandidates = %d, want 4", bs.TotalCandidates)
+	}
+	if math.Abs(bs.AvgLen-1.0) > 1e-12 {
+		t.Errorf("AvgLen = %v, want 1.0", bs.AvgLen)
+	}
+	if bs.MaxLen != 2 {
+		t.Errorf("MaxLen = %d, want 2", bs.MaxLen)
+	}
+	if bs.Duration <= 0 {
+		t.Error("Duration must be positive")
+	}
+}
+
+func TestPairCoverage(t *testing.T) {
+	// Every overlapping pair (u,v) must appear exactly once across all
+	// RCSs, under the lower-ID pivot.
+	d := fixture(t)
+	s := Build(d, BuildOptions{Workers: 3})
+	seen := map[[2]uint32]int{}
+	for u := uint32(0); int(u) < d.NumUsers(); u++ {
+		for _, v := range s.List(u) {
+			if v <= u {
+				t.Fatalf("pivot violated: %d in RCS(%d)", v, u)
+			}
+			seen[[2]uint32{u, v}]++
+		}
+	}
+	for u := uint32(0); int(u) < d.NumUsers(); u++ {
+		for v := u + 1; int(v) < d.NumUsers(); v++ {
+			want := 0
+			if sparse.CommonCount(d.Users[u], d.Users[v]) > 0 {
+				want = 1
+			}
+			if got := seen[[2]uint32{u, v}]; got != want {
+				t.Errorf("pair (%d,%d) appears %d times, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestKeepCounts(t *testing.T) {
+	s := Build(fixture(t), BuildOptions{Workers: 1, KeepCounts: true})
+	c0 := s.Counts(0)
+	if len(c0) != 2 || c0[0] != 3 || c0[1] != 1 {
+		t.Errorf("Counts(0) = %v, want [3 1]", c0)
+	}
+	noCounts := Build(fixture(t), BuildOptions{Workers: 1})
+	if noCounts.Counts(0) != nil {
+		t.Error("counts must be stripped unless KeepCounts (paper §III-C)")
+	}
+}
+
+func TestTopPop(t *testing.T) {
+	s := Build(fixture(t), BuildOptions{Workers: 1})
+	if got := s.TopPop(0, 1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("first TopPop = %v, want [1]", got)
+	}
+	if got := s.Remaining(0); got != 1 {
+		t.Fatalf("Remaining = %d, want 1", got)
+	}
+	if got := s.TopPop(0, 5); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("second TopPop = %v, want [2]", got)
+	}
+	if got := s.TopPop(0, 5); got != nil {
+		t.Fatalf("exhausted TopPop = %v, want nil", got)
+	}
+}
+
+func TestTopPopGammaInfinity(t *testing.T) {
+	s := Build(fixture(t), BuildOptions{Workers: 1})
+	if got := s.TopPop(0, -1); len(got) != 2 {
+		t.Fatalf("γ=∞ TopPop = %v, want both candidates", got)
+	}
+	if s.Remaining(0) != 0 {
+		t.Fatal("γ=∞ must exhaust the set")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := Build(fixture(t), BuildOptions{Workers: 1})
+	s.TopPop(0, -1)
+	s.Reset()
+	if s.Remaining(0) != 2 {
+		t.Errorf("after Reset Remaining = %d, want 2", s.Remaining(0))
+	}
+}
+
+func TestLensAndMaxScanRate(t *testing.T) {
+	s := Build(fixture(t), BuildOptions{Workers: 1})
+	lens := s.Lens()
+	if len(lens) != 4 || lens[0] != 2 || lens[3] != 0 {
+		t.Errorf("Lens = %v", lens)
+	}
+	// 2*avg/(n-1) = 2*1/3
+	if got, want := s.MaxScanRate(), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxScanRate = %v, want %v", got, want)
+	}
+}
+
+func TestTruncationStats(t *testing.T) {
+	s := Build(fixture(t), BuildOptions{Workers: 1})
+	// lens are [2 1 1 0]; cut=1 → users with |RCS| > 1: just user 0.
+	if got := s.TruncationStats(1); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("TruncationStats(1) = %v, want 0.25", got)
+	}
+	if got := s.TruncationStats(2); got != 0 {
+		t.Errorf("TruncationStats(2) = %v, want 0", got)
+	}
+}
+
+func TestMinRatingFiltersCandidates(t *testing.T) {
+	// Weighted dataset: users 0,1 share item 0, but user 1 rated it low.
+	d := dataset.FromProfiles("weighted", []map[uint32]float64{
+		{0: 5},
+		{0: 1, 1: 4},
+		{1: 5},
+	}, false)
+	all := Build(d, BuildOptions{Workers: 1})
+	if all.Len(0) != 1 {
+		t.Fatalf("unfiltered RCS(0) = %v, want [1]", all.List(0))
+	}
+	filtered := Build(d, BuildOptions{Workers: 1, MinRating: 3})
+	if filtered.Len(0) != 0 {
+		t.Errorf("filtered RCS(0) = %v, want empty (user 1 rated item 0 below threshold)", filtered.List(0))
+	}
+	// users 1,2 share item 1 with high ratings on both sides: kept.
+	if filtered.Len(1) != 1 || filtered.List(1)[0] != 2 {
+		t.Errorf("filtered RCS(1) = %v, want [2]", filtered.List(1))
+	}
+}
+
+func TestMinRatingIgnoredOnBinary(t *testing.T) {
+	s1 := Build(fixture(t), BuildOptions{Workers: 1})
+	s2 := Build(fixture(t), BuildOptions{Workers: 1, MinRating: 3})
+	for u := uint32(0); u < 4; u++ {
+		a, b := s1.List(u), s2.List(u)
+		if len(a) != len(b) {
+			t.Fatalf("binary dataset: MinRating changed RCS(%d)", u)
+		}
+	}
+}
+
+func TestShuffleKeepsMembership(t *testing.T) {
+	d := fixture(t)
+	sorted := Build(d, BuildOptions{Workers: 1})
+	shuffled := Build(d, BuildOptions{Workers: 1, Shuffle: true, Seed: 5})
+	for u := uint32(0); int(u) < d.NumUsers(); u++ {
+		a, b := sorted.List(u), shuffled.List(u)
+		if len(a) != len(b) {
+			t.Fatalf("shuffle changed |RCS(%d)|", u)
+		}
+		inA := map[uint32]bool{}
+		for _, v := range a {
+			inA[v] = true
+		}
+		for _, v := range b {
+			if !inA[v] {
+				t.Fatalf("shuffle changed membership of RCS(%d)", u)
+			}
+		}
+	}
+}
+
+func TestParallelConstructionDeterministic(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Build(d, BuildOptions{Workers: 1})
+	b := Build(d, BuildOptions{Workers: 8})
+	if a.NumUsers() != b.NumUsers() {
+		t.Fatal("user counts differ")
+	}
+	for u := uint32(0); int(u) < a.NumUsers(); u++ {
+		la, lb := a.List(u), b.List(u)
+		if len(la) != len(lb) {
+			t.Fatalf("user %d: |RCS| differs between 1 and 8 workers", u)
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("user %d: RCS order differs between 1 and 8 workers", u)
+			}
+		}
+	}
+}
+
+func TestCountOrderMatchesCommonCount(t *testing.T) {
+	// On a generated dataset the retained order must be non-increasing in
+	// the true common-item count (with ID tie-break).
+	d, err := dataset.Wikipedia.Generate(0.01, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(d, BuildOptions{Workers: 4, KeepCounts: true})
+	for u := uint32(0); int(u) < d.NumUsers(); u++ {
+		counts := s.Counts(u)
+		list := s.List(u)
+		for i, v := range list {
+			want := sparse.CommonCount(d.Users[u], d.Users[v])
+			if int(counts[i]) != want {
+				t.Fatalf("user %d cand %d: stored count %d != true %d", u, v, counts[i], want)
+			}
+			if i > 0 {
+				if counts[i-1] < counts[i] {
+					t.Fatalf("user %d: counts not non-increasing", u)
+				}
+				if counts[i-1] == counts[i] && list[i-1] >= list[i] {
+					t.Fatalf("user %d: tie not broken by ID", u)
+				}
+			}
+		}
+	}
+}
+
+func TestNoPivotSymmetricMembership(t *testing.T) {
+	d := fixture(t)
+	s := Build(d, BuildOptions{Workers: 1, NoPivot: true})
+	// user 1 must now see user 0 (count 3) ahead of user 2 (count 1).
+	l1 := s.List(1)
+	if len(l1) != 2 || l1[0] != 0 || l1[1] != 2 {
+		t.Errorf("NoPivot RCS(1) = %v, want [0 2]", l1)
+	}
+	// Symmetry: v ∈ RCS(u) ⇔ u ∈ RCS(v).
+	for u := uint32(0); int(u) < d.NumUsers(); u++ {
+		for _, v := range s.List(u) {
+			found := false
+			for _, w := range s.List(v) {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("NoPivot asymmetry: %d ∈ RCS(%d) but not vice versa", v, u)
+			}
+		}
+	}
+	// No self entries.
+	for u := uint32(0); int(u) < d.NumUsers(); u++ {
+		for _, v := range s.List(u) {
+			if v == u {
+				t.Fatalf("user %d lists itself", u)
+			}
+		}
+	}
+}
+
+func TestNoPivotDoublesCandidates(t *testing.T) {
+	d := fixture(t)
+	pivoted := Build(d, BuildOptions{Workers: 1})
+	full := Build(d, BuildOptions{Workers: 1, NoPivot: true})
+	if full.BuildStats.TotalCandidates != 2*pivoted.BuildStats.TotalCandidates {
+		t.Errorf("NoPivot total = %d, want exactly 2× pivoted %d",
+			full.BuildStats.TotalCandidates, pivoted.BuildStats.TotalCandidates)
+	}
+}

@@ -1,0 +1,82 @@
+package runstats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhaseString(t *testing.T) {
+	if PhasePreprocess.String() != "preprocessing" ||
+		PhaseCandidates.String() != "candidate selection" ||
+		PhaseSimilarity.String() != "similarity computation" {
+		t.Error("phase names changed")
+	}
+	if Phase(99).String() != "unknown" {
+		t.Error("unknown phase must stringify safely")
+	}
+}
+
+func TestPhaseTimerAccumulates(t *testing.T) {
+	var pt PhaseTimer
+	pt.Add(PhaseSimilarity, 2*time.Second)
+	pt.Add(PhaseSimilarity, 3*time.Second)
+	pt.Add(PhaseCandidates, time.Second)
+	if got := pt.Duration(PhaseSimilarity); got != 5*time.Second {
+		t.Errorf("similarity = %v, want 5s", got)
+	}
+	if got := pt.Duration(PhaseCandidates); got != time.Second {
+		t.Errorf("candidates = %v, want 1s", got)
+	}
+	if got := pt.Duration(PhasePreprocess); got != 0 {
+		t.Errorf("preprocess = %v, want 0", got)
+	}
+}
+
+func TestPhaseTimerConcurrent(t *testing.T) {
+	var pt PhaseTimer
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				pt.Add(PhasePreprocess, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := pt.Duration(PhasePreprocess); got != 8000*time.Microsecond {
+		t.Errorf("concurrent accumulation = %v, want 8ms", got)
+	}
+}
+
+func TestScanRate(t *testing.T) {
+	// 10 users → 45 pairs.
+	if got := ScanRate(45, 10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full scan rate = %v, want 1", got)
+	}
+	if got := ScanRate(9, 10); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("scan rate = %v, want 0.2", got)
+	}
+	if got := ScanRate(5, 1); got != 0 {
+		t.Errorf("degenerate scan rate = %v, want 0", got)
+	}
+}
+
+func TestRunScanRateAt(t *testing.T) {
+	r := Run{NumUsers: 10, SimEvals: 45, EvalsAtIter: []int64{9, 45}}
+	if got := r.ScanRate(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ScanRate = %v, want 1", got)
+	}
+	if got := r.ScanRateAt(0); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("ScanRateAt(0) = %v, want 0.2", got)
+	}
+	if got := r.ScanRateAt(1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ScanRateAt(1) = %v, want 1", got)
+	}
+	if r.ScanRateAt(-1) != 0 || r.ScanRateAt(5) != 0 {
+		t.Error("out-of-range ScanRateAt must return 0")
+	}
+}

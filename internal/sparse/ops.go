@@ -1,0 +1,110 @@
+package sparse
+
+import (
+	"math"
+	"slices"
+)
+
+// CommonCount returns |a ∩ b|, the number of shared identifiers.
+//
+// This is the cheap coarse similarity at the heart of KIFF's counting phase
+// (§II-A): it involves only integer comparisons, no floating point, and its
+// value upper-bounds every overlap-based similarity metric.
+func CommonCount(a, b Vector) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a.IDs) && j < len(b.IDs) {
+		ai, bj := a.IDs[i], b.IDs[j]
+		switch {
+		case ai == bj:
+			n++
+			i++
+			j++
+		case ai < bj:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+// Dot returns the dot product Σ_i a_i·b_i over the shared identifiers.
+// For two binary vectors it equals CommonCount.
+func Dot(a, b Vector) float64 {
+	if a.IsBinary() && b.IsBinary() {
+		return float64(CommonCount(a, b))
+	}
+	var s float64
+	i, j := 0, 0
+	for i < len(a.IDs) && j < len(b.IDs) {
+		ai, bj := a.IDs[i], b.IDs[j]
+		switch {
+		case ai == bj:
+			s += a.Weight(i) * b.Weight(j)
+			i++
+			j++
+		case ai < bj:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm ‖a‖₂. For a binary vector this is
+// sqrt(|a|).
+func Norm(a Vector) float64 {
+	if a.IsBinary() {
+		return math.Sqrt(float64(len(a.IDs)))
+	}
+	var s float64
+	for _, w := range a.Weights {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// UnionCount returns |a ∪ b|.
+func UnionCount(a, b Vector) int {
+	return len(a.IDs) + len(b.IDs) - CommonCount(a, b)
+}
+
+// Intersect returns the identifiers common to a and b, in ascending order.
+// The result is appended to dst to allow buffer reuse.
+func Intersect(dst []uint32, a, b Vector) []uint32 {
+	i, j := 0, 0
+	for i < len(a.IDs) && j < len(b.IDs) {
+		ai, bj := a.IDs[i], b.IDs[j]
+		switch {
+		case ai == bj:
+			dst = append(dst, ai)
+			i++
+			j++
+		case ai < bj:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
+}
+
+// FromMap builds a well-formed Vector from an id→weight map. If binary is
+// true the weights are discarded and a binary vector is produced.
+func FromMap(m map[uint32]float64, binary bool) Vector {
+	ids := make([]uint32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	v := Vector{IDs: ids}
+	if !binary {
+		v.Weights = make([]float64, len(ids))
+		for i, id := range ids {
+			v.Weights[i] = m[id]
+		}
+	}
+	return v
+}

@@ -1,0 +1,151 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randVector draws a well-formed sparse vector whose size and id range force
+// frequent partial overlaps, the regime the merge loops must get right.
+func randVector(r *rand.Rand) Vector {
+	n := r.Intn(40)
+	seen := make(map[uint32]bool, n)
+	ids := make([]uint32, 0, n)
+	for len(ids) < n {
+		id := uint32(r.Intn(100))
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	v := FromMap(func() map[uint32]float64 {
+		m := make(map[uint32]float64, len(ids))
+		for _, id := range ids {
+			m[id] = float64(r.Intn(10)) + 1
+		}
+		return m
+	}(), r.Intn(2) == 0)
+	return v
+}
+
+func quickCfg(seed int64) *quick.Config {
+	r := rand.New(rand.NewSource(seed))
+	return &quick.Config{
+		MaxCount: 300,
+		Rand:     r,
+		Values: func(vs []reflect.Value, _ *rand.Rand) {
+			for i := range vs {
+				vs[i] = reflect.ValueOf(randVector(r))
+			}
+		},
+	}
+}
+
+func TestQuickCommonCountSymmetric(t *testing.T) {
+	f := func(a, b Vector) bool { return CommonCount(a, b) == CommonCount(b, a) }
+	if err := quick.Check(f, quickCfg(1)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCommonCountBounds(t *testing.T) {
+	f := func(a, b Vector) bool {
+		c := CommonCount(a, b)
+		return c >= 0 && c <= a.Len() && c <= b.Len()
+	}
+	if err := quick.Check(f, quickCfg(2)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCommonCountSelf(t *testing.T) {
+	f := func(a, _ Vector) bool { return CommonCount(a, a) == a.Len() }
+	if err := quick.Check(f, quickCfg(3)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDotSymmetric(t *testing.T) {
+	f := func(a, b Vector) bool { return Dot(a, b) == Dot(b, a) }
+	if err := quick.Check(f, quickCfg(4)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCauchySchwarz(t *testing.T) {
+	f := func(a, b Vector) bool {
+		return Dot(a, b) <= Norm(a)*Norm(b)+1e-9
+	}
+	if err := quick.Check(f, quickCfg(5)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionInclusionExclusion(t *testing.T) {
+	f := func(a, b Vector) bool {
+		return UnionCount(a, b) == a.Len()+b.Len()-CommonCount(a, b)
+	}
+	if err := quick.Check(f, quickCfg(6)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectMatchesCount(t *testing.T) {
+	f := func(a, b Vector) bool {
+		inter := Intersect(nil, a, b)
+		if len(inter) != CommonCount(a, b) {
+			return false
+		}
+		for i, id := range inter {
+			if !a.Contains(id) || !b.Contains(id) {
+				return false
+			}
+			if i > 0 && inter[i-1] >= id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(7)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectionCountViaContains(t *testing.T) {
+	f := func(a, b Vector) bool {
+		n := 0
+		for _, id := range a.IDs {
+			if b.Contains(id) {
+				n++
+			}
+		}
+		return n == CommonCount(a, b)
+	}
+	if err := quick.Check(f, quickCfg(8)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickValidateGenerated(t *testing.T) {
+	f := func(a, _ Vector) bool { return a.Validate() == nil }
+	if err := quick.Check(f, quickCfg(9)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDotZeroOnDisjoint(t *testing.T) {
+	// Shift b's ids out of a's range so the profiles are disjoint; the
+	// similarity properties (paper Eq. 5) depend on Dot being exactly 0 here.
+	f := func(a, b Vector) bool {
+		shifted := b.Clone()
+		for i := range shifted.IDs {
+			shifted.IDs[i] += 1000
+		}
+		return Dot(a, shifted) == 0 && CommonCount(a, shifted) == 0
+	}
+	if err := quick.Check(f, quickCfg(10)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,227 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func vec(ids ...uint32) Vector { return Vector{IDs: ids} }
+
+func wvec(ids []uint32, ws []float64) Vector { return Vector{IDs: ids, Weights: ws} }
+
+func TestLen(t *testing.T) {
+	if got := vec().Len(); got != 0 {
+		t.Errorf("empty Len = %d, want 0", got)
+	}
+	if got := vec(1, 2, 3).Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+}
+
+func TestIsBinary(t *testing.T) {
+	if !vec(1).IsBinary() {
+		t.Error("vector without weights should be binary")
+	}
+	if wvec([]uint32{1}, []float64{2}).IsBinary() {
+		t.Error("vector with weights should not be binary")
+	}
+}
+
+func TestWeight(t *testing.T) {
+	b := vec(4, 9)
+	if b.Weight(0) != 1 || b.Weight(1) != 1 {
+		t.Error("binary weights must be 1")
+	}
+	w := wvec([]uint32{4, 9}, []float64{0.5, 3})
+	if w.Weight(0) != 0.5 || w.Weight(1) != 3 {
+		t.Errorf("weights = %v,%v want 0.5,3", w.Weight(0), w.Weight(1))
+	}
+}
+
+func TestContains(t *testing.T) {
+	v := vec(2, 5, 8, 13, 99)
+	for _, id := range []uint32{2, 5, 8, 13, 99} {
+		if !v.Contains(id) {
+			t.Errorf("Contains(%d) = false, want true", id)
+		}
+	}
+	for _, id := range []uint32{0, 1, 3, 14, 100, 1 << 30} {
+		if v.Contains(id) {
+			t.Errorf("Contains(%d) = true, want false", id)
+		}
+	}
+	if vec().Contains(7) {
+		t.Error("empty vector should contain nothing")
+	}
+}
+
+func TestWeightOf(t *testing.T) {
+	v := wvec([]uint32{3, 7, 11}, []float64{1.5, -2, 4})
+	cases := []struct {
+		id   uint32
+		want float64
+	}{{3, 1.5}, {7, -2}, {11, 4}, {0, 0}, {8, 0}, {12, 0}}
+	for _, c := range cases {
+		if got := v.WeightOf(c.id); got != c.want {
+			t.Errorf("WeightOf(%d) = %v, want %v", c.id, got, c.want)
+		}
+	}
+	b := vec(3, 7)
+	if b.WeightOf(3) != 1 {
+		t.Error("binary WeightOf member must be 1")
+	}
+	if b.WeightOf(4) != 0 {
+		t.Error("binary WeightOf non-member must be 0")
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := wvec([]uint32{1, 2}, []float64{3, 4})
+	c := v.Clone()
+	c.IDs[0] = 99
+	c.Weights[0] = 99
+	if v.IDs[0] != 1 || v.Weights[0] != 3 {
+		t.Error("Clone must be a deep copy")
+	}
+	b := vec(1, 2).Clone()
+	if b.Weights != nil {
+		t.Error("Clone of binary vector must stay binary")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []Vector{
+		vec(),
+		vec(1),
+		vec(1, 2, 900),
+		wvec([]uint32{5, 6}, []float64{1, 2}),
+	}
+	for i, v := range valid {
+		if err := v.Validate(); err != nil {
+			t.Errorf("case %d: Validate() = %v, want nil", i, err)
+		}
+	}
+	invalid := []Vector{
+		vec(2, 1),
+		vec(1, 1),
+		wvec([]uint32{1, 2}, []float64{1}),
+	}
+	for i, v := range invalid {
+		if err := v.Validate(); err == nil {
+			t.Errorf("case %d: Validate() = nil, want error", i)
+		}
+	}
+}
+
+func TestCommonCount(t *testing.T) {
+	cases := []struct {
+		a, b Vector
+		want int
+	}{
+		{vec(), vec(), 0},
+		{vec(1, 2, 3), vec(), 0},
+		{vec(1, 2, 3), vec(1, 2, 3), 3},
+		{vec(1, 3, 5), vec(2, 4, 6), 0},
+		{vec(1, 3, 5, 7), vec(3, 7, 9), 2},
+		{vec(10), vec(5, 10, 15), 1},
+	}
+	for i, c := range cases {
+		if got := CommonCount(c.a, c.b); got != c.want {
+			t.Errorf("case %d: CommonCount = %d, want %d", i, got, c.want)
+		}
+		if got := CommonCount(c.b, c.a); got != c.want {
+			t.Errorf("case %d: CommonCount not symmetric: %d != %d", i, got, c.want)
+		}
+	}
+}
+
+func TestDotBinaryEqualsCommonCount(t *testing.T) {
+	a, b := vec(1, 4, 6, 9), vec(2, 4, 9, 12)
+	if got, want := Dot(a, b), float64(CommonCount(a, b)); got != want {
+		t.Errorf("binary Dot = %v, want %v", got, want)
+	}
+}
+
+func TestDotWeighted(t *testing.T) {
+	a := wvec([]uint32{1, 2, 3}, []float64{1, 2, 3})
+	b := wvec([]uint32{2, 3, 4}, []float64{10, 100, 1000})
+	// shared: 2 (2*10) and 3 (3*100)
+	if got := Dot(a, b); got != 320 {
+		t.Errorf("Dot = %v, want 320", got)
+	}
+}
+
+func TestDotMixedBinaryWeighted(t *testing.T) {
+	a := vec(1, 2, 3)
+	b := wvec([]uint32{2, 3, 4}, []float64{10, 100, 1000})
+	if got := Dot(a, b); got != 110 {
+		t.Errorf("mixed Dot = %v, want 110", got)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm(vec(1, 2, 3, 4)); got != 2 {
+		t.Errorf("binary Norm = %v, want 2", got)
+	}
+	w := wvec([]uint32{1, 2}, []float64{3, 4})
+	if got := Norm(w); got != 5 {
+		t.Errorf("weighted Norm = %v, want 5", got)
+	}
+	if got := Norm(vec()); got != 0 {
+		t.Errorf("empty Norm = %v, want 0", got)
+	}
+}
+
+func TestUnionCount(t *testing.T) {
+	a, b := vec(1, 2, 3), vec(3, 4)
+	if got := UnionCount(a, b); got != 4 {
+		t.Errorf("UnionCount = %d, want 4", got)
+	}
+	if got := UnionCount(vec(), vec()); got != 0 {
+		t.Errorf("empty UnionCount = %d, want 0", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a, b := vec(1, 3, 5, 7), vec(3, 4, 7, 9)
+	got := Intersect(nil, a, b)
+	want := []uint32{3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Intersect = %v, want %v", got, want)
+		}
+	}
+	// Buffer reuse appends.
+	got2 := Intersect(got[:0], a, b)
+	if &got2[0] != &got[0] {
+		t.Error("Intersect should reuse the destination buffer")
+	}
+}
+
+func TestFromMap(t *testing.T) {
+	m := map[uint32]float64{9: 2.5, 1: 1.5, 5: 3.5}
+	v := FromMap(m, false)
+	if err := v.Validate(); err != nil {
+		t.Fatalf("FromMap produced invalid vector: %v", err)
+	}
+	if v.Len() != 3 || v.IDs[0] != 1 || v.IDs[1] != 5 || v.IDs[2] != 9 {
+		t.Fatalf("FromMap ids = %v", v.IDs)
+	}
+	if v.Weights[0] != 1.5 || v.Weights[1] != 3.5 || v.Weights[2] != 2.5 {
+		t.Fatalf("FromMap weights = %v", v.Weights)
+	}
+	b := FromMap(m, true)
+	if !b.IsBinary() {
+		t.Error("FromMap(binary) must produce a binary vector")
+	}
+}
+
+func TestNormWeightedMatchesDotSelf(t *testing.T) {
+	v := wvec([]uint32{1, 4, 5}, []float64{-1, 2, 2})
+	if got, want := Norm(v), math.Sqrt(Dot(v, v)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Norm = %v, want sqrt(Dot(v,v)) = %v", got, want)
+	}
+}

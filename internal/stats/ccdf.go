@@ -1,0 +1,59 @@
+package stats
+
+import "sort"
+
+// CCDFPoint is one point of a complementary cumulative distribution
+// function: P(X ≥ X-value) = P.
+type CCDFPoint struct {
+	X int
+	P float64
+}
+
+// CCDF computes the complementary cumulative distribution function
+// P(X ≥ x) of integer observations, evaluated at every distinct observed
+// value in ascending order. This is exactly the curve plotted in Figs 4
+// and 6 of the paper.
+func CCDF(xs []int) []CCDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	n := float64(len(sorted))
+	var out []CCDFPoint
+	for i := 0; i < len(sorted); {
+		v := sorted[i]
+		// All observations from index i onward are ≥ v.
+		out = append(out, CCDFPoint{X: v, P: float64(len(sorted)-i) / n})
+		for i < len(sorted) && sorted[i] == v {
+			i++
+		}
+	}
+	return out
+}
+
+// CCDFAt evaluates a CCDF curve at x, i.e. returns P(X ≥ x).
+// Points must come from CCDF (ascending X).
+func CCDFAt(points []CCDFPoint, x int) float64 {
+	// First point with X >= x carries the probability mass at or above x.
+	idx := sort.Search(len(points), func(i int) bool { return points[i].X >= x })
+	if idx == len(points) {
+		return 0
+	}
+	return points[idx].P
+}
+
+// FractionAtLeast returns the fraction of observations ≥ threshold.
+// It is the scalar the paper reports in Table VI ("%user |RCSu| > cut").
+func FractionAtLeast(xs []int, threshold int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

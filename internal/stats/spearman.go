@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Spearman returns Spearman's rank correlation coefficient between xs and
+// ys, handling ties by fractional (average) ranks. It is computed as the
+// Pearson correlation of the two rank vectors, which remains exact in the
+// presence of ties — the Wikipedia RCSs of Fig 7 contain many tied common-
+// item counts, so the tie-aware form matters.
+//
+// Returns 0 if the slices differ in length, are shorter than 2, or either
+// variable is constant (correlation undefined).
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	rx := Ranks(xs)
+	ry := Ranks(ys)
+	return pearson(rx, ry)
+}
+
+// Ranks assigns fractional ranks (1-based, ties get the average of the
+// positions they occupy).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) share the average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+func pearson(xs, ys []float64) float64 {
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for i, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("case %d: Mean = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestMeanInt(t *testing.T) {
+	if got := MeanInt([]int{1, 2, 3}); !almostEq(got, 2, 1e-12) {
+		t.Errorf("MeanInt = %v, want 2", got)
+	}
+	if got := MeanInt(nil); got != 0 {
+		t.Errorf("MeanInt(nil) = %v, want 0", got)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max([]int{3, 9, 1}); got != 9 {
+		t.Errorf("Max = %d, want 9", got)
+	}
+	if got := Max([]int{-3, -9}); got != -3 {
+		t.Errorf("Max = %d, want -3", got)
+	}
+	if got := Max(nil); got != 0 {
+		t.Errorf("Max(nil) = %d, want 0", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if got := Variance([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("Variance of constant = %v, want 0", got)
+	}
+	if got := Variance([]float64{1, 3}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Variance = %v, want 1", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {10, 1}, {50, 5}, {100, 10}, {-5, 1}, {105, 10}}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+func TestCCDFBasic(t *testing.T) {
+	// observations: 1,1,2,5
+	pts := CCDF([]int{5, 1, 2, 1})
+	want := []CCDFPoint{{1, 1.0}, {2, 0.5}, {5, 0.25}}
+	if len(pts) != len(want) {
+		t.Fatalf("CCDF = %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i].X != want[i].X || !almostEq(pts[i].P, want[i].P, 1e-12) {
+			t.Fatalf("CCDF = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestCCDFEmpty(t *testing.T) {
+	if pts := CCDF(nil); pts != nil {
+		t.Errorf("CCDF(nil) = %v, want nil", pts)
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	xs := make([]int, 500)
+	for i := range xs {
+		xs[i] = r.Intn(50)
+	}
+	pts := CCDF(xs)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X {
+			t.Fatal("CCDF X values must be strictly ascending")
+		}
+		if pts[i].P >= pts[i-1].P {
+			t.Fatal("CCDF P values must be strictly descending")
+		}
+	}
+	if !almostEq(pts[0].P, 1, 1e-12) {
+		t.Errorf("CCDF at min must be 1, got %v", pts[0].P)
+	}
+}
+
+func TestCCDFAt(t *testing.T) {
+	pts := CCDF([]int{1, 1, 2, 5})
+	cases := []struct {
+		x    int
+		want float64
+	}{{0, 1}, {1, 1}, {2, 0.5}, {3, 0.25}, {5, 0.25}, {6, 0}}
+	for _, c := range cases {
+		if got := CCDFAt(pts, c.x); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("CCDFAt(%d) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFractionAtLeast(t *testing.T) {
+	xs := []int{1, 2, 3, 4}
+	if got := FractionAtLeast(xs, 3); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("FractionAtLeast = %v, want 0.5", got)
+	}
+	if got := FractionAtLeast(nil, 3); got != 0 {
+		t.Errorf("FractionAtLeast(nil) = %v, want 0", got)
+	}
+	if got := FractionAtLeast(xs, 0); got != 1 {
+		t.Errorf("FractionAtLeast(0) = %v, want 1", got)
+	}
+}
+
+func TestRanksNoTies(t *testing.T) {
+	ranks := Ranks([]float64{30, 10, 20})
+	want := []float64{3, 1, 2}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	ranks := Ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 20, 30, 40, 50}
+	if got := Spearman(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Spearman = %v, want 1", got)
+	}
+}
+
+func TestSpearmanPerfectInverse(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{5, 4, 3, 2, 1}
+	if got := Spearman(xs, ys); !almostEq(got, -1, 1e-12) {
+		t.Errorf("Spearman = %v, want -1", got)
+	}
+}
+
+func TestSpearmanMonotoneNonlinear(t *testing.T) {
+	// Spearman is invariant to monotone transforms, unlike Pearson.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Spearman on monotone transform = %v, want 1", got)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if got := Spearman([]float64{1, 2}, []float64{1}); got != 0 {
+		t.Errorf("length mismatch must return 0, got %v", got)
+	}
+	if got := Spearman([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("short input must return 0, got %v", got)
+	}
+	if got := Spearman([]float64{2, 2, 2}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("constant variable must return 0, got %v", got)
+	}
+}
+
+func TestSpearmanTiesKnownValue(t *testing.T) {
+	// Hand-computed example with ties:
+	// xs ranks: [1.5, 1.5, 3, 4]; ys ranks: [1, 2, 3, 4]
+	xs := []float64{5, 5, 7, 9}
+	ys := []float64{1, 2, 3, 4}
+	// Pearson of ranks: cov = (1.5-2.5)(1-2.5)+(1.5-2.5)(2-2.5)+(3-2.5)(3-2.5)+(4-2.5)(4-2.5)
+	//                      = 1.5+0.5+0.25+2.25 = 4.5
+	// sxx = 1+1+0.25+2.25 = 4.5 ; syy = 2.25+0.25+0.25+2.25 = 5
+	// r = 4.5/sqrt(4.5*5) = 0.94868...
+	want := 4.5 / math.Sqrt(4.5*5)
+	if got := Spearman(xs, ys); !almostEq(got, want, 1e-12) {
+		t.Errorf("Spearman with ties = %v, want %v", got, want)
+	}
+}
+
+func TestSpearmanUncorrelatedNearZero(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	if got := Spearman(xs, ys); math.Abs(got) > 0.08 {
+		t.Errorf("Spearman of independent data = %v, want ~0", got)
+	}
+}

@@ -1,0 +1,275 @@
+// Package kiff is a Go implementation of KIFF (K-nearest-neighbor
+// Impressively Fast and eFficient), the KNN-graph construction algorithm
+// of Boutet, Kermarrec, Mittal & Taïani, "Being prepared in a sparse
+// world: the case of KNN graph construction", ICDE 2016 — together with
+// the baselines the paper evaluates against (NN-Descent, HyRec, brute
+// force) and the full experimental harness that regenerates the paper's
+// tables and figures.
+//
+// # Quick start
+//
+//	ds, err := kiff.LoadFile("ratings.tsv", kiff.LoadOptions{Name: "ratings"})
+//	if err != nil { ... }
+//	res, err := kiff.Build(ds, kiff.Options{K: 20})
+//	if err != nil { ... }
+//	for _, nb := range res.Graph.Neighbors(0) {
+//		fmt.Println(nb.ID, nb.Sim)
+//	}
+//
+// KIFF targets sparse user–item datasets: each user is associated with a
+// set of items (optionally rated), and two users' similarity is computed
+// from their item profiles. On such datasets KIFF prunes the candidate
+// space to the users sharing at least one item — without losing any
+// candidate that any overlap-based metric could score above zero — and
+// examines candidates in decreasing shared-item order, which is why it
+// converges an order of magnitude faster than random-start greedy
+// approaches while delivering a better approximation.
+package kiff
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"kiff/internal/bruteforce"
+	"kiff/internal/core"
+	"kiff/internal/dataset"
+	"kiff/internal/hyrec"
+	"kiff/internal/knngraph"
+	"kiff/internal/nndescent"
+	"kiff/internal/runstats"
+	"kiff/internal/similarity"
+	"kiff/internal/sparse"
+)
+
+// Dataset is a user–item bipartite dataset; see LoadFile, Load and the
+// Generate* helpers for the supported sources.
+type Dataset = dataset.Dataset
+
+// LoadOptions controls edge-list parsing.
+type LoadOptions = dataset.LoadOptions
+
+// Graph is a directed k-NN graph.
+type Graph = knngraph.Graph
+
+// Neighbor is one edge of a Graph.
+type Neighbor = knngraph.Neighbor
+
+// Run carries the cost metrics of a construction run (wall time, scan
+// rate, phase breakdown, per-iteration traces).
+type Run = runstats.Run
+
+// Algorithm selects the construction algorithm.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// KIFF is the paper's contribution and the default.
+	KIFF Algorithm = "kiff"
+	// NNDescent is the Dong et al. baseline.
+	NNDescent Algorithm = "nn-descent"
+	// HyRec is the browser-oriented greedy baseline.
+	HyRec Algorithm = "hyrec"
+	// BruteForce computes the exact graph in O(|U|²) similarity calls.
+	BruteForce Algorithm = "brute-force"
+)
+
+// Options configures Build. Only K is mandatory.
+type Options struct {
+	// K is the neighborhood size.
+	K int
+	// Algorithm defaults to KIFF.
+	Algorithm Algorithm
+	// Metric names the similarity measure: "cosine" (default), "jaccard",
+	// "adamic-adar", "overlap" or "dice".
+	Metric string
+	// Gamma is KIFF's per-iteration candidate budget (0 = the paper's 2k;
+	// negative = exhaust the candidate sets, which yields the exact graph).
+	Gamma int
+	// Beta is KIFF's / HyRec's termination threshold (0 = paper default
+	// 0.001).
+	Beta float64
+	// Workers bounds parallelism (0 = all CPUs).
+	Workers int
+	// Seed drives the randomized baselines (KIFF is deterministic).
+	Seed int64
+	// MinRating enables KIFF's positive-rating candidate filter (§VII).
+	MinRating float64
+}
+
+// Result is the outcome of Build.
+type Result struct {
+	Graph *Graph
+	Run   Run
+}
+
+// Build constructs a KNN graph over the dataset's users.
+func Build(d *Dataset, opts Options) (*Result, error) {
+	if opts.K < 1 {
+		return nil, fmt.Errorf("kiff: Options.K must be ≥ 1, got %d", opts.K)
+	}
+	metricName := opts.Metric
+	if metricName == "" {
+		metricName = "cosine"
+	}
+	metric, err := similarity.ByName(metricName)
+	if err != nil {
+		return nil, err
+	}
+	switch opts.Algorithm {
+	case "", KIFF:
+		res, err := core.Build(d, core.Config{
+			K:         opts.K,
+			Gamma:     opts.Gamma,
+			Beta:      orDefault(opts.Beta, 0.001),
+			Metric:    metric,
+			Workers:   opts.Workers,
+			MinRating: opts.MinRating,
+			Seed:      opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Graph: res.Graph, Run: res.Run}, nil
+	case NNDescent:
+		res, err := nndescent.Build(d, nndescent.Config{
+			K:       opts.K,
+			Metric:  metric,
+			Workers: opts.Workers,
+			Seed:    opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Graph: res.Graph, Run: res.Run}, nil
+	case HyRec:
+		res, err := hyrec.Build(d, hyrec.Config{
+			K:       opts.K,
+			Beta:    orDefault(opts.Beta, 0.001),
+			Metric:  metric,
+			Workers: opts.Workers,
+			Seed:    opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Graph: res.Graph, Run: res.Run}, nil
+	case BruteForce:
+		g := bruteforce.Graph(d, metric, opts.K, opts.Workers)
+		return &Result{Graph: g, Run: Run{Algorithm: string(BruteForce), NumUsers: d.NumUsers(), K: opts.K}}, nil
+	default:
+		return nil, fmt.Errorf("kiff: unknown algorithm %q", opts.Algorithm)
+	}
+}
+
+// Recall scores an approximate graph against exact ground truth computed
+// by brute force over sampleSize users (0 = every user), using the same
+// metric. It implements Eq. (3)/(4) of the paper, tie-aware.
+func Recall(d *Dataset, g *Graph, opts Options, sampleSize int) (float64, error) {
+	metricName := opts.Metric
+	if metricName == "" {
+		metricName = "cosine"
+	}
+	metric, err := similarity.ByName(metricName)
+	if err != nil {
+		return 0, err
+	}
+	var exact *knngraph.Exact
+	if sampleSize > 0 && sampleSize < d.NumUsers() {
+		exact = bruteforce.Sampled(d, metric, g.K, sampleSize, opts.Seed, opts.Workers)
+	} else {
+		exact = bruteforce.Exact(d, metric, g.K, opts.Workers)
+	}
+	return exact.Recall(g), nil
+}
+
+// NewDataset builds a dataset directly from per-user profiles, for
+// programs that assemble data in memory rather than loading edge lists.
+// numItems must exceed every item ID referenced; profiles must be sorted
+// by ascending ID (use kiff.ProfileFromMap when assembling from maps).
+func NewDataset(name string, profiles []Profile, numItems int) (*Dataset, error) {
+	d, err := dataset.New(name, profiles, numItems)
+	if err != nil {
+		return nil, err
+	}
+	d.EnsureItemProfiles()
+	return d, nil
+}
+
+// ProfileFromMap builds a well-formed profile from an item→rating map.
+// binary discards the ratings.
+func ProfileFromMap(m map[uint32]float64, binary bool) Profile {
+	return sparse.FromMap(m, binary)
+}
+
+// Load parses a whitespace-separated "user item [rating]" edge list.
+func Load(r io.Reader, opts LoadOptions) (*Dataset, error) {
+	opts.BuildItemProfiles = true
+	return dataset.Load(r, opts)
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string, opts LoadOptions) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opts.Name == "" {
+		opts.Name = path
+	}
+	return Load(f, opts)
+}
+
+// WriteDataset serializes a dataset as an edge list that Load round-trips.
+func WriteDataset(w io.Writer, d *Dataset) error { return dataset.Write(w, d) }
+
+// GeneratePreset materializes one of the paper's synthetic dataset
+// replicas ("arxiv", "wikipedia", "gowalla", "dblp") at the given scale
+// (1 = published size).
+func GeneratePreset(name string, scale float64, seed int64) (*Dataset, error) {
+	return dataset.Preset(name).Generate(scale, seed)
+}
+
+// GenerateMovieLens materializes the ML-1-style dense rating dataset of
+// Table IX at the given scale.
+func GenerateMovieLens(scale float64, seed int64) (*Dataset, error) {
+	return dataset.SynthesizeMovieLens(dataset.DefaultMovieLens(scale, seed))
+}
+
+// Toy returns the paper's Figure 2 running example (Alice, Bob, Carl,
+// Dave) with the user and item names.
+func Toy() (d *Dataset, userNames, itemNames []string) { return dataset.Toy() }
+
+// Profile is a sparse item profile, used for ad-hoc KNN queries.
+type Profile = sparse.Vector
+
+// Index answers single-profile KNN queries against a dataset using
+// KIFF's counting-phase pruning; see NewIndex.
+type Index = core.Index
+
+// NewIndex builds a query index over the dataset. Queries against it
+// find the k most similar users to an arbitrary item profile — the
+// search and classification workloads of the paper's introduction —
+// touching only users that share at least one item with the query.
+func NewIndex(d *Dataset, opts Options) (*Index, error) {
+	metricName := opts.Metric
+	if metricName == "" {
+		metricName = "cosine"
+	}
+	metric, err := similarity.ByName(metricName)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewIndex(d, metric), nil
+}
+
+// Metrics lists the supported similarity metric names.
+func Metrics() []string { return similarity.Names() }
+
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

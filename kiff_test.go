@@ -1,0 +1,261 @@
+package kiff
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildValidatesOptions(t *testing.T) {
+	d, _, _ := Toy()
+	if _, err := Build(d, Options{K: 0}); err == nil {
+		t.Error("K=0 must be rejected")
+	}
+	if _, err := Build(d, Options{K: 2, Metric: "nope"}); err == nil {
+		t.Error("unknown metric must be rejected")
+	}
+	if _, err := Build(d, Options{K: 2, Algorithm: "magic"}); err == nil {
+		t.Error("unknown algorithm must be rejected")
+	}
+}
+
+func TestBuildToyAllAlgorithms(t *testing.T) {
+	d, users, _ := Toy()
+	for _, algo := range []Algorithm{KIFF, NNDescent, HyRec, BruteForce} {
+		res, err := Build(d, Options{K: 2, Algorithm: algo, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := res.Graph.Validate(); err != nil {
+			t.Fatalf("%s: invalid graph: %v", algo, err)
+		}
+		// Alice's only overlapping user is Bob; every algorithm that
+		// evaluates the pair must rank Bob first for Alice.
+		alice := res.Graph.Neighbors(0)
+		if len(alice) == 0 || alice[0].ID != 1 {
+			t.Errorf("%s: Alice's top neighbor = %v, want Bob", algo, alice)
+		}
+		_ = users
+	}
+}
+
+func TestBuildAllMetrics(t *testing.T) {
+	d, err := GeneratePreset("wikipedia", 0.01, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Metrics() {
+		res, err := Build(d, Options{K: 5, Metric: m})
+		if err != nil {
+			t.Fatalf("metric %s: %v", m, err)
+		}
+		if err := res.Graph.Validate(); err != nil {
+			t.Fatalf("metric %s: %v", m, err)
+		}
+	}
+}
+
+func TestRecallAgainstBruteForce(t *testing.T) {
+	d, err := GeneratePreset("wikipedia", 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 10}
+	res, err := Build(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Recall(d, res.Graph, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 0.9 {
+		t.Errorf("KIFF recall = %v, want ≥ 0.9", full)
+	}
+	sampled, err := Recall(d, res.Graph, opts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled < full-0.2 || sampled > full+0.2 {
+		t.Errorf("sampled recall %v too far from full %v", sampled, full)
+	}
+}
+
+func TestExhaustiveGammaIsExactViaFacade(t *testing.T) {
+	d, err := GeneratePreset("arxiv", 0.005, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(d, Options{K: 5, Gamma: -1, Beta: -1}); err == nil {
+		t.Error("negative Beta must be rejected")
+	}
+	res, err := Build(d, Options{K: 5, Gamma: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall, err := Recall(d, res.Graph, Options{K: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a tiny graph some users have fewer than k overlapping candidates;
+	// brute force pads their exact top-k with zero-similarity ties that
+	// KIFF rightly never materializes (see the positive-prefix property
+	// test in internal/core). The paper reports 0.99 for the same reason.
+	if recall < 0.95 {
+		t.Errorf("exhaustive recall = %v, want ≥ 0.95", recall)
+	}
+}
+
+func TestLoadAndWriteRoundTrip(t *testing.T) {
+	in := "a x 2\na y 1\nb x 4\nc z 1\n"
+	d, err := Load(strings.NewReader(in), LoadOptions{Name: "rt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 3 || d.NumItems() != 3 {
+		t.Fatalf("loaded %d users %d items", d.NumUsers(), d.NumItems())
+	}
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, LoadOptions{Name: "rt2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRatings() != d.NumRatings() {
+		t.Errorf("round trip changed ratings: %d vs %d", back.NumRatings(), d.NumRatings())
+	}
+}
+
+func TestGenerateMovieLens(t *testing.T) {
+	d, err := GenerateMovieLens(0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Binary() {
+		t.Error("MovieLens data must be weighted")
+	}
+	if d.Density() < 0.01 {
+		t.Errorf("ML-style dataset should be dense, got %v", d.Density())
+	}
+}
+
+func TestGeneratePresetUnknown(t *testing.T) {
+	if _, err := GeneratePreset("unknown", 1, 1); err == nil {
+		t.Error("unknown preset must be rejected")
+	}
+}
+
+func TestMinRatingOption(t *testing.T) {
+	d, err := GeneratePreset("gowalla", 0.002, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := Build(d, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := Build(d, Options{K: 5, MinRating: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Run.SimEvals >= all.Run.SimEvals {
+		t.Errorf("MinRating did not reduce similarity work: %d vs %d",
+			filtered.Run.SimEvals, all.Run.SimEvals)
+	}
+}
+
+func TestLoadFileAndDefaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.tsv")
+	if err := os.WriteFile(path, []byte("a x 1\nb x 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadFile(path, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != path {
+		t.Errorf("default dataset name = %q, want the path", ds.Name)
+	}
+	if ds.NumUsers() != 2 {
+		t.Errorf("users = %d, want 2", ds.NumUsers())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.tsv"), LoadOptions{}); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestNewDatasetAndProfileFromMap(t *testing.T) {
+	profiles := []Profile{
+		ProfileFromMap(map[uint32]float64{0: 2, 3: 1}, false),
+		ProfileFromMap(map[uint32]float64{3: 5}, false),
+	}
+	ds, err := NewDataset("manual", profiles, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 2 || ds.NumItems() != 4 || ds.NumRatings() != 3 {
+		t.Errorf("shape: %d users %d items %d ratings", ds.NumUsers(), ds.NumItems(), ds.NumRatings())
+	}
+	// Out-of-range item must be rejected.
+	if _, err := NewDataset("bad", profiles, 2); err == nil {
+		t.Error("NewDataset must validate item range")
+	}
+}
+
+func TestNewIndexAndQueryFacade(t *testing.T) {
+	ds, _, _ := Toy()
+	if _, err := NewIndex(ds, Options{Metric: "bogus"}); err == nil {
+		t.Error("NewIndex must reject unknown metrics")
+	}
+	ix, err := NewIndex(ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coffee-and-cheese query matches Bob exactly.
+	got, err := ix.Query(ProfileFromMap(map[uint32]float64{1: 1, 2: 1}, true), 1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("Query = %v, want Bob", got)
+	}
+}
+
+func TestRecallRejectsBadMetric(t *testing.T) {
+	ds, _, _ := Toy()
+	res, err := Build(ds, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recall(ds, res.Graph, Options{K: 1, Metric: "bogus"}, 0); err == nil {
+		t.Error("Recall must reject unknown metrics")
+	}
+}
+
+func TestBuildBruteForceRunFields(t *testing.T) {
+	ds, _, _ := Toy()
+	res, err := Build(ds, Options{K: 2, Algorithm: BruteForce})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Algorithm != string(BruteForce) || res.Run.NumUsers != 4 || res.Run.K != 2 {
+		t.Errorf("Run = %+v", res.Run)
+	}
+}
+
+func TestMetricsListStable(t *testing.T) {
+	ms := Metrics()
+	if len(ms) < 5 {
+		t.Errorf("Metrics = %v", ms)
+	}
+	for _, m := range ms {
+		if _, err := Build(func() *Dataset { d, _, _ := Toy(); return d }(), Options{K: 1, Metric: m}); err != nil {
+			t.Errorf("metric %s unusable through facade: %v", m, err)
+		}
+	}
+}
