@@ -265,7 +265,7 @@ func BenchmarkAblationGammaInf(b *testing.B) {
 		name  string
 		gamma int
 		beta  float64
-	}{{"gamma-2k", 0, 0.001}, {"gamma-inf", -1, 0}} {
+	}{{"gamma-2k", 0, 0.001}, {"gamma-inf", -1, -1}} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := core.DefaultConfig(10)

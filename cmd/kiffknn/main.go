@@ -32,10 +32,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		in           = fs.String("in", "", "input edge list ('-' = stdin)")
 		out          = fs.String("o", "-", "output path ('-' = stdout)")
 		k            = fs.Int("k", 20, "neighborhood size")
-		algo         = fs.String("algo", "kiff", "algorithm: kiff, nn-descent, hyrec or brute-force")
+		algo         = fs.String("algo", "kiff", "algorithm: "+strings.Join(kiff.Algorithms(), ", "))
 		metric       = fs.String("metric", "cosine", "similarity metric: "+strings.Join(kiff.Metrics(), ", "))
 		gamma        = fs.Int("gamma", 0, "KIFF candidate budget per iteration (0 = 2k, negative = exhaustive/exact)")
-		beta         = fs.Float64("beta", 0, "termination threshold (0 = paper default 0.001)")
+		beta         = fs.Float64("beta", 0, "termination threshold (0 = paper default 0.001, negative = run KIFF to candidate exhaustion/exact)")
 		minRating    = fs.Float64("min-rating", 0, "KIFF candidate filter: require ratings ≥ this on shared items")
 		workers      = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		seed         = fs.Int64("seed", 42, "seed for randomized baselines")

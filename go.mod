@@ -1,0 +1,3 @@
+module kiff
+
+go 1.24

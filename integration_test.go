@@ -63,7 +63,7 @@ func TestAlgorithmsAgreeOnExactRegime(t *testing.T) {
 	k := 8
 	exact := bruteforce.Exact(d, similarity.Cosine{}, k, 0)
 
-	kf, err := core.Build(d, core.Config{K: k, Gamma: -1, Beta: 0})
+	kf, err := core.Build(d, core.Config{K: k, Gamma: -1, Beta: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,45 @@
+package bruteforce
+
+import (
+	"time"
+
+	"kiff/internal/engine"
+	"kiff/internal/parallel"
+	"kiff/internal/runstats"
+)
+
+// Name is the engine registry key of the brute-force builder.
+const Name = "brute-force"
+
+func init() { engine.Register(builder{}) }
+
+// builder plugs the exhaustive O(|U|²) sweep into the engine, so brute
+// force is dispatchable and instrumented like every other algorithm
+// (wall time, similarity-evaluation count, phase breakdown).
+type builder struct{}
+
+// Name implements engine.Builder.
+func (builder) Name() string { return Name }
+
+// Normalize implements engine.Builder; brute force has no parameters
+// beyond the shared ones.
+func (builder) Normalize(*engine.Options) error { return nil }
+
+// Refine implements engine.Builder: evaluate every unordered pair once
+// and offer it to both endpoints' heaps, like the pivot strategy of the
+// real algorithms. There are no iterations to trace.
+func (builder) Refine(s *engine.Session) error {
+	n := s.Dataset.NumUsers()
+	simStart := time.Now()
+	parallel.Blocks(n, s.Opts.Workers, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for v := u + 1; v < n; v++ {
+				sim := s.Sim(uint32(u), uint32(v))
+				s.Heaps.Update(uint32(u), uint32(v), sim)
+				s.Heaps.Update(uint32(v), uint32(u), sim)
+			}
+		}
+	})
+	s.Wall.Add(runstats.PhaseSimilarity, time.Since(simStart))
+	return nil
+}

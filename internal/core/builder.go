@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"kiff/internal/engine"
+	"kiff/internal/parallel"
+	"kiff/internal/rcs"
+	"kiff/internal/runstats"
+)
+
+// Name is the engine registry key of the KIFF builder.
+const Name = "kiff"
+
+func init() { engine.Register(builder{}) }
+
+// builder plugs KIFF into the engine: the counting phase followed by the
+// greedy RCS refinement loop of Algorithm 1.
+type builder struct{}
+
+// Name implements engine.Builder.
+func (builder) Name() string { return Name }
+
+// Normalize implements engine.Builder: γ = 2k and β = 0.001 are the paper
+// defaults (§IV-D); a negative Beta disables the termination threshold so
+// the loop runs until the candidate sets are exhausted (exact mode).
+func (builder) Normalize(o *engine.Options) error {
+	if o.Gamma == 0 {
+		o.Gamma = 2 * o.K
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.001
+	}
+	return nil
+}
+
+// Refine implements engine.Builder: build the Ranked Candidate Sets, then
+// iterate the pop-γ/evaluate/update loop until exhaustion, the β
+// threshold, or the iteration cap.
+func (builder) Refine(s *engine.Session) error {
+	o := s.Opts
+	d := s.Dataset
+	n := d.NumUsers()
+
+	// ---- Counting phase (preprocessing) -------------------------------
+	preStart := time.Now()
+	sets := rcs.Build(d, rcs.BuildOptions{
+		Workers:   o.Workers,
+		MinRating: o.MinRating,
+		Shuffle:   o.RandomOrderRCS,
+		Seed:      o.Seed,
+	})
+	s.RCS = sets.BuildStats
+	s.Wall.Add(runstats.PhasePreprocess, time.Since(preStart))
+
+	// ---- Refinement phase ---------------------------------------------
+	for iter := 0; ; iter++ {
+		if o.MaxIterations > 0 && iter >= o.MaxIterations {
+			break
+		}
+		var popped atomic.Int64
+		changes := parallel.SumInt64(n, o.Workers, func(_, lo, hi int) int64 {
+			var c, p int64
+			var candTime, simTime time.Duration
+			for u := lo; u < hi; u++ {
+				t0 := time.Now()
+				cs := sets.TopPop(uint32(u), o.Gamma)
+				t1 := time.Now()
+				candTime += t1.Sub(t0)
+				if len(cs) == 0 {
+					continue
+				}
+				p += int64(len(cs))
+				for _, v := range cs {
+					// By construction v > u (pivot rule, Alg. 1 line 10).
+					sim := s.Sim(uint32(u), v)
+					c += int64(s.Heaps.Update(uint32(u), v, sim))
+					c += int64(s.Heaps.Update(v, uint32(u), sim))
+				}
+				simTime += time.Since(t1)
+			}
+			s.Work.Add(runstats.PhaseCandidates, candTime)
+			s.Work.Add(runstats.PhaseSimilarity, simTime)
+			popped.Add(p)
+			return c
+		})
+		s.RecordIteration(iter, changes)
+		if popped.Load() == 0 {
+			break // RCSs exhausted: no further iteration can change anything
+		}
+		if o.Beta >= 0 && float64(changes)/float64(n) < o.Beta {
+			break // Algorithm 1 line 13: c/|U| < β
+		}
+	}
+	return nil
+}

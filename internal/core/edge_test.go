@@ -92,7 +92,7 @@ func TestIdenticalProfiles(t *testing.T) {
 		profiles[i] = map[uint32]float64{0: 1, 1: 1, 2: 1}
 	}
 	d := dataset.FromProfiles("identical", profiles, true)
-	res, err := Build(d, Config{K: 3, Gamma: -1, Beta: 0})
+	res, err := Build(d, Config{K: 3, Gamma: -1, Beta: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestGammaOne(t *testing.T) {
 		{0: 1, 2: 1},
 		{1: 1, 2: 1},
 	}, true)
-	res, err := Build(d, Config{K: 2, Gamma: 1, Beta: 0})
+	res, err := Build(d, Config{K: 2, Gamma: 1, Beta: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,11 @@
 // The loop stops when the average number of heap changes per user in an
 // iteration falls below the termination threshold β.
 //
+// The algorithm is plugged into kiff/internal/engine (see builder.go):
+// Build below is a thin adapter that maps Config onto engine.Options, so
+// KIFF shares its option normalization, metric preparation and runstats
+// instrumentation with every other registered builder.
+//
 // Two of the paper's design points are worth restating here:
 //
 //   - initialization is not a special case: heaps start empty and fill up
@@ -22,15 +27,9 @@
 package core
 
 import (
-	"errors"
-	"fmt"
-	"sync/atomic"
-	"time"
-
 	"kiff/internal/dataset"
+	"kiff/internal/engine"
 	"kiff/internal/knngraph"
-	"kiff/internal/knnheap"
-	"kiff/internal/parallel"
 	"kiff/internal/rcs"
 	"kiff/internal/runstats"
 	"kiff/internal/similarity"
@@ -47,8 +46,9 @@ type Config struct {
 	Gamma int
 	// Beta is the termination threshold: the run stops when the average
 	// number of neighborhood changes per user in an iteration drops below
-	// Beta (paper default 0.001). Beta == 0 keeps iterating until the
-	// candidate sets are exhausted (the exact mode).
+	// Beta. Beta == 0 selects the paper default 0.001; a negative Beta
+	// disables the threshold, so the loop keeps iterating until the
+	// candidate sets are exhausted (the exact mode of §III-D).
 	Beta float64
 	// Metric is the similarity measure; nil selects cosine, the paper's
 	// default.
@@ -78,6 +78,22 @@ func DefaultConfig(k int) Config {
 	return Config{K: k, Gamma: 2 * k, Beta: 0.001, Metric: similarity.Cosine{}}
 }
 
+// engineOptions maps the Config onto the engine's shared option set.
+func (cfg Config) engineOptions() engine.Options {
+	return engine.Options{
+		K:              cfg.K,
+		Gamma:          cfg.Gamma,
+		Beta:           cfg.Beta,
+		Metric:         cfg.Metric,
+		Workers:        cfg.Workers,
+		MinRating:      cfg.MinRating,
+		MaxIterations:  cfg.MaxIterations,
+		RandomOrderRCS: cfg.RandomOrderRCS,
+		Seed:           cfg.Seed,
+		Hook:           cfg.Hook,
+	}
+}
+
 // Result bundles the constructed graph with the run's cost metrics.
 type Result struct {
 	Graph *knngraph.Graph
@@ -86,114 +102,11 @@ type Result struct {
 	RCS rcs.BuildStats
 }
 
-// Build runs KIFF on the dataset.
+// Build runs KIFF on the dataset through the engine.
 func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
-	if err := normalize(&cfg); err != nil {
+	res, err := engine.Build(Name, d, cfg.engineOptions())
+	if err != nil {
 		return nil, err
 	}
-	n := d.NumUsers()
-	start := time.Now()
-	var timer runstats.PhaseTimer
-
-	// ---- Counting phase (preprocessing) -------------------------------
-	preStart := time.Now()
-	sets := rcs.Build(d, rcs.BuildOptions{
-		Workers:   cfg.Workers,
-		MinRating: cfg.MinRating,
-		Shuffle:   cfg.RandomOrderRCS,
-		Seed:      cfg.Seed,
-	})
-	var evals atomic.Int64
-	sim := similarity.Counted(cfg.Metric.Prepare(d), &evals)
-	heaps := knnheap.NewSet(n, cfg.K)
-	timer.Add(runstats.PhasePreprocess, time.Since(preStart))
-
-	// ---- Refinement phase ---------------------------------------------
-	run := runstats.Run{
-		Algorithm: "kiff",
-		NumUsers:  n,
-		K:         cfg.K,
-	}
-	for iter := 0; ; iter++ {
-		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
-			break
-		}
-		var popped atomic.Int64
-		changes := parallel.SumInt64(n, cfg.Workers, func(_, lo, hi int) int64 {
-			var c, p int64
-			var candTime, simTime time.Duration
-			for u := lo; u < hi; u++ {
-				t0 := time.Now()
-				cs := sets.TopPop(uint32(u), cfg.Gamma)
-				t1 := time.Now()
-				candTime += t1.Sub(t0)
-				if len(cs) == 0 {
-					continue
-				}
-				p += int64(len(cs))
-				for _, v := range cs {
-					// By construction v > u (pivot rule, Alg. 1 line 10).
-					s := sim(uint32(u), v)
-					c += int64(heaps.Update(uint32(u), v, s))
-					c += int64(heaps.Update(v, uint32(u), s))
-				}
-				simTime += time.Since(t1)
-			}
-			timer.Add(runstats.PhaseCandidates, candTime)
-			timer.Add(runstats.PhaseSimilarity, simTime)
-			popped.Add(p)
-			return c
-		})
-		run.Iterations++
-		run.UpdatesPerIter = append(run.UpdatesPerIter, changes)
-		run.EvalsAtIter = append(run.EvalsAtIter, evals.Load())
-		if cfg.Hook != nil {
-			r := cfg.Hook(iter, knngraph.FromSet(heaps), evals.Load())
-			run.RecallAtIter = append(run.RecallAtIter, r)
-		}
-		if popped.Load() == 0 {
-			break // RCSs exhausted: no further iteration can change anything
-		}
-		if float64(changes)/float64(n) < cfg.Beta {
-			break // Algorithm 1 line 13: c/|U| < β
-		}
-	}
-
-	run.WallTime = time.Since(start)
-	run.SimEvals = evals.Load()
-	// Candidate-selection and similarity time were accumulated per worker
-	// inside the parallel loop; divide by the worker count so PhaseTimes
-	// are wall-clock-equivalent and comparable to WallTime (preprocessing
-	// was measured around the whole counting phase and is already wall).
-	w := parallel.Workers(cfg.Workers)
-	if w > n && n > 0 {
-		w = n
-	}
-	run.PhaseTimes[runstats.PhasePreprocess] = timer.Duration(runstats.PhasePreprocess)
-	run.PhaseTimes[runstats.PhaseCandidates] = timer.Duration(runstats.PhaseCandidates) / time.Duration(w)
-	run.PhaseTimes[runstats.PhaseSimilarity] = timer.Duration(runstats.PhaseSimilarity) / time.Duration(w)
-	return &Result{
-		Graph: knngraph.FromSet(heaps),
-		Run:   run,
-		RCS:   sets.BuildStats,
-	}, nil
-}
-
-func normalize(cfg *Config) error {
-	if cfg.K < 1 {
-		return errors.New("kiff: K must be ≥ 1")
-	}
-	if cfg.Gamma == 0 {
-		cfg.Gamma = 2 * cfg.K // paper default γ = 2k
-	}
-	if cfg.Beta < 0 {
-		return fmt.Errorf("kiff: Beta must be ≥ 0, got %v", cfg.Beta)
-	}
-	if cfg.Metric == nil {
-		cfg.Metric = similarity.Cosine{}
-	}
-	if cfg.MaxIterations < 0 {
-		return errors.New("kiff: MaxIterations must be ≥ 0")
-	}
-	return nil
+	return &Result{Graph: res.Graph, Run: res.Run, RCS: res.RCS}, nil
 }

@@ -15,7 +15,7 @@ func TestBuildRejectsBadConfig(t *testing.T) {
 	d, _, _ := dataset.Toy()
 	bads := []Config{
 		{K: 0},
-		{K: 2, Beta: -1},
+		{K: 2, Beta: math.NaN()},
 		{K: 2, MaxIterations: -1},
 	}
 	for i, cfg := range bads {
@@ -36,7 +36,7 @@ func TestToyExample(t *testing.T) {
 	// Figure 2/3 sanity: Alice's only possible neighbor is Bob (shared
 	// coffee); Carl and Dave pair up over shopping.
 	d, _, _ := dataset.Toy()
-	res, err := Build(d, Config{K: 2, Gamma: -1, Beta: 0})
+	res, err := Build(d, Config{K: 2, Gamma: -1, Beta: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestGammaInfinityIsExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Build(d, Config{K: k, Gamma: -1, Beta: 0, Metric: metric})
+		res, err := Build(d, Config{K: k, Gamma: -1, Beta: -1, Metric: metric})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func TestGammaInfinityExactOnWeighted(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := 5
-	res, err := Build(d, Config{K: k, Gamma: -1, Beta: 0})
+	res, err := Build(d, Config{K: k, Gamma: -1, Beta: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +178,11 @@ func TestWorkerCountInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Build(d, Config{K: 8, Gamma: -1, Beta: 0, Workers: 1})
+	a, err := Build(d, Config{K: 8, Gamma: -1, Beta: -1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Build(d, Config{K: 8, Gamma: -1, Beta: 0, Workers: 8})
+	b, err := Build(d, Config{K: 8, Gamma: -1, Beta: -1, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestMaxIterationsCap(t *testing.T) {
 	}
 	cfg := DefaultConfig(5)
 	cfg.Gamma = 1 // force many iterations
-	cfg.Beta = 0
+	cfg.Beta = -1 // no threshold: only the cap stops the loop
 	cfg.MaxIterations = 3
 	res, err := Build(d, cfg)
 	if err != nil {
@@ -313,7 +313,7 @@ func TestRandomOrderAblationStillExactWhenExhaustive(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := 5
-	res, err := Build(d, Config{K: k, Gamma: -1, Beta: 0, RandomOrderRCS: true, Seed: 3})
+	res, err := Build(d, Config{K: k, Gamma: -1, Beta: -1, RandomOrderRCS: true, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -168,7 +168,7 @@ func TestQueryMatchesGraphNeighbors(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := 4
-	res, err := Build(d, Config{K: k, Gamma: -1, Beta: 0})
+	res, err := Build(d, Config{K: k, Gamma: -1, Beta: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,7 +58,7 @@ func TestQuickExhaustiveMatchesBruteForce(t *testing.T) {
 		},
 	}
 	f := func(c exactCase) bool {
-		res, err := Build(c.D, Config{K: c.K, Gamma: -1, Beta: 0, Metric: c.Metric, Workers: 2})
+		res, err := Build(c.D, Config{K: c.K, Gamma: -1, Beta: -1, Metric: c.Metric, Workers: 2})
 		if err != nil {
 			return false
 		}
@@ -109,7 +109,7 @@ func TestQuickSimEvalsWithinRCSBound(t *testing.T) {
 		if gamma == 0 {
 			gamma = 1
 		}
-		beta := []float64{0, 0.001, 0.1, 1}[r.Intn(4)]
+		beta := []float64{-1, 0, 0.001, 0.1, 1}[r.Intn(5)] // -1 = no threshold, 0 = default
 		res, err := Build(c.D, Config{K: c.K, Gamma: gamma, Beta: beta, Metric: c.Metric})
 		if err != nil {
 			return false

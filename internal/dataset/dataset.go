@@ -12,6 +12,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"kiff/internal/sparse"
 )
@@ -139,6 +140,106 @@ func BuildItemProfiles(users []sparse.Vector, numItems int) [][]uint32 {
 		}
 	}
 	return items
+}
+
+// AddUser appends profile p as a new user and returns its ID. The item
+// space grows automatically if p references items beyond NumItems. The
+// item-profile inverted index, if already built, is patched in place —
+// the new user's ID is the largest, so each touched item profile stays
+// ascending with a plain append.
+//
+// Mutations are append-only and single-writer: AddUser must not run
+// concurrently with reads of the same dataset.
+func (d *Dataset) AddUser(p sparse.Vector) (uint32, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("dataset: add user: %w", err)
+	}
+	if p.Len() > 0 {
+		if maxID := int(p.IDs[p.Len()-1]); maxID >= d.numItems {
+			d.growItems(maxID + 1)
+		}
+	}
+	id := uint32(len(d.Users))
+	d.Users = append(d.Users, p)
+	if d.Items != nil {
+		for _, it := range p.IDs {
+			d.Items[it] = append(d.Items[it], id)
+		}
+	}
+	return id, nil
+}
+
+// AddRating sets user u's rating of item to rating, inserting the item
+// into the profile if it is absent and updating it in place otherwise.
+// The item space grows automatically for a new item ID. A binary profile
+// stays binary for rating == 1 and is materialized into an explicitly
+// weighted one otherwise.
+//
+// Like AddUser, AddRating is single-writer: it must not run concurrently
+// with reads of the same dataset.
+func (d *Dataset) AddRating(u uint32, item uint32, rating float64) error {
+	if int(u) >= len(d.Users) {
+		return fmt.Errorf("dataset: add rating: user %d out of range (have %d users)", u, len(d.Users))
+	}
+	if int(item) >= d.numItems {
+		d.growItems(int(item) + 1)
+	}
+	p := &d.Users[u]
+	pos := sort.Search(p.Len(), func(i int) bool { return p.IDs[i] >= item })
+	present := pos < p.Len() && p.IDs[pos] == item
+	if p.IsBinary() && rating != 1 {
+		d.materializeWeights(u)
+	}
+	if present {
+		if p.Weights != nil {
+			p.Weights[pos] = rating
+		}
+		return nil
+	}
+	p.IDs = append(p.IDs, 0)
+	copy(p.IDs[pos+1:], p.IDs[pos:])
+	p.IDs[pos] = item
+	if p.Weights != nil {
+		p.Weights = append(p.Weights, 0)
+		copy(p.Weights[pos+1:], p.Weights[pos:])
+		p.Weights[pos] = rating
+	}
+	if d.Items != nil {
+		ip := d.Items[item]
+		ipos := sort.Search(len(ip), func(i int) bool { return ip[i] >= u })
+		ip = append(ip, 0)
+		copy(ip[ipos+1:], ip[ipos:])
+		ip[ipos] = u
+		d.Items[item] = ip
+	}
+	return nil
+}
+
+// materializeWeights converts user u's binary profile into an explicitly
+// weighted one (all existing ratings are 1 by definition).
+func (d *Dataset) materializeWeights(u uint32) {
+	p := &d.Users[u]
+	if p.Weights != nil {
+		return
+	}
+	p.Weights = make([]float64, p.Len())
+	for i := range p.Weights {
+		p.Weights[i] = 1
+	}
+}
+
+// growItems extends the item space to n items, padding the inverted index
+// (if built) with empty profiles.
+func (d *Dataset) growItems(n int) {
+	if n <= d.numItems {
+		return
+	}
+	if d.Items != nil {
+		for len(d.Items) < n {
+			d.Items = append(d.Items, nil)
+		}
+	}
+	d.numItems = n
 }
 
 // Stats summarizes a dataset in the shape of the paper's Table I.

@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"testing"
+
+	"kiff/internal/sparse"
+)
+
+func TestAddUserPatchesIndex(t *testing.T) {
+	d, _, _ := Toy()
+	d.EnsureItemProfiles()
+	nBefore := d.NumUsers()
+	ratingsBefore := d.NumRatings()
+
+	id, err := d.AddUser(sparse.Vector{IDs: []uint32{1, 2}}) // coffee, cheese
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(id) != nBefore {
+		t.Errorf("AddUser id = %d, want %d", id, nBefore)
+	}
+	if d.NumUsers() != nBefore+1 || d.NumRatings() != ratingsBefore+2 {
+		t.Errorf("shape after AddUser: %d users %d ratings", d.NumUsers(), d.NumRatings())
+	}
+	// The inverted index must have been patched in place and stay valid.
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after AddUser: %v", err)
+	}
+	found := false
+	for _, u := range d.Items[1] {
+		if u == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new user missing from item profile")
+	}
+}
+
+func TestAddUserGrowsItemSpace(t *testing.T) {
+	d, _, _ := Toy()
+	d.EnsureItemProfiles()
+	items := d.NumItems()
+	id, err := d.AddUser(sparse.Vector{IDs: []uint32{uint32(items + 2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumItems() != items+3 {
+		t.Errorf("NumItems = %d, want %d", d.NumItems(), items+3)
+	}
+	if len(d.Items) != d.NumItems() {
+		t.Errorf("index has %d entries, want %d", len(d.Items), d.NumItems())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after item growth: %v", err)
+	}
+	if got := d.Items[items+2]; len(got) != 1 || got[0] != id {
+		t.Errorf("grown item profile = %v, want [%d]", got, id)
+	}
+}
+
+func TestAddUserRejectsMalformedProfile(t *testing.T) {
+	d, _, _ := Toy()
+	if _, err := d.AddUser(sparse.Vector{IDs: []uint32{3, 1}}); err == nil {
+		t.Error("unsorted profile must be rejected")
+	}
+	if _, err := d.AddUser(sparse.Vector{IDs: []uint32{1}, Weights: []float64{1, 2}}); err == nil {
+		t.Error("length-mismatched profile must be rejected")
+	}
+}
+
+func TestAddRatingInsertAndUpdate(t *testing.T) {
+	d, _, _ := Toy()
+	d.EnsureItemProfiles()
+
+	// Update an existing (binary) rating to a weighted value: the profile
+	// materializes weights.
+	u := uint32(0)
+	it := d.Users[u].IDs[0]
+	if err := d.AddRating(u, it, 4); err != nil {
+		t.Fatal(err)
+	}
+	if d.Users[u].IsBinary() {
+		t.Error("profile must materialize weights for a non-unit rating")
+	}
+	if got := d.Users[u].WeightOf(it); got != 4 {
+		t.Errorf("updated weight = %v, want 4", got)
+	}
+	// Other entries of the materialized profile keep their implicit 1.
+	if d.Users[u].Len() > 1 {
+		if got := d.Users[u].Weight(1); got != 1 {
+			t.Errorf("untouched weight = %v, want 1", got)
+		}
+	}
+
+	// Insert a new item mid-profile; the inverted index must stay sorted.
+	ratingsBefore := d.NumRatings()
+	if err := d.AddRating(2, 0, 2); err != nil { // Carl rates item 0
+		t.Fatal(err)
+	}
+	if d.NumRatings() != ratingsBefore+1 {
+		t.Errorf("ratings = %d, want %d", d.NumRatings(), ratingsBefore+1)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after AddRating: %v", err)
+	}
+
+	// Rating 1 on a binary profile stays binary.
+	if d.Users[3].IsBinary() {
+		if err := d.AddRating(3, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Users[3].IsBinary() {
+			t.Error("unit rating must not materialize weights")
+		}
+	}
+
+	// New item IDs grow the space; unknown users are rejected.
+	if err := d.AddRating(0, uint32(d.NumItems())+5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after item-growing AddRating: %v", err)
+	}
+	if err := d.AddRating(uint32(d.NumUsers()), 0, 1); err == nil {
+		t.Error("out-of-range user must be rejected")
+	}
+}

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Builder)
+)
+
+// Register adds a builder under its Name. It is meant to be called from
+// the algorithm packages' init functions and panics on a duplicate name —
+// a duplicate is always a programming error, not a runtime condition.
+func Register(b Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	name := b.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate builder %q", name))
+	}
+	registry[name] = b
+}
+
+// Lookup returns the builder registered under name.
+func Lookup(name string) (Builder, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("kiff: unknown algorithm %q (available: %s)",
+			name, strings.Join(namesLocked(), ", "))
+	}
+	return b, nil
+}
+
+// Names lists the registered builder names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

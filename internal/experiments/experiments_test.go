@@ -16,6 +16,16 @@ func tinyHarness() *Harness {
 	return New(Options{Scale: 0.01, Seed: 42, RecallSample: 0, KCap: 12})
 }
 
+// skipIfShort gates the experiments that construct graphs (most of the
+// suite's minute of runtime); `go test -short` keeps only the cheap
+// dataset-shape checks.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping graph-construction experiment in -short mode")
+	}
+}
+
 // The Table II study is the most expensive experiment; tests that need it
 // share one harness (and its dataset + ground-truth caches) and one run.
 var (
@@ -63,6 +73,7 @@ func TestTable1ShapesMatchPresets(t *testing.T) {
 }
 
 func TestFig1SimilarityDominates(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Fig1()
 	if err != nil {
@@ -101,6 +112,7 @@ func TestFig4LongTails(t *testing.T) {
 }
 
 func TestTable2And3Shape(t *testing.T) {
+	skipIfShort(t)
 	h, t2 := sharedTable2(t)
 	if len(t2.Datasets) != 4 {
 		t.Fatalf("Table2 datasets = %d, want 4", len(t2.Datasets))
@@ -144,6 +156,7 @@ func TestTable2And3Shape(t *testing.T) {
 }
 
 func TestTable4OverheadSmall(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Table4()
 	if err != nil {
@@ -164,6 +177,7 @@ func TestTable4OverheadSmall(t *testing.T) {
 }
 
 func TestTable5RCSWithinBudget(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Table5()
 	if err != nil {
@@ -180,6 +194,7 @@ func TestTable5RCSWithinBudget(t *testing.T) {
 }
 
 func TestFig5BreakdownConsistent(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Fig5()
 	if err != nil {
@@ -197,6 +212,7 @@ func TestFig5BreakdownConsistent(t *testing.T) {
 }
 
 func TestFig6Table6Consistent(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	fig, tab, err := h.Fig6Table6()
 	if err != nil {
@@ -220,6 +236,7 @@ func TestFig6Table6Consistent(t *testing.T) {
 }
 
 func TestFig7PositiveCorrelation(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Fig7()
 	if err != nil {
@@ -236,6 +253,7 @@ func TestFig7PositiveCorrelation(t *testing.T) {
 }
 
 func TestTable7InitializationGap(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Table7()
 	if err != nil {
@@ -253,6 +271,7 @@ func TestTable7InitializationGap(t *testing.T) {
 }
 
 func TestFig8Shapes(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Fig8()
 	if err != nil {
@@ -295,6 +314,7 @@ func TestFig8Shapes(t *testing.T) {
 }
 
 func TestTable8KIFFStable(t *testing.T) {
+	skipIfShort(t)
 	h, t2 := sharedTable2(t)
 	res, err := h.Table8(t2)
 	if err != nil {
@@ -315,6 +335,7 @@ func TestTable8KIFFStable(t *testing.T) {
 }
 
 func TestFig9Sweep(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Fig9()
 	if err != nil {
@@ -338,6 +359,7 @@ func TestFig9Sweep(t *testing.T) {
 }
 
 func TestTable9DensityLadder(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Table9()
 	if err != nil {
@@ -359,6 +381,7 @@ func TestTable9DensityLadder(t *testing.T) {
 }
 
 func TestFig10ScanRateCorrelatesWithDensity(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.Fig10()
 	if err != nil {
@@ -382,6 +405,7 @@ func TestFig10ScanRateCorrelatesWithDensity(t *testing.T) {
 }
 
 func TestRegistryAndRunAll(t *testing.T) {
+	skipIfShort(t)
 	if len(IDs()) != len(Registry) {
 		t.Fatal("IDs out of sync with Registry")
 	}
@@ -410,6 +434,7 @@ func TestRegistryAndRunAll(t *testing.T) {
 }
 
 func TestDataDirDumpsFigureSeries(t *testing.T) {
+	skipIfShort(t)
 	dir := t.TempDir()
 	h := New(Options{Scale: 0.01, Seed: 3, RecallSample: 100, KCap: 6, DataDir: dir})
 	if _, err := h.Fig4(); err != nil {
@@ -443,6 +468,7 @@ func TestDataDirDumpsFigureSeries(t *testing.T) {
 }
 
 func TestBetaSweepTradeoff(t *testing.T) {
+	skipIfShort(t)
 	h := tinyHarness()
 	res, err := h.BetaSweep()
 	if err != nil {
@@ -469,6 +495,7 @@ func TestBetaSweepTradeoff(t *testing.T) {
 }
 
 func TestHyRecRSweepTradeoff(t *testing.T) {
+	skipIfShort(t)
 	// The tiny 1% wikipedia (~120 users) is too small for r to matter:
 	// neighbors-of-neighbors already cover almost every user, so the
 	// random picks land on already-marked candidates. Use 5% (~300 users),

@@ -13,6 +13,7 @@ import (
 	"kiff/internal/bruteforce"
 	"kiff/internal/core"
 	"kiff/internal/dataset"
+	"kiff/internal/engine"
 	"kiff/internal/hyrec"
 	"kiff/internal/knngraph"
 	"kiff/internal/nndescent"
@@ -72,31 +73,52 @@ func New(opts Options) *Harness {
 	}
 }
 
+// displayNames maps engine registry keys to the labels the paper's
+// tables use.
+var displayNames = map[string]string{
+	"kiff":        "KIFF",
+	"nn-descent":  "NN-Descent",
+	"hyrec":       "HyRec",
+	"brute-force": "Brute force",
+}
+
+func displayName(algo string) string {
+	if name, ok := displayNames[algo]; ok {
+		return name
+	}
+	return algo
+}
+
 // DefaultRun memoizes the paper-default run of one algorithm on one
-// dataset. Table II, Figs 1 and 5, and Tables IV–VI all report on exactly
-// these runs, so a full `kiffbench -exp all` executes each once.
+// dataset, dispatching through the engine registry (every builder's
+// Normalize supplies its paper defaults for k). Table II, Figs 1 and 5,
+// and Tables IV–VI all report on exactly these runs, so a full
+// `kiffbench -exp all` executes each once.
 func (h *Harness) DefaultRun(algo string, d *dataset.Dataset, k int) (AlgoRun, error) {
 	key := fmt.Sprintf("%s/%s/%d", algo, d.Name, k)
 	if ar, ok := h.runs[key]; ok {
 		return ar, nil
 	}
-	var (
-		ar  AlgoRun
-		err error
-	)
-	switch algo {
-	case "kiff":
-		ar, err = h.RunKIFF(d, core.DefaultConfig(k))
-	case "nn-descent":
-		ar, err = h.RunNNDescent(d, nndescent.DefaultConfig(k))
-	case "hyrec":
-		ar, err = h.RunHyRec(d, hyrec.DefaultConfig(k))
-	default:
-		err = fmt.Errorf("experiments: unknown algorithm %q", algo)
-	}
+	res, err := engine.Build(algo, d, engine.Options{
+		K:       k,
+		Workers: h.Opts.Workers,
+		Seed:    h.Opts.Seed,
+	})
 	if err != nil {
 		return AlgoRun{}, err
 	}
+	ar := AlgoRun{
+		Algorithm: displayName(algo),
+		Dataset:   d.Name,
+		Recall:    h.Exact(d, k).Recall(res.Graph),
+		WallTime:  res.Run.WallTime,
+		ScanRate:  res.Run.ScanRate(),
+		Iters:     res.Run.Iterations,
+		Run:       res.Run,
+	}
+	ar.RCS.Duration = res.RCS.Duration
+	ar.RCS.AvgLen = res.RCS.AvgLen
+	ar.RCS.Total = res.RCS.TotalCandidates
 	h.runs[key] = ar
 	return ar, nil
 }

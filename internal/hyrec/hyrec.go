@@ -11,21 +11,28 @@
 // number of changes per user drops below β). The default r = 0: the paper
 // reports that random candidates trade a 3× wall-time increase for a 4%
 // recall gain and disables them.
+//
+// The algorithm is plugged into kiff/internal/engine: Build below is a
+// thin adapter that maps Config onto engine.Options.
 package hyrec
 
 import (
 	"errors"
 	"math/rand"
-	"sync/atomic"
 	"time"
 
 	"kiff/internal/dataset"
+	"kiff/internal/engine"
 	"kiff/internal/knngraph"
-	"kiff/internal/knnheap"
 	"kiff/internal/parallel"
 	"kiff/internal/runstats"
 	"kiff/internal/similarity"
 )
+
+// Name is the engine registry key of the HyRec builder.
+const Name = "hyrec"
+
+func init() { engine.Register(builder{}) }
 
 // Config parameterizes a HyRec run.
 type Config struct {
@@ -60,34 +67,58 @@ type Result struct {
 	Run   runstats.Run
 }
 
-// Build runs HyRec on the dataset.
+// Build runs HyRec on the dataset through the engine.
 func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
-	if err := normalize(&cfg); err != nil {
+	res, err := engine.Build(Name, d, engine.Options{
+		K:             cfg.K,
+		R:             cfg.R,
+		Beta:          cfg.Beta,
+		Metric:        cfg.Metric,
+		Workers:       cfg.Workers,
+		MaxIterations: cfg.MaxIterations,
+		Seed:          cfg.Seed,
+		Hook:          cfg.Hook,
+	})
+	if err != nil {
 		return nil, err
 	}
-	n := d.NumUsers()
-	start := time.Now()
-	var timer runstats.PhaseTimer
+	return &Result{Graph: res.Graph, Run: res.Run}, nil
+}
 
-	preStart := time.Now()
-	var evals atomic.Int64
-	sim := similarity.Counted(cfg.Metric.Prepare(d), &evals)
-	heaps := knnheap.NewSet(n, cfg.K)
-	timer.Add(runstats.PhasePreprocess, time.Since(preStart))
+// builder plugs HyRec into the engine.
+type builder struct{}
 
-	run := runstats.Run{Algorithm: "hyrec", NumUsers: n, K: cfg.K}
+// Name implements engine.Builder.
+func (builder) Name() string { return Name }
 
-	// iterTimer accumulates per-worker time inside the refinement loop; it
-	// is normalized to wall-clock equivalents at the end, unlike timer,
-	// which only receives wall-clock measurements.
-	var iterTimer runstats.PhaseTimer
+// Normalize implements engine.Builder. HyRec, unlike KIFF, has no
+// candidate-exhaustion point, so a negative (disabled) Beta would loop
+// forever and is rejected unless MaxIterations bounds the run.
+func (builder) Normalize(o *engine.Options) error {
+	if o.R < 0 {
+		return errors.New("hyrec: R must be ≥ 0")
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.001
+	}
+	if o.Beta < 0 && o.MaxIterations == 0 {
+		return errors.New("hyrec: Beta < 0 requires MaxIterations > 0")
+	}
+	return nil
+}
+
+// Refine implements engine.Builder: the random initial graph followed by
+// the neighbors-of-neighbors star-join loop.
+func (builder) Refine(s *engine.Session) error {
+	o := s.Opts
+	n := s.Dataset.NumUsers()
 
 	// Random k-degree initial graph (same procedure as NN-Descent).
 	simStart := time.Now()
-	parallel.Blocks(n, cfg.Workers, func(_, lo, hi int) {
+	parallel.Blocks(n, o.Workers, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
-			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(u)*0x9e3779b1))
-			need := cfg.K
+			rng := rand.New(rand.NewSource(o.Seed ^ int64(u)*0x9e3779b1))
+			need := o.K
 			if need > n-1 {
 				need = n - 1
 			}
@@ -98,38 +129,38 @@ func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
 					continue
 				}
 				seen[v] = true
-				heaps.Update(uint32(u), v, sim(uint32(u), v))
+				s.Heaps.Update(uint32(u), v, s.Sim(uint32(u), v))
 			}
 		}
 	})
-	timer.Add(runstats.PhaseSimilarity, time.Since(simStart))
+	s.Wall.Add(runstats.PhaseSimilarity, time.Since(simStart))
 
 	// marks is per-worker scratch for candidate deduplication; generation
 	// stamps avoid clearing between users.
 	for iter := 0; ; iter++ {
-		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
+		if o.MaxIterations > 0 && iter >= o.MaxIterations {
 			break
 		}
-		changes := parallel.SumInt64(n, cfg.Workers, func(_, lo, hi int) int64 {
+		changes := parallel.SumInt64(n, o.Workers, func(_, lo, hi int) int64 {
 			var c int64
 			marks := make([]int32, n)
 			gen := int32(0)
 			var neighbors, hop, cands []uint32
 			var candTime, simTime time.Duration
-			rng := rand.New(rand.NewSource(cfg.Seed ^ 0x243f_6a88 ^ int64(lo+iter*n)))
+			rng := rand.New(rand.NewSource(o.Seed ^ 0x243f_6a88 ^ int64(lo+iter*n)))
 			for u := lo; u < hi; u++ {
 				t0 := time.Now()
 				gen++
 				cands = cands[:0]
 				marks[u] = gen // never propose u to itself
-				neighbors = heaps.IDs(neighbors[:0], uint32(u))
+				neighbors = s.Heaps.IDs(neighbors[:0], uint32(u))
 				// Direct neighbors are already in the heap; exclude them so
 				// only genuinely new candidates cost a similarity call.
 				for _, w := range neighbors {
 					marks[w] = gen
 				}
 				for _, w := range neighbors {
-					hop = heaps.IDs(hop[:0], w)
+					hop = s.Heaps.IDs(hop[:0], w)
 					for _, x := range hop {
 						if marks[x] != gen {
 							marks[x] = gen
@@ -137,7 +168,7 @@ func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
 						}
 					}
 				}
-				for r := 0; r < cfg.R; r++ {
+				for r := 0; r < o.R; r++ {
 					x := uint32(rng.Intn(n))
 					if marks[x] != gen {
 						marks[x] = gen
@@ -147,61 +178,21 @@ func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
 				t1 := time.Now()
 				candTime += t1.Sub(t0)
 				for _, v := range cands {
-					s := sim(uint32(u), v)
-					c += int64(heaps.Update(uint32(u), v, s))
-					c += int64(heaps.Update(v, uint32(u), s))
+					sim := s.Sim(uint32(u), v)
+					c += int64(s.Heaps.Update(uint32(u), v, sim))
+					c += int64(s.Heaps.Update(v, uint32(u), sim))
 				}
 				simTime += time.Since(t1)
 			}
-			iterTimer.Add(runstats.PhaseCandidates, candTime)
-			iterTimer.Add(runstats.PhaseSimilarity, simTime)
+			s.Work.Add(runstats.PhaseCandidates, candTime)
+			s.Work.Add(runstats.PhaseSimilarity, simTime)
 			return c
 		})
 
-		run.Iterations++
-		run.UpdatesPerIter = append(run.UpdatesPerIter, changes)
-		run.EvalsAtIter = append(run.EvalsAtIter, evals.Load())
-		if cfg.Hook != nil {
-			r := cfg.Hook(iter, knngraph.FromSet(heaps), evals.Load())
-			run.RecallAtIter = append(run.RecallAtIter, r)
-		}
-		if float64(changes)/float64(n) < cfg.Beta {
+		s.RecordIteration(iter, changes)
+		if o.Beta >= 0 && float64(changes)/float64(n) < o.Beta {
 			break
 		}
-	}
-
-	run.WallTime = time.Since(start)
-	run.SimEvals = evals.Load()
-	// Loop phases were accumulated per worker; divide by the worker count
-	// so PhaseTimes are wall-clock-equivalent and comparable to WallTime.
-	w := parallel.Workers(cfg.Workers)
-	if w > n && n > 0 {
-		w = n
-	}
-	for p := runstats.PhasePreprocess; p <= runstats.PhaseSimilarity; p++ {
-		run.PhaseTimes[p] = timer.Duration(p) + iterTimer.Duration(p)/time.Duration(w)
-	}
-	return &Result{Graph: knngraph.FromSet(heaps), Run: run}, nil
-}
-
-func normalize(cfg *Config) error {
-	if cfg.K < 1 {
-		return errors.New("hyrec: K must be ≥ 1")
-	}
-	if cfg.R < 0 {
-		return errors.New("hyrec: R must be ≥ 0")
-	}
-	if cfg.Beta == 0 {
-		cfg.Beta = 0.001
-	}
-	if cfg.Beta < 0 {
-		return errors.New("hyrec: Beta must be ≥ 0")
-	}
-	if cfg.Metric == nil {
-		cfg.Metric = similarity.Cosine{}
-	}
-	if cfg.MaxIterations < 0 {
-		return errors.New("hyrec: MaxIterations must be ≥ 0")
 	}
 	return nil
 }

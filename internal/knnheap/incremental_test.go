@@ -1,0 +1,125 @@
+package knnheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGrowAddsEmptyHeaps(t *testing.T) {
+	s := NewSet(2, 3)
+	s.Update(0, 9, 0.5)
+	s.Grow(2)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d after Grow(2), want 4", s.Len())
+	}
+	if s.Size(2) != 0 || s.Size(3) != 0 {
+		t.Error("grown heaps must start empty")
+	}
+	// Existing contents survive and new heaps accept updates.
+	if !s.Contains(0, 9) {
+		t.Error("Grow lost existing entries")
+	}
+	if s.Update(3, 1, 0.7) != 1 {
+		t.Error("grown heap rejected an update")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Grow(-1) must panic")
+		}
+	}()
+	s.Grow(-1)
+}
+
+func TestRemove(t *testing.T) {
+	s := NewSet(1, 4)
+	for id, sim := range map[uint32]float64{1: 0.9, 2: 0.5, 3: 0.7, 4: 0.1} {
+		s.Update(0, id, sim)
+	}
+	if !s.Remove(0, 3) {
+		t.Fatal("Remove of a present entry must report true")
+	}
+	if s.Remove(0, 3) {
+		t.Fatal("Remove of an absent entry must report false")
+	}
+	if s.Size(0) != 3 || s.Contains(0, 3) {
+		t.Fatal("entry not removed")
+	}
+	// The freed slot accepts a new candidate even one worse than the root.
+	if s.Update(0, 7, 0.05) != 1 {
+		t.Error("freed slot must accept a new entry")
+	}
+}
+
+// TestRemoveKeepsHeapInvariant hammers interleaved updates and removals
+// and checks the min-heap invariant and the worst-tracking after each.
+func TestRemoveKeepsHeapInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := NewSet(1, 8)
+	live := map[uint32]float64{}
+	for step := 0; step < 3000; step++ {
+		if r.Intn(3) == 0 && len(live) > 0 {
+			// Remove a random live entry.
+			ids := make([]uint32, 0, len(live))
+			for id := range live {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			victim := ids[r.Intn(len(ids))]
+			if !s.Remove(0, victim) {
+				t.Fatalf("step %d: live entry %d not removable", step, victim)
+			}
+			delete(live, victim)
+		} else {
+			id := uint32(r.Intn(200))
+			if _, ok := live[id]; ok {
+				continue
+			}
+			sim := float64(r.Intn(100)) / 100
+			if s.Update(0, id, sim) == 1 {
+				// Track the retained set: if the heap was full the worst got
+				// displaced.
+				live[id] = sim
+				if len(live) > 8 {
+					worstID := uint32(0)
+					worst := Entry{Sim: 2}
+					for lid, lsim := range live {
+						if e := (Entry{ID: lid, Sim: lsim}); worse(e, worst) {
+							worst = e
+							worstID = lid
+						}
+					}
+					delete(live, worstID)
+				}
+			}
+		}
+		// Heap invariant.
+		h := s.heaps[0]
+		for i := 1; i < len(h.entries); i++ {
+			parent := (i - 1) / 2
+			if worse(h.entries[i], h.entries[parent]) {
+				t.Fatalf("step %d: heap invariant violated", step)
+			}
+		}
+		if len(h.entries) != len(live) {
+			t.Fatalf("step %d: heap size %d, model %d", step, len(h.entries), len(live))
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := NewSet(2, 3)
+	s.Update(0, 1, 0.5)
+	s.Update(0, 2, 0.6)
+	s.Update(1, 5, 0.7)
+	s.Clear(0)
+	if s.Size(0) != 0 {
+		t.Error("Clear must empty the heap")
+	}
+	if s.Size(1) != 1 {
+		t.Error("Clear must not touch other heaps")
+	}
+	if s.Update(0, 3, 0.1) != 1 || s.Size(0) != 1 {
+		t.Error("cleared heap must accept updates again")
+	}
+}

@@ -8,6 +8,10 @@
 // a total order — rather than similarity alone — makes the retained top-k
 // set independent of insertion order even under similarity ties, so
 // parallel runs produce identical graphs.
+//
+// Beyond the batch-construction operations, the set supports the
+// append-only population growth (Grow) and targeted entry removal
+// (Remove, Clear) that incremental graph maintenance needs.
 package knnheap
 
 import "sync"
@@ -41,7 +45,7 @@ type Heap struct {
 // Set is the collection of one heap per user, all bounded by the same k.
 type Set struct {
 	k     int
-	heaps []Heap
+	heaps []*Heap
 }
 
 // NewSet creates n empty heaps of capacity k.
@@ -49,11 +53,23 @@ func NewSet(n, k int) *Set {
 	if n < 0 || k < 1 {
 		panic("knnheap: NewSet requires n ≥ 0 and k ≥ 1")
 	}
-	s := &Set{k: k, heaps: make([]Heap, n)}
+	s := &Set{k: k, heaps: make([]*Heap, n)}
 	for i := range s.heaps {
-		s.heaps[i].entries = make([]Entry, 0, k)
+		s.heaps[i] = &Heap{entries: make([]Entry, 0, k)}
 	}
 	return s
+}
+
+// Grow appends extra empty heaps for users appended to the population.
+// It must not run concurrently with other Set operations (incremental
+// maintenance is single-writer); existing heaps are unaffected.
+func (s *Set) Grow(extra int) {
+	if extra < 0 {
+		panic("knnheap: Grow requires extra ≥ 0")
+	}
+	for i := 0; i < extra; i++ {
+		s.heaps = append(s.heaps, &Heap{entries: make([]Entry, 0, s.k)})
+	}
 }
 
 // K returns the neighborhood bound.
@@ -64,7 +80,7 @@ func (s *Set) Len() int { return len(s.heaps) }
 
 // Size returns the current number of neighbors of user u.
 func (s *Set) Size(u uint32) int {
-	h := &s.heaps[u]
+	h := s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.entries)
@@ -79,7 +95,7 @@ func (s *Set) Update(u uint32, id uint32, sim float64) int {
 }
 
 func (s *Set) update(u uint32, e Entry) int {
-	h := &s.heaps[u]
+	h := s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.entries {
@@ -100,10 +116,43 @@ func (s *Set) update(u uint32, e Entry) int {
 	return 0
 }
 
+// Remove deletes id from u's heap, reporting whether it was present.
+// Incremental maintenance uses it to evict entries whose similarity went
+// stale after a profile change, before re-offering the fresh value.
+func (s *Set) Remove(u uint32, id uint32) bool {
+	h := s.heaps[u]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.entries {
+		if h.entries[i].ID != id {
+			continue
+		}
+		last := len(h.entries) - 1
+		h.entries[i] = h.entries[last]
+		h.entries = h.entries[:last]
+		if i < last {
+			// The displaced element may need to move either way.
+			h.siftDown(i)
+			h.siftUp(i)
+		}
+		return true
+	}
+	return false
+}
+
+// Clear empties u's heap (used when a user's neighborhood is rebuilt from
+// scratch after its profile changed).
+func (s *Set) Clear(u uint32) {
+	h := s.heaps[u]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.entries = h.entries[:0]
+}
+
 // Worst returns the root (worst retained neighbor) of u's heap and whether
 // the heap is non-empty.
 func (s *Set) Worst(u uint32) (Entry, bool) {
-	h := &s.heaps[u]
+	h := s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.entries) == 0 {
@@ -114,7 +163,7 @@ func (s *Set) Worst(u uint32) (Entry, bool) {
 
 // Contains reports whether id is currently a neighbor of u.
 func (s *Set) Contains(u uint32, id uint32) bool {
-	h := &s.heaps[u]
+	h := s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.entries {
@@ -128,7 +177,7 @@ func (s *Set) Contains(u uint32, id uint32) bool {
 // Neighbors appends u's current neighbors to dst in arbitrary (heap)
 // order and returns the extended slice.
 func (s *Set) Neighbors(dst []Entry, u uint32) []Entry {
-	h := &s.heaps[u]
+	h := s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append(dst, h.entries...)
@@ -136,7 +185,7 @@ func (s *Set) Neighbors(dst []Entry, u uint32) []Entry {
 
 // IDs appends the IDs of u's current neighbors to dst.
 func (s *Set) IDs(dst []uint32, u uint32) []uint32 {
-	h := &s.heaps[u]
+	h := s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.entries {
@@ -150,7 +199,7 @@ func (s *Set) IDs(dst []uint32, u uint32) []uint32 {
 // as new. This is the per-iteration flag harvest of NN-Descent's
 // incremental local join.
 func (s *Set) CollectFlagged(newIDs, oldIDs []uint32, u uint32) ([]uint32, []uint32) {
-	h := &s.heaps[u]
+	h := s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.entries {

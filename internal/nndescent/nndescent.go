@@ -12,21 +12,28 @@
 // The paper evaluates NN-Descent "without sampling (as in the original
 // publication)", which Sample = 1 reproduces; smaller values enable the
 // original's ρ-sampling of the join lists.
+//
+// The algorithm is plugged into kiff/internal/engine: Build below is a
+// thin adapter that maps Config onto engine.Options.
 package nndescent
 
 import (
 	"errors"
 	"math/rand"
-	"sync/atomic"
 	"time"
 
 	"kiff/internal/dataset"
+	"kiff/internal/engine"
 	"kiff/internal/knngraph"
-	"kiff/internal/knnheap"
 	"kiff/internal/parallel"
 	"kiff/internal/runstats"
 	"kiff/internal/similarity"
 )
+
+// Name is the engine registry key of the NN-Descent builder.
+const Name = "nn-descent"
+
+func init() { engine.Register(builder{}) }
 
 // Config parameterizes an NN-Descent run.
 type Config struct {
@@ -62,30 +69,62 @@ type Result struct {
 	Run   runstats.Run
 }
 
-// Build runs NN-Descent on the dataset.
+// Build runs NN-Descent on the dataset through the engine.
 func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
-	if err := normalize(&cfg); err != nil {
+	res, err := engine.Build(Name, d, engine.Options{
+		K:             cfg.K,
+		Delta:         cfg.Delta,
+		Sample:        cfg.Sample,
+		Metric:        cfg.Metric,
+		Workers:       cfg.Workers,
+		MaxIterations: cfg.MaxIterations,
+		Seed:          cfg.Seed,
+		Hook:          cfg.Hook,
+	})
+	if err != nil {
 		return nil, err
 	}
-	n := d.NumUsers()
-	start := time.Now()
-	var timer runstats.PhaseTimer
+	return &Result{Graph: res.Graph, Run: res.Run}, nil
+}
 
-	preStart := time.Now()
-	var evals atomic.Int64
-	sim := similarity.Counted(cfg.Metric.Prepare(d), &evals)
-	heaps := knnheap.NewSet(n, cfg.K)
-	timer.Add(runstats.PhasePreprocess, time.Since(preStart))
+// builder plugs NN-Descent into the engine.
+type builder struct{}
 
-	run := runstats.Run{Algorithm: "nn-descent", NumUsers: n, K: cfg.K}
+// Name implements engine.Builder.
+func (builder) Name() string { return Name }
+
+// Normalize implements engine.Builder. Unlike KIFF, NN-Descent has no
+// exhaustion point, so a negative (disabled) Delta would loop forever and
+// is rejected unless MaxIterations bounds the run.
+func (builder) Normalize(o *engine.Options) error {
+	if o.Delta == 0 {
+		o.Delta = 0.001
+	}
+	if o.Delta < 0 && o.MaxIterations == 0 {
+		return errors.New("nndescent: Delta < 0 requires MaxIterations > 0")
+	}
+	if o.Sample == 0 {
+		o.Sample = 1
+	}
+	if o.Sample < 0 || o.Sample > 1 {
+		return errors.New("nndescent: Sample must be in (0, 1]")
+	}
+	return nil
+}
+
+// Refine implements engine.Builder: the random initial graph followed by
+// the flagged local-join loop.
+func (builder) Refine(s *engine.Session) error {
+	o := s.Opts
+	n := s.Dataset.NumUsers()
 
 	// Random k-degree initial graph. Each user's picks are derived from a
 	// per-user seed so the graph is independent of the worker layout.
 	simStart := time.Now()
-	parallel.Blocks(n, cfg.Workers, func(_, lo, hi int) {
+	parallel.Blocks(n, o.Workers, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
-			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(u)*0x9e3779b1))
-			need := cfg.K
+			rng := rand.New(rand.NewSource(o.Seed ^ int64(u)*0x9e3779b1))
+			need := o.K
 			if need > n-1 {
 				need = n - 1
 			}
@@ -96,27 +135,27 @@ func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
 					continue
 				}
 				seen[v] = true
-				heaps.Update(uint32(u), v, sim(uint32(u), v))
+				s.Heaps.Update(uint32(u), v, s.Sim(uint32(u), v))
 			}
 		}
 	})
-	timer.Add(runstats.PhaseSimilarity, time.Since(simStart))
+	s.Wall.Add(runstats.PhaseSimilarity, time.Since(simStart))
 
 	// Per-user join lists, rebuilt every iteration.
 	newLists := make([][]uint32, n)
 	oldLists := make([][]uint32, n)
-	threshold := cfg.Delta * float64(cfg.K) * float64(n)
+	threshold := o.Delta * float64(o.K) * float64(n)
 
 	for iter := 0; ; iter++ {
-		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
+		if o.MaxIterations > 0 && iter >= o.MaxIterations {
 			break
 		}
 		// Phase 1 (candidate selection): harvest flags, build forward
 		// new/old lists, then merge in the reverse directions.
 		candStart := time.Now()
-		parallel.Blocks(n, cfg.Workers, func(_, lo, hi int) {
+		parallel.Blocks(n, o.Workers, func(_, lo, hi int) {
 			for u := lo; u < hi; u++ {
-				newLists[u], oldLists[u] = heaps.CollectFlagged(newLists[u][:0], oldLists[u][:0], uint32(u))
+				newLists[u], oldLists[u] = s.Heaps.CollectFlagged(newLists[u][:0], oldLists[u][:0], uint32(u))
 			}
 		})
 		// Reverse neighbors: u ∈ rnew[v] iff v ∈ new[u]. Built serially —
@@ -132,20 +171,20 @@ func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
 				rold[v] = append(rold[v], uint32(u))
 			}
 		}
-		sampleCap := int(cfg.Sample * float64(cfg.K))
-		timer.Add(runstats.PhaseCandidates, time.Since(candStart))
+		sampleCap := int(o.Sample * float64(o.K))
+		s.Wall.Add(runstats.PhaseCandidates, time.Since(candStart))
 
 		// Phase 2 (similarity): local join around every user.
 		joinStart := time.Now()
-		changes := parallel.SumInt64(n, cfg.Workers, func(_, lo, hi int) int64 {
+		changes := parallel.SumInt64(n, o.Workers, func(_, lo, hi int) int64 {
 			var c int64
 			var nn, on []uint32
-			rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5bf0_3635 ^ int64(lo+iter*n)))
+			rng := rand.New(rand.NewSource(o.Seed ^ 0x5bf0_3635 ^ int64(lo+iter*n)))
 			for u := lo; u < hi; u++ {
 				nn = append(nn[:0], newLists[u]...)
-				nn = appendSampled(nn, rnew[u], sampleCap, cfg.Sample, rng)
+				nn = appendSampled(nn, rnew[u], sampleCap, o.Sample, rng)
 				on = append(on[:0], oldLists[u]...)
-				on = appendSampled(on, rold[u], sampleCap, cfg.Sample, rng)
+				on = appendSampled(on, rold[u], sampleCap, o.Sample, rng)
 				nn = dedup(nn)
 				on = dedup(on)
 				// new × new (each unordered pair once) and new × old.
@@ -154,42 +193,30 @@ func Build(d *dataset.Dataset, cfg Config) (*Result, error) {
 						if p == q {
 							continue
 						}
-						s := sim(p, q)
-						c += int64(heaps.Update(p, q, s))
-						c += int64(heaps.Update(q, p, s))
+						sim := s.Sim(p, q)
+						c += int64(s.Heaps.Update(p, q, sim))
+						c += int64(s.Heaps.Update(q, p, sim))
 					}
 					for _, q := range on {
 						if p == q {
 							continue
 						}
-						s := sim(p, q)
-						c += int64(heaps.Update(p, q, s))
-						c += int64(heaps.Update(q, p, s))
+						sim := s.Sim(p, q)
+						c += int64(s.Heaps.Update(p, q, sim))
+						c += int64(s.Heaps.Update(q, p, sim))
 					}
 				}
 			}
 			return c
 		})
-		timer.Add(runstats.PhaseSimilarity, time.Since(joinStart))
+		s.Wall.Add(runstats.PhaseSimilarity, time.Since(joinStart))
 
-		run.Iterations++
-		run.UpdatesPerIter = append(run.UpdatesPerIter, changes)
-		run.EvalsAtIter = append(run.EvalsAtIter, evals.Load())
-		if cfg.Hook != nil {
-			r := cfg.Hook(iter, knngraph.FromSet(heaps), evals.Load())
-			run.RecallAtIter = append(run.RecallAtIter, r)
-		}
+		s.RecordIteration(iter, changes)
 		if float64(changes) < threshold {
 			break
 		}
 	}
-
-	run.WallTime = time.Since(start)
-	run.SimEvals = evals.Load()
-	for p := runstats.PhasePreprocess; p <= runstats.PhaseSimilarity; p++ {
-		run.PhaseTimes[p] = timer.Duration(p)
-	}
-	return &Result{Graph: knngraph.FromSet(heaps), Run: run}, nil
+	return nil
 }
 
 // appendSampled appends src to dst, keeping at most capN elements of src
@@ -223,29 +250,4 @@ outer:
 		out = append(out, x)
 	}
 	return out
-}
-
-func normalize(cfg *Config) error {
-	if cfg.K < 1 {
-		return errors.New("nndescent: K must be ≥ 1")
-	}
-	if cfg.Delta == 0 {
-		cfg.Delta = 0.001
-	}
-	if cfg.Delta < 0 {
-		return errors.New("nndescent: Delta must be ≥ 0")
-	}
-	if cfg.Sample == 0 {
-		cfg.Sample = 1
-	}
-	if cfg.Sample < 0 || cfg.Sample > 1 {
-		return errors.New("nndescent: Sample must be in (0, 1]")
-	}
-	if cfg.Metric == nil {
-		cfg.Metric = similarity.Cosine{}
-	}
-	if cfg.MaxIterations < 0 {
-		return errors.New("nndescent: MaxIterations must be ≥ 0")
-	}
-	return nil
 }

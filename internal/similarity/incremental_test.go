@@ -1,0 +1,63 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+
+	"kiff/internal/dataset"
+	"kiff/internal/sparse"
+)
+
+// TestPrepareIncrementalMatchesPrepare pins the incremental preparation
+// to the batch one: same values on a static dataset, and — after
+// append/mutate + refresh — the same values a fresh Prepare computes.
+func TestPrepareIncrementalMatchesPrepare(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.01, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		metric, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, ok := metric.(Incremental)
+		if !ok {
+			continue // Adamic–Adar: per-item state, no incremental form
+		}
+		fn, refresh := inc.PrepareIncremental(d)
+		batch := metric.Prepare(d)
+		n := uint32(d.NumUsers())
+		for u := uint32(0); u < n; u += 5 {
+			for v := u + 1; v < n; v += 7 {
+				if a, b := fn(u, v), batch(u, v); math.Abs(a-b) > 1e-12 {
+					t.Fatalf("%s: static mismatch at (%d,%d): %v vs %v", name, u, v, a, b)
+				}
+			}
+		}
+
+		// Mutate: change a profile and append a user, refresh both, then
+		// the incremental function must match a fresh batch preparation.
+		if err := d.AddRating(3, 0, 5); err != nil {
+			t.Fatal(err)
+		}
+		refresh(3)
+		id, err := d.AddUser(sparse.Vector{IDs: []uint32{0, 1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refresh(id)
+		fresh := metric.Prepare(d)
+		for v := uint32(0); v < uint32(d.NumUsers()); v += 3 {
+			if v == id {
+				continue
+			}
+			if a, b := fn(id, v), fresh(id, v); math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%s: post-append mismatch at (%d,%d): %v vs %v", name, id, v, a, b)
+			}
+			if a, b := fn(3, v), fresh(3, v); v != 3 && math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%s: post-mutation mismatch at (3,%d): %v vs %v", name, v, a, b)
+			}
+		}
+	}
+}

@@ -35,6 +35,23 @@ type Metric interface {
 	Prepare(d *dataset.Dataset) Func
 }
 
+// Incremental is an optional Metric extension for append-only mutating
+// datasets (the incremental-maintenance path). PrepareIncremental binds
+// the metric like Prepare, but the returned function stays valid across
+// dataset mutations provided refresh(u) is called for every appended or
+// profile-changed user before the next evaluation involving u — so a
+// stream of mutations costs O(changed profiles), not one full O(|U|)
+// re-preparation each. Unlike Prepare's result, the pair (fn, refresh)
+// is not safe for concurrent use.
+//
+// Metrics with per-item precomputed state that a single mutation can
+// invalidate globally (Adamic–Adar's 1/ln|IPi|) do not implement it;
+// callers fall back to a full Prepare after each mutation batch.
+type Incremental interface {
+	Metric
+	PrepareIncremental(d *dataset.Dataset) (fn Func, refresh func(u uint32))
+}
+
 // Counted wraps fn so every evaluation increments evals. The counter is
 // shared across workers; one atomic add per evaluation is negligible next
 // to the merge the evaluation itself performs.
@@ -92,6 +109,30 @@ func (Cosine) Prepare(d *dataset.Dataset) Func {
 	}
 }
 
+// PrepareIncremental implements Incremental: the norm cache is grown and
+// patched per refreshed user, and profiles are re-read through d so
+// appends (which may reallocate d.Users) are observed.
+func (Cosine) PrepareIncremental(d *dataset.Dataset) (Func, func(uint32)) {
+	norms := make([]float64, len(d.Users))
+	for i, u := range d.Users {
+		norms[i] = sparse.Norm(u)
+	}
+	fn := func(u, v uint32) float64 {
+		nu, nv := norms[u], norms[v]
+		if nu == 0 || nv == 0 {
+			return 0
+		}
+		return sparse.Dot(d.Users[u], d.Users[v]) / (nu * nv)
+	}
+	refresh := func(u uint32) {
+		for int(u) >= len(norms) {
+			norms = append(norms, 0)
+		}
+		norms[u] = sparse.Norm(d.Users[u])
+	}
+	return fn, refresh
+}
+
 // Jaccard is Jaccard's coefficient |A∩B| / |A∪B| over the profile item
 // sets (ratings are ignored; the set semantics is the classical form the
 // paper cites).
@@ -111,6 +152,19 @@ func (Jaccard) Prepare(d *dataset.Dataset) Func {
 		union := users[u].Len() + users[v].Len() - inter
 		return float64(inter) / float64(union)
 	}
+}
+
+// PrepareIncremental implements Incremental; Jaccard keeps no per-user
+// state, so refreshing is free and only the profile re-read matters.
+func (Jaccard) PrepareIncremental(d *dataset.Dataset) (Func, func(uint32)) {
+	return func(u, v uint32) float64 {
+		inter := sparse.CommonCount(d.Users[u], d.Users[v])
+		if inter == 0 {
+			return 0
+		}
+		union := d.Users[u].Len() + d.Users[v].Len() - inter
+		return float64(inter) / float64(union)
+	}, func(uint32) {}
 }
 
 // AdamicAdar is the Adamic–Adar coefficient Σ_{i∈A∩B} 1/ln|IPi|: shared
@@ -171,6 +225,13 @@ func (Overlap) Prepare(d *dataset.Dataset) Func {
 	}
 }
 
+// PrepareIncremental implements Incremental; Overlap is stateless.
+func (Overlap) PrepareIncremental(d *dataset.Dataset) (Func, func(uint32)) {
+	return func(u, v uint32) float64 {
+		return float64(sparse.CommonCount(d.Users[u], d.Users[v]))
+	}, func(uint32) {}
+}
+
 // Dice is the Sørensen–Dice coefficient 2|A∩B| / (|A|+|B|).
 type Dice struct{}
 
@@ -187,4 +248,15 @@ func (Dice) Prepare(d *dataset.Dataset) Func {
 		}
 		return 2 * float64(inter) / float64(users[u].Len()+users[v].Len())
 	}
+}
+
+// PrepareIncremental implements Incremental; Dice is stateless.
+func (Dice) PrepareIncremental(d *dataset.Dataset) (Func, func(uint32)) {
+	return func(u, v uint32) float64 {
+		inter := sparse.CommonCount(d.Users[u], d.Users[v])
+		if inter == 0 {
+			return 0
+		}
+		return 2 * float64(inter) / float64(d.Users[u].Len()+d.Users[v].Len())
+	}, func(uint32) {}
 }

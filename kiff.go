@@ -24,26 +24,47 @@
 // examines candidates in decreasing shared-item order, which is why it
 // converges an order of magnitude faster than random-start greedy
 // approaches while delivering a better approximation.
+//
+// # The builder engine
+//
+// Every construction algorithm is a builder registered with the engine in
+// kiff/internal/engine, which owns the shared pipeline (option
+// normalization → metric preparation → refinement → finalization) and the
+// cost instrumentation. Build dispatches Options.Algorithm through that
+// registry; Algorithms lists what is registered. New algorithms plug in
+// by implementing engine.Builder — no dispatch site needs to change.
+//
+// # Incremental maintenance
+//
+// Batch construction is not the only mode: a Maintainer keeps a
+// KIFF-built graph fresh while profiles stream in, without full
+// reconstruction. Insert adds a user and splices it into the graph by
+// evaluating only its ranked candidates; AddRating plus Rebuild refresh
+// the neighborhoods invalidated by profile updates. See NewMaintainer.
 package kiff
 
 import (
-	"fmt"
 	"io"
 	"os"
 
 	"kiff/internal/bruteforce"
 	"kiff/internal/core"
 	"kiff/internal/dataset"
-	"kiff/internal/hyrec"
+	"kiff/internal/engine"
 	"kiff/internal/knngraph"
-	"kiff/internal/nndescent"
 	"kiff/internal/runstats"
 	"kiff/internal/similarity"
 	"kiff/internal/sparse"
+
+	// Registered engine builders that the facade does not otherwise use.
+	_ "kiff/internal/hyrec"
+	_ "kiff/internal/nndescent"
 )
 
 // Dataset is a user–item bipartite dataset; see LoadFile, Load and the
-// Generate* helpers for the supported sources.
+// Generate* helpers for the supported sources. Datasets support
+// append-only mutation (AddUser, AddRating) for online workloads; pair
+// them with a Maintainer to keep a constructed graph fresh.
 type Dataset = dataset.Dataset
 
 // LoadOptions controls edge-list parsing.
@@ -62,7 +83,8 @@ type Run = runstats.Run
 // Algorithm selects the construction algorithm.
 type Algorithm string
 
-// Available algorithms.
+// Available algorithms. Algorithms returns the full registry, including
+// builders registered by other packages.
 const (
 	// KIFF is the paper's contribution and the default.
 	KIFF Algorithm = "kiff"
@@ -74,11 +96,15 @@ const (
 	BruteForce Algorithm = "brute-force"
 )
 
+// Algorithms lists the names of every registered construction algorithm,
+// sorted. Any of them is a valid Options.Algorithm.
+func Algorithms() []string { return engine.Names() }
+
 // Options configures Build. Only K is mandatory.
 type Options struct {
 	// K is the neighborhood size.
 	K int
-	// Algorithm defaults to KIFF.
+	// Algorithm defaults to KIFF; see Algorithms for the registry.
 	Algorithm Algorithm
 	// Metric names the similarity measure: "cosine" (default), "jaccard",
 	// "adamic-adar", "overlap" or "dice".
@@ -86,8 +112,12 @@ type Options struct {
 	// Gamma is KIFF's per-iteration candidate budget (0 = the paper's 2k;
 	// negative = exhaust the candidate sets, which yields the exact graph).
 	Gamma int
-	// Beta is KIFF's / HyRec's termination threshold (0 = paper default
-	// 0.001).
+	// Beta is KIFF's / HyRec's termination threshold. 0 selects the paper
+	// default 0.001. A negative Beta disables the threshold: KIFF then
+	// iterates until its candidate sets are exhausted, which yields the
+	// exact graph (§III-D) — the same result as a negative Gamma, spread
+	// over γ-sized iterations. HyRec has no exhaustion point and rejects
+	// a negative Beta unless MaxIterations (not exposed here) bounds it.
 	Beta float64
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
@@ -97,69 +127,54 @@ type Options struct {
 	MinRating float64
 }
 
+// engineOptions maps the facade options onto the engine's shared set.
+// The metric name is resolved here so unknown names fail fast.
+func (o Options) engineOptions() (engine.Options, error) {
+	metricName := o.Metric
+	if metricName == "" {
+		metricName = "cosine"
+	}
+	metric, err := similarity.ByName(metricName)
+	if err != nil {
+		return engine.Options{}, err
+	}
+	return engine.Options{
+		K:         o.K,
+		Metric:    metric,
+		Gamma:     o.Gamma,
+		Beta:      o.Beta,
+		Workers:   o.Workers,
+		Seed:      o.Seed,
+		MinRating: o.MinRating,
+	}, nil
+}
+
 // Result is the outcome of Build.
 type Result struct {
 	Graph *Graph
 	Run   Run
 }
 
-// Build constructs a KNN graph over the dataset's users.
+// Build constructs a KNN graph over the dataset's users, dispatching
+// Options.Algorithm through the engine registry.
 func Build(d *Dataset, opts Options) (*Result, error) {
-	if opts.K < 1 {
-		return nil, fmt.Errorf("kiff: Options.K must be ≥ 1, got %d", opts.K)
-	}
-	metricName := opts.Metric
-	if metricName == "" {
-		metricName = "cosine"
-	}
-	metric, err := similarity.ByName(metricName)
+	res, err := buildEngine(d, opts)
 	if err != nil {
 		return nil, err
 	}
-	switch opts.Algorithm {
-	case "", KIFF:
-		res, err := core.Build(d, core.Config{
-			K:         opts.K,
-			Gamma:     opts.Gamma,
-			Beta:      orDefault(opts.Beta, 0.001),
-			Metric:    metric,
-			Workers:   opts.Workers,
-			MinRating: opts.MinRating,
-			Seed:      opts.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Graph: res.Graph, Run: res.Run}, nil
-	case NNDescent:
-		res, err := nndescent.Build(d, nndescent.Config{
-			K:       opts.K,
-			Metric:  metric,
-			Workers: opts.Workers,
-			Seed:    opts.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Graph: res.Graph, Run: res.Run}, nil
-	case HyRec:
-		res, err := hyrec.Build(d, hyrec.Config{
-			K:       opts.K,
-			Beta:    orDefault(opts.Beta, 0.001),
-			Metric:  metric,
-			Workers: opts.Workers,
-			Seed:    opts.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Graph: res.Graph, Run: res.Run}, nil
-	case BruteForce:
-		g := bruteforce.Graph(d, metric, opts.K, opts.Workers)
-		return &Result{Graph: g, Run: Run{Algorithm: string(BruteForce), NumUsers: d.NumUsers(), K: opts.K}}, nil
-	default:
-		return nil, fmt.Errorf("kiff: unknown algorithm %q", opts.Algorithm)
+	return &Result{Graph: res.Graph, Run: res.Run}, nil
+}
+
+func buildEngine(d *Dataset, opts Options) (*engine.Result, error) {
+	algo := string(opts.Algorithm)
+	if algo == "" {
+		algo = string(KIFF)
 	}
+	eo, err := opts.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	return engine.Build(algo, d, eo)
 }
 
 // Recall scores an approximate graph against exact ground truth computed
@@ -266,10 +281,3 @@ func NewIndex(d *Dataset, opts Options) (*Index, error) {
 
 // Metrics lists the supported similarity metric names.
 func Metrics() []string { return similarity.Names() }
-
-func orDefault(v, def float64) float64 {
-	if v == 0 {
-		return def
-	}
-	return v
-}

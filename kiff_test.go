@@ -88,9 +88,6 @@ func TestExhaustiveGammaIsExactViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Build(d, Options{K: 5, Gamma: -1, Beta: -1}); err == nil {
-		t.Error("negative Beta must be rejected")
-	}
 	res, err := Build(d, Options{K: 5, Gamma: -1})
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +102,59 @@ func TestExhaustiveGammaIsExactViaFacade(t *testing.T) {
 	// test in internal/core). The paper reports 0.99 for the same reason.
 	if recall < 0.95 {
 		t.Errorf("exhaustive recall = %v, want ≥ 0.95", recall)
+	}
+}
+
+// TestNegativeBetaIsExactViaFacade covers the exact mode the public API
+// exposes through Beta < 0: with the termination threshold disabled, KIFF
+// iterates until its candidate sets are exhausted, which must match the
+// γ=∞ exact graph neighbor for neighbor.
+func TestNegativeBetaIsExactViaFacade(t *testing.T) {
+	d, err := GeneratePreset("arxiv", 0.005, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGamma, err := Build(d, Options{K: 5, Gamma: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBeta, err := Build(d, Options{K: 5, Beta: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaBeta.Run.Iterations < viaGamma.Run.Iterations {
+		t.Errorf("Beta<0 ran %d iterations, γ=∞ ran %d", viaBeta.Run.Iterations, viaGamma.Run.Iterations)
+	}
+	for u := range viaGamma.Graph.Lists {
+		a, b := viaGamma.Graph.Lists[u], viaBeta.Graph.Lists[u]
+		if len(a) != len(b) {
+			t.Fatalf("user %d: neighbor counts differ: %d vs %d", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %d: neighbor %d differs: %v vs %v", u, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestAlgorithmsListsRegistry(t *testing.T) {
+	algos := Algorithms()
+	want := []string{string(BruteForce), string(HyRec), string(KIFF), string(NNDescent)}
+	if len(algos) != len(want) {
+		t.Fatalf("Algorithms() = %v, want %v", algos, want)
+	}
+	for i, a := range want {
+		if algos[i] != a {
+			t.Fatalf("Algorithms() = %v, want %v", algos, want)
+		}
+	}
+	// Every listed algorithm must be buildable through the facade.
+	d, _, _ := Toy()
+	for _, a := range algos {
+		if _, err := Build(d, Options{K: 1, Algorithm: Algorithm(a), Seed: 1}); err != nil {
+			t.Errorf("algorithm %s unusable through facade: %v", a, err)
+		}
 	}
 }
 

@@ -1,0 +1,277 @@
+package kiff
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"kiff/internal/engine"
+	"kiff/internal/knngraph"
+	"kiff/internal/knnheap"
+	"kiff/internal/rcs"
+	"kiff/internal/runstats"
+	"kiff/internal/similarity"
+)
+
+// Maintainer keeps a KIFF-built KNN graph fresh under a stream of profile
+// updates without full reconstruction — the online-serving scenario the
+// paper's introduction motivates (search, recommendation and
+// classification backends whose user base keeps changing).
+//
+// The construction principle carries over from the batch algorithm: a
+// user's relevant candidates are exactly the users it shares items with,
+// ranked by shared-item count. Insert therefore splices a new user into
+// the graph by evaluating only its ranked candidate set (patched from the
+// item-profile index in O(Σ|IPi|) for the items it holds), updating both
+// endpoints' heaps — a tiny fraction of the work of rebuilding the graph.
+// AddRating records in-place profile changes and marks the user dirty;
+// Rebuild refreshes the dirty users' neighborhoods, evicting the stale
+// similarities other users may still hold.
+//
+// Insert keeps the new user's own neighborhood exact in exact mode
+// (Options.Beta < 0: its candidate set provably contains every user with
+// positive similarity). Affected existing users are updated through the
+// symmetric heap offer, which — as in batch KIFF — cannot displace what
+// it never evaluated; the recall of the maintained graph consequently
+// tracks a cold build's within noise (see the convergence property test).
+//
+// A Maintainer is a single-writer structure: Insert, AddRating and
+// Rebuild must not run concurrently with each other or with Graph.
+type Maintainer struct {
+	d     *Dataset
+	opts  engine.Options
+	heaps *knnheap.Set
+	sets  *rcs.Sets
+	// sim is the evaluation-counted similarity function; refresh patches
+	// its precomputed state per mutated user when the metric supports
+	// incremental preparation (similarity.Incremental), in which case
+	// mutations cost O(changed profile) instead of a full O(|U|)
+	// re-preparation.
+	sim     similarity.Func
+	refresh func(uint32)
+	simOK   bool
+	evals   atomic.Int64
+	run     runstats.Run
+	dirty   map[uint32]struct{}
+	scratch []uint32
+}
+
+// NewMaintainer cold-builds the KNN graph with KIFF (honoring opts as in
+// Build) and returns a Maintainer wrapping the live engine state. The
+// dataset is retained and mutated by Insert/AddRating; the caller must
+// not modify it directly afterward.
+//
+// Options.Beta keeps its Build meaning and additionally controls the
+// maintenance refinement: with Beta ≥ 0 an Insert or Rebuild stops
+// popping a user's ranked candidates once a γ-sized chunk yields no
+// neighborhood change; with Beta < 0 it exhausts them (exact per-user
+// candidates, at higher cost).
+func NewMaintainer(d *Dataset, opts Options) (*Maintainer, error) {
+	if opts.Algorithm != "" && opts.Algorithm != KIFF {
+		return nil, fmt.Errorf("kiff: Maintainer requires the kiff algorithm, got %q", opts.Algorithm)
+	}
+	eo, err := opts.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Build(string(KIFF), d, eo)
+	if err != nil {
+		return nil, err
+	}
+	// engine.Build normalized a copy of eo; re-normalize ours so the
+	// maintenance loops see the same defaults (γ = 2k, β = 0.001, metric).
+	b, _ := engine.Lookup(string(KIFF))
+	if err := b.Normalize(&eo); err != nil {
+		return nil, err
+	}
+	// The §VII candidate filter only applies to weighted datasets; gate it
+	// once here, mirroring what the batch counting phase does per build.
+	// (Binaryness is assessed at construction: a binary dataset that later
+	// gains weighted ratings keeps the filter disabled.)
+	if eo.MinRating > 0 && d.Binary() {
+		eo.MinRating = 0
+	}
+	m := &Maintainer{
+		d:     d,
+		opts:  eo,
+		heaps: res.Heaps,
+		sets:  rcs.NewSets(d.NumUsers()),
+		dirty: make(map[uint32]struct{}),
+		run: runstats.Run{
+			Algorithm: "kiff-maintain",
+			NumUsers:  d.NumUsers(),
+			K:         eo.K,
+		},
+	}
+	if inc, ok := eo.Metric.(similarity.Incremental); ok {
+		fn, refresh := inc.PrepareIncremental(d)
+		m.sim = similarity.Counted(fn, &m.evals)
+		m.refresh = refresh
+		m.simOK = true
+	}
+	return m, nil
+}
+
+// rcsOpts maps the maintenance options onto the counting-phase options.
+func (m *Maintainer) rcsOpts() rcs.BuildOptions {
+	return rcs.BuildOptions{MinRating: m.opts.MinRating}
+}
+
+// simFunc returns the prepared, evaluation-counted similarity function.
+// Incremental metrics were bound once at construction and are patched
+// per mutation via refresh; for the rest (Adamic–Adar), a mutation marks
+// the binding stale and this re-prepares in full — prepared metrics
+// capture profile slices and precomputed state that mutations invalidate.
+func (m *Maintainer) simFunc() similarity.Func {
+	if !m.simOK {
+		m.sim = similarity.Counted(m.opts.Metric.Prepare(m.d), &m.evals)
+		m.simOK = true
+	}
+	return m.sim
+}
+
+// noteMutation updates the similarity binding after user u's profile
+// changed (or u was appended).
+func (m *Maintainer) noteMutation(u uint32) {
+	if m.refresh != nil {
+		m.refresh(u)
+		return
+	}
+	m.simOK = false
+}
+
+// Insert appends a new user with the given profile, splices it into the
+// graph, and returns its ID. Only the new user's ranked candidates are
+// evaluated; see the type comment for the cost model.
+func (m *Maintainer) Insert(p Profile) (uint32, error) {
+	start := time.Now()
+	id, err := m.d.AddUser(p)
+	if err != nil {
+		return 0, err
+	}
+	m.heaps.Grow(1)
+	m.sets.PatchUser(m.d, id, m.rcsOpts())
+	m.noteMutation(id)
+	m.refineUser(id)
+	m.run.NumUsers = m.d.NumUsers()
+	m.run.WallTime += time.Since(start)
+	return id, nil
+}
+
+// AddRating records a rating change for an existing user and marks the
+// user dirty. The graph is not touched until Rebuild runs; batching many
+// rating updates before one Rebuild amortizes the refresh.
+func (m *Maintainer) AddRating(u uint32, item uint32, rating float64) error {
+	if err := m.d.AddRating(u, item, rating); err != nil {
+		return err
+	}
+	m.noteMutation(u)
+	m.dirty[u] = struct{}{}
+	return nil
+}
+
+// Dirty lists the users whose profiles changed since the last Rebuild,
+// in ascending order.
+func (m *Maintainer) Dirty() []uint32 {
+	out := make([]uint32, 0, len(m.dirty))
+	for u := range m.dirty {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rebuild refreshes the neighborhoods of the given users (nil = every
+// user currently marked dirty): their candidate sets are recomputed
+// against the updated profiles, their own neighborhoods are rebuilt from
+// scratch, and stale references to them are evicted from every other
+// user's heap before the fresh similarities are offered back. The
+// eviction pass scans all heaps (O(|U|·k) ID comparisons); the similarity
+// work is bounded by the rebuilt users' candidate sets.
+func (m *Maintainer) Rebuild(dirty []uint32) error {
+	start := time.Now()
+	if dirty == nil {
+		dirty = m.Dirty()
+	}
+	n := m.d.NumUsers()
+	targets := make(map[uint32]struct{}, len(dirty))
+	for _, u := range dirty {
+		if int(u) >= n {
+			return fmt.Errorf("kiff: Rebuild: user %d out of range (have %d users)", u, n)
+		}
+		targets[u] = struct{}{}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	for u := range targets {
+		m.sets.PatchUser(m.d, u, m.rcsOpts())
+		m.heaps.Clear(u)
+	}
+	// Evict stale entries: any surviving heap reference to a rebuilt user
+	// carries a pre-mutation similarity. Fresh values are re-offered by
+	// refineUser below (a rebuilt user's candidate list contains every
+	// user it still overlaps).
+	for v := 0; v < n; v++ {
+		if _, rebuilt := targets[uint32(v)]; rebuilt {
+			continue
+		}
+		m.scratch = m.heaps.IDs(m.scratch[:0], uint32(v))
+		for _, id := range m.scratch {
+			if _, rebuilt := targets[id]; rebuilt {
+				m.heaps.Remove(uint32(v), id)
+			}
+		}
+	}
+	for u := range targets {
+		m.refineUser(u)
+		delete(m.dirty, u)
+	}
+	m.run.WallTime += time.Since(start)
+	return nil
+}
+
+// refineUser runs KIFF's refinement loop for a single user: pop the top γ
+// untried candidates, evaluate, update both endpoints' heaps; stop on
+// exhaustion or — in approximate mode — when a full chunk changes
+// nothing (the per-user analogue of the β threshold: ranked order means
+// later candidates are ever less likely to displace anything).
+func (m *Maintainer) refineUser(u uint32) {
+	sim := m.simFunc()
+	for iter := 0; ; iter++ {
+		cs := m.sets.TopPop(u, m.opts.Gamma)
+		if len(cs) == 0 {
+			break
+		}
+		var changes int64
+		for _, v := range cs {
+			s := sim(u, v)
+			changes += int64(m.heaps.Update(u, v, s))
+			changes += int64(m.heaps.Update(v, u, s))
+		}
+		// Only aggregate counters: a long-lived maintainer must not grow
+		// per-chunk traces (UpdatesPerIter etc.) without bound.
+		m.run.Iterations++
+		if m.opts.Beta >= 0 && changes == 0 {
+			break
+		}
+	}
+}
+
+// Graph snapshots the current maintained KNN graph.
+func (m *Maintainer) Graph() *Graph { return knngraph.FromSet(m.heaps) }
+
+// Dataset returns the maintained dataset. Mutate it only through the
+// Maintainer (Insert, AddRating), or the graph will go silently stale.
+func (m *Maintainer) Dataset() *Dataset { return m.d }
+
+// Stats returns the cumulative cost record of the maintenance operations
+// (Insert, Rebuild) since NewMaintainer — the cold build's own costs are
+// not included. SimEvals is the headline number: it is what a full
+// rebuild would multiply.
+func (m *Maintainer) Stats() Run {
+	r := m.run
+	r.SimEvals = m.evals.Load()
+	return r
+}
