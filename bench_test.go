@@ -10,12 +10,15 @@
 package kiff
 
 import (
+	"bytes"
+	"io"
 	"sync"
 	"testing"
 
 	"kiff/internal/core"
 	"kiff/internal/dataset"
 	"kiff/internal/experiments"
+	"kiff/internal/knngraph"
 	"kiff/internal/rcs"
 	"kiff/internal/similarity"
 	"kiff/internal/sparse"
@@ -50,6 +53,7 @@ func benchErr(b *testing.B, err error) {
 // --- One benchmark per paper table/figure ------------------------------
 
 func BenchmarkTable1DatasetStats(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		_, err := h.Table1()
@@ -58,6 +62,7 @@ func BenchmarkTable1DatasetStats(b *testing.B) {
 }
 
 func BenchmarkFig1Breakdown(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		res, err := h.Fig1()
@@ -69,6 +74,7 @@ func BenchmarkFig1Breakdown(b *testing.B) {
 }
 
 func BenchmarkFig4ProfileCCDF(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		_, err := h.Fig4()
@@ -77,6 +83,7 @@ func BenchmarkFig4ProfileCCDF(b *testing.B) {
 }
 
 func BenchmarkTable2Overall(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		res, err := h.Table2()
@@ -89,6 +96,7 @@ func BenchmarkTable2Overall(b *testing.B) {
 }
 
 func BenchmarkTable3Gains(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	t2, err := h.Table2()
 	benchErr(b, err)
@@ -102,6 +110,7 @@ func BenchmarkTable3Gains(b *testing.B) {
 }
 
 func BenchmarkTable4ItemProfileOverhead(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		_, err := h.Table4()
@@ -110,6 +119,7 @@ func BenchmarkTable4ItemProfileOverhead(b *testing.B) {
 }
 
 func BenchmarkTable5RCSConstruction(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		res, err := h.Table5()
@@ -121,6 +131,7 @@ func BenchmarkTable5RCSConstruction(b *testing.B) {
 }
 
 func BenchmarkFig5PhaseBreakdown(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		_, err := h.Fig5()
@@ -129,6 +140,7 @@ func BenchmarkFig5PhaseBreakdown(b *testing.B) {
 }
 
 func BenchmarkFig6Table6Truncation(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		_, _, err := h.Fig6Table6()
@@ -137,6 +149,7 @@ func BenchmarkFig6Table6Truncation(b *testing.B) {
 }
 
 func BenchmarkFig7Spearman(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		res, err := h.Fig7()
@@ -148,6 +161,7 @@ func BenchmarkFig7Spearman(b *testing.B) {
 }
 
 func BenchmarkTable7Initialization(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		res, err := h.Table7()
@@ -159,6 +173,7 @@ func BenchmarkTable7Initialization(b *testing.B) {
 }
 
 func BenchmarkFig8Convergence(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		_, err := h.Fig8()
@@ -167,6 +182,7 @@ func BenchmarkFig8Convergence(b *testing.B) {
 }
 
 func BenchmarkTable8KSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	t2, err := h.Table2()
 	benchErr(b, err)
@@ -178,6 +194,7 @@ func BenchmarkTable8KSensitivity(b *testing.B) {
 }
 
 func BenchmarkFig9GammaSweep(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		_, err := h.Fig9()
@@ -186,6 +203,7 @@ func BenchmarkFig9GammaSweep(b *testing.B) {
 }
 
 func BenchmarkTable9MovieLensLadder(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		res, err := h.Table9()
@@ -197,6 +215,7 @@ func BenchmarkTable9MovieLensLadder(b *testing.B) {
 }
 
 func BenchmarkFig10Density(b *testing.B) {
+	b.ReportAllocs()
 	h := harness()
 	for i := 0; i < b.N; i++ {
 		_, err := h.Fig10()
@@ -224,6 +243,7 @@ func BenchmarkAblationRCSOrder(b *testing.B) {
 		shuffle bool
 	}{{"ranked", false}, {"random-order", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var evals int64
 			for i := 0; i < b.N; i++ {
 				cfg := core.DefaultConfig(10)
@@ -247,6 +267,7 @@ func BenchmarkAblationPivot(b *testing.B) {
 		noPivot bool
 	}{{"pivot", false}, {"no-pivot", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var total int
 			for i := 0; i < b.N; i++ {
 				sets := rcs.Build(d, rcs.BuildOptions{NoPivot: mode.noPivot})
@@ -267,6 +288,7 @@ func BenchmarkAblationGammaInf(b *testing.B) {
 		beta  float64
 	}{{"gamma-2k", 0, 0.001}, {"gamma-inf", -1, -1}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := core.DefaultConfig(10)
 				cfg.Gamma = mode.gamma
@@ -289,6 +311,7 @@ func BenchmarkAblationRatingThreshold(b *testing.B) {
 		minRating float64
 	}{{"all-ratings", 0}, {"rating-ge-3", 3}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var evals int64
 			for i := 0; i < b.N; i++ {
 				cfg := core.DefaultConfig(10)
@@ -338,6 +361,74 @@ func BenchmarkKIFFEndToEnd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, err := core.Build(d, core.DefaultConfig(10))
 		benchErr(b, err)
+	}
+}
+
+func BenchmarkGraphBinaryEncode(b *testing.B) {
+	d := ablationDataset(b)
+	res, err := core.Build(d, core.DefaultConfig(10))
+	benchErr(b, err)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := res.Graph.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphBinaryDecode(b *testing.B) {
+	d := ablationDataset(b)
+	res, err := core.Build(d, core.DefaultConfig(10))
+	benchErr(b, err)
+	var buf bytes.Buffer
+	if _, err := res.Graph.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knngraph.ReadBinary(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotPublish measures the writer-side cost of one mutation
+// batch over a *fixed-size* population: a rating update, the single-user
+// Rebuild it dirties, and the snapshot publication (graph export + frozen
+// dataset view). Inserts would grow the population with b.N and skew the
+// per-op numbers.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	d := ablationDataset(b)
+	m, err := NewMaintainer(d, Options{K: 10})
+	benchErr(b, err)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.AddRating(uint32(i%m.Dataset().NumUsers()), uint32(i%40), float64(1+i%5)); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Rebuild(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotQuery measures the reader-side serving path: a
+// budgeted profile query against a published snapshot.
+func BenchmarkSnapshotQuery(b *testing.B) {
+	d := ablationDataset(b)
+	m, err := NewMaintainer(d, Options{K: 10})
+	benchErr(b, err)
+	s := m.Snapshot()
+	profile := m.Dataset().Users[1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(profile, 10, 20); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

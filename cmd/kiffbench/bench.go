@@ -1,0 +1,200 @@
+package main
+
+// Build-path micro-benchmark emitter: `kiffbench -bench-out BENCH.json`
+// measures the hot paths of construction, persistence and serving with
+// testing.Benchmark and writes a machine-readable JSON record. The
+// committed BENCH_pr<N>.json files form the repository's performance
+// trajectory: each storage/algorithm PR re-runs the emitter and checks
+// the allocation and timing deltas in.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"kiff"
+	"kiff/internal/core"
+	"kiff/internal/dataset"
+	"kiff/internal/rcs"
+)
+
+// benchResult is one benchmark row of the JSON record.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the top-level JSON record.
+type benchReport struct {
+	Schema  string        `json:"schema"`
+	Go      string        `json:"go"`
+	Arch    string        `json:"arch"`
+	Dataset string        `json:"dataset"`
+	Benches []benchResult `json:"benches"`
+}
+
+func measure(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// runBenchOut measures the build/persist/serve hot paths on the Wikipedia
+// replica at 5% scale (the same fixture bench_test.go's ablation benches
+// use) and writes the JSON record to path ("-" = stdout).
+func runBenchOut(path string, stderr io.Writer) error {
+	d, err := dataset.Wikipedia.Generate(0.05, 3)
+	if err != nil {
+		return err
+	}
+	k := 10
+	fmt.Fprintf(stderr, "kiffbench: bench fixture %s\n", d.Stats())
+
+	report := benchReport{
+		Schema:  "kiff/bench/v1",
+		Go:      runtime.Version(),
+		Arch:    runtime.GOOS + "/" + runtime.GOARCH,
+		Dataset: fmt.Sprintf("wikipedia scale=0.05 seed=3 k=%d", k),
+	}
+
+	report.Benches = append(report.Benches, measure("rcs-build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rcs.Build(d, rcs.BuildOptions{})
+		}
+	}))
+
+	var built *kiff.Result
+	report.Benches = append(report.Benches, measure("kiff-build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Build(d, core.DefaultConfig(k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+		}
+	}))
+	if built, err = kiff.Build(d, kiff.Options{K: k}); err != nil {
+		return err
+	}
+
+	var encoded bytes.Buffer
+	if err := kiff.WriteGraphBinary(&encoded, built.Graph); err != nil {
+		return err
+	}
+	report.Benches = append(report.Benches, measure("graph-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := kiff.WriteGraphBinary(io.Discard, built.Graph); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	report.Benches = append(report.Benches, measure("graph-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kiff.ReadGraphBinary(bytes.NewReader(encoded.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	var dsEncoded bytes.Buffer
+	if err := kiff.WriteDatasetBinary(&dsEncoded, d); err != nil {
+		return err
+	}
+	report.Benches = append(report.Benches, measure("dataset-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := kiff.WriteDatasetBinary(io.Discard, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	report.Benches = append(report.Benches, measure("dataset-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kiff.ReadDatasetBinary(bytes.NewReader(dsEncoded.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	report.Benches = append(report.Benches, measure("snapshot-publish", func(b *testing.B) {
+		m, err := kiff.NewMaintainer(mustClone(d), kiff.Options{K: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := m.Dataset().NumUsers()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// One rating update + single-user Rebuild + snapshot
+			// publication, over a fixed-size population so per-op cost
+			// does not depend on b.N (Inserts would grow |U|).
+			if err := m.AddRating(uint32(i%n), uint32(i%40), float64(1+i%5)); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Rebuild(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	report.Benches = append(report.Benches, measure("snapshot-query", func(b *testing.B) {
+		m, err := kiff.NewMaintainer(mustClone(d), kiff.Options{K: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := m.Snapshot()
+		profile := d.Users[1]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query(profile, k, 2*k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "kiffbench: wrote %s (%d benches)\n", path, len(report.Benches))
+	return nil
+}
+
+// mustClone deep-copies the fixture dataset so maintainer benchmarks can
+// mutate it without affecting the other measurements.
+func mustClone(d *kiff.Dataset) *kiff.Dataset {
+	profiles := make([]kiff.Profile, d.NumUsers())
+	for i, u := range d.Users {
+		profiles[i] = u.Clone()
+	}
+	nd, err := dataset.New(d.Name, profiles, d.NumItems())
+	if err != nil {
+		panic(err)
+	}
+	nd.EnsureItemProfiles()
+	return nd
+}

@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		kcap         = fs.Int("kcap", 0, "cap per-dataset k (0 = paper values; useful for quick runs at tiny scales)")
 		dataDir      = fs.String("data-dir", "", "directory for plot-ready .tsv figure series (empty = none)")
 		list         = fs.Bool("list", false, "list experiment IDs and exit")
+		benchOut     = fs.String("bench-out", "", "run the build/persist/serve micro-benchmarks and write JSON to this path ('-' = stdout), then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +52,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *list {
 		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
 		return nil
+	}
+	if *benchOut != "" {
+		return runBenchOut(*benchOut, stderr)
 	}
 
 	h := experiments.New(experiments.Options{

@@ -6,6 +6,14 @@
 //	kiffknn -in ratings.tsv -k 20 -o graph.tsv
 //	kiffknn -in ratings.tsv -k 20 -algo nn-descent -metric jaccard
 //	kiffknn -in ratings.tsv -k 20 -recall-sample 500   # also report recall
+//
+// Build once, serve many: -save writes the built graph in the
+// checksummed binary format, and -load skips construction entirely,
+// going straight to output and evaluation from a saved graph.
+//
+//	kiffknn -in ratings.tsv -k 20 -save graph.kfg -o /dev/null
+//	kiffknn -load graph.kfg -o graph.tsv
+//	kiffknn -in ratings.tsv -load graph.kfg -recall-sample 500
 package main
 
 import (
@@ -39,15 +47,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		minRating    = fs.Float64("min-rating", 0, "KIFF candidate filter: require ratings ≥ this on shared items")
 		workers      = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		seed         = fs.Int64("seed", 42, "seed for randomized baselines")
-		recallSample = fs.Int("recall-sample", 0, "if > 0, report recall estimated on this many users")
+		recallSample = fs.Int("recall-sample", 0, "if > 0, report recall estimated on this many users (needs -in)")
 		binary       = fs.Bool("binary", false, "ignore the rating column")
+		save         = fs.String("save", "", "after building, save the graph in binary format to this path")
+		load         = fs.String("load", "", "skip construction: load a binary graph saved with -save")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
+	if *in == "" && *load == "" {
 		fs.Usage()
-		return fmt.Errorf("-in is required")
+		return fmt.Errorf("-in or -load is required")
 	}
 
 	var (
@@ -56,13 +66,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	)
 	if *in == "-" {
 		ds, err = kiff.Load(stdin, kiff.LoadOptions{Name: "stdin", Binary: *binary})
-	} else {
+	} else if *in != "" {
 		ds, err = kiff.LoadFile(*in, kiff.LoadOptions{Binary: *binary})
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "kiffknn: loaded %s\n", ds.Stats())
+	if ds != nil {
+		fmt.Fprintf(stderr, "kiffknn: loaded %s\n", ds.Stats())
+	}
 
 	opts := kiff.Options{
 		K:         *k,
@@ -74,15 +86,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Workers:   *workers,
 		Seed:      *seed,
 	}
-	res, err := kiff.Build(ds, opts)
-	if err != nil {
-		return err
+
+	var g *kiff.Graph
+	if *load != "" {
+		g, err = kiff.LoadGraph(*load)
+		if err != nil {
+			return fmt.Errorf("load graph: %w", err)
+		}
+		fmt.Fprintf(stderr, "kiffknn: loaded k=%d graph over %d users from %s (construction skipped)\n",
+			g.K(), g.NumUsers(), *load)
+	} else {
+		res, err := kiff.Build(ds, opts)
+		if err != nil {
+			return err
+		}
+		g = res.Graph
+		fmt.Fprintf(stderr, "kiffknn: %s built k=%d graph in %v (%d similarity evals, scan rate %.3f%%, %d iterations)\n",
+			res.Run.Algorithm, *k, res.Run.WallTime, res.Run.SimEvals, 100*res.Run.ScanRate(), res.Run.Iterations)
 	}
-	fmt.Fprintf(stderr, "kiffknn: %s built k=%d graph in %v (%d similarity evals, scan rate %.3f%%, %d iterations)\n",
-		res.Run.Algorithm, *k, res.Run.WallTime, res.Run.SimEvals, 100*res.Run.ScanRate(), res.Run.Iterations)
+
+	if *save != "" {
+		if err := kiff.SaveGraph(*save, g); err != nil {
+			return fmt.Errorf("save graph: %w", err)
+		}
+		fmt.Fprintf(stderr, "kiffknn: graph saved to %s\n", *save)
+	}
 
 	if *recallSample > 0 {
-		recall, err := kiff.Recall(ds, res.Graph, opts, *recallSample)
+		if ds == nil {
+			return fmt.Errorf("-recall-sample needs the dataset: pass -in alongside -load")
+		}
+		recall, err := kiff.Recall(ds, g, opts, *recallSample)
 		if err != nil {
 			return fmt.Errorf("recall: %w", err)
 		}
@@ -98,5 +132,5 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	return res.Graph.Write(w)
+	return g.Write(w)
 }

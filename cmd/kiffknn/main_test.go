@@ -83,6 +83,71 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "edges.tsv")
+	saved := filepath.Join(dir, "graph.kfg")
+	if err := os.WriteFile(in, []byte(sampleEdges), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Build and save; capture the text output for comparison.
+	var built, errOut bytes.Buffer
+	if err := run([]string{"-in", in, "-k", "2", "-save", saved}, nil, &built, &errOut); err != nil {
+		t.Fatalf("build+save: %v\nstderr: %s", err, errOut.String())
+	}
+	if _, err := os.Stat(saved); err != nil {
+		t.Fatalf("saved graph missing: %v", err)
+	}
+
+	// Load without -in: construction skipped, identical text output.
+	var loaded, errOut2 bytes.Buffer
+	if err := run([]string{"-load", saved, "-k", "2"}, nil, &loaded, &errOut2); err != nil {
+		t.Fatalf("load: %v\nstderr: %s", err, errOut2.String())
+	}
+	if !strings.Contains(errOut2.String(), "construction skipped") {
+		t.Errorf("load path did not skip construction:\n%s", errOut2.String())
+	}
+	if built.String() != loaded.String() {
+		t.Errorf("loaded graph differs from built graph:\nbuilt:\n%s\nloaded:\n%s", built.String(), loaded.String())
+	}
+
+	// Load with -in: recall evaluation against the dataset still works.
+	var errOut3 bytes.Buffer
+	if err := run([]string{"-load", saved, "-in", in, "-recall-sample", "3"}, nil, io.Discard, &errOut3); err != nil {
+		t.Fatalf("load+recall: %v", err)
+	}
+	if !strings.Contains(errOut3.String(), "recall") {
+		t.Errorf("recall not reported on loaded graph:\n%s", errOut3.String())
+	}
+}
+
+func TestRunLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Nonexistent file.
+	if err := run([]string{"-load", filepath.Join(dir, "missing.kfg")}, nil, io.Discard, io.Discard); err == nil {
+		t.Error("missing -load file accepted")
+	}
+	// Corrupt file.
+	bad := filepath.Join(dir, "bad.kfg")
+	if err := os.WriteFile(bad, []byte("not a graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-load", bad}, nil, io.Discard, io.Discard); err == nil {
+		t.Error("corrupt -load file accepted")
+	}
+	// -recall-sample without a dataset.
+	var out bytes.Buffer
+	if err := run([]string{"-in", "-", "-k", "1", "-save", filepath.Join(dir, "g.kfg")},
+		strings.NewReader(sampleEdges), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-load", filepath.Join(dir, "g.kfg"), "-recall-sample", "2"},
+		nil, io.Discard, io.Discard); err == nil {
+		t.Error("-recall-sample without -in accepted")
+	}
+}
+
 func TestRunBinaryFlag(t *testing.T) {
 	var out, errOut bytes.Buffer
 	weighted := "a x 5\nb x 3\n"

@@ -149,8 +149,8 @@ func TestKIFFScalesAcrossMetricsAndWeights(t *testing.T) {
 			}
 			// Every reported similarity must be non-negative (Eq. 6) and
 			// every edge must connect overlapping users (Eq. 5).
-			for u, list := range res.Graph.Lists {
-				for _, nb := range list {
+			for u := 0; u < res.Graph.NumUsers(); u++ {
+				for _, nb := range res.Graph.Neighbors(uint32(u)) {
 					if nb.Sim < 0 {
 						t.Fatalf("%s/%s: negative similarity", d.Name, name)
 					}

@@ -1,0 +1,119 @@
+package arena
+
+import (
+	"testing"
+)
+
+func TestBuilderRoundTrip(t *testing.T) {
+	b := NewBuilder[uint32](3, 0)
+	rows := [][]uint32{{1, 2, 3}, nil, {9}}
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	got := b.Rows()
+	if got.NumRows() != 3 || got.NNZ() != 4 {
+		t.Fatalf("shape: rows=%d nnz=%d", got.NumRows(), got.NNZ())
+	}
+	for i, want := range rows {
+		row := got.Row(i)
+		if len(row) != len(want) {
+			t.Fatalf("row %d: len %d, want %d", i, len(row), len(want))
+		}
+		for j := range want {
+			if row[j] != want[j] {
+				t.Errorf("row %d[%d] = %d, want %d", i, j, row[j], want[j])
+			}
+		}
+	}
+}
+
+func TestRowViewsAreCapClamped(t *testing.T) {
+	b := NewBuilder[uint32](2, 0)
+	b.AppendRow([]uint32{1, 2})
+	b.AppendRow([]uint32{3, 4})
+	r := b.Rows()
+	row0 := r.Row(0)
+	_ = append(row0, 99) // must reallocate, not clobber row 1
+	if got := r.Row(1)[0]; got != 3 {
+		t.Fatalf("append to row 0 bled into row 1: got %d, want 3", got)
+	}
+	views := r.Views()
+	_ = append(views[0], 77)
+	if got := r.Row(1)[0]; got != 3 {
+		t.Fatalf("append to view 0 bled into row 1: got %d, want 3", got)
+	}
+}
+
+func TestFiller(t *testing.T) {
+	f := NewFiller[uint32]([]int{2, 0, 1})
+	f.Push(2, 30)
+	f.Push(0, 10)
+	f.Push(0, 11)
+	r := f.Rows()
+	if r.NumRows() != 3 || r.NNZ() != 3 {
+		t.Fatalf("shape: rows=%d nnz=%d", r.NumRows(), r.NNZ())
+	}
+	if got := r.Row(0); got[0] != 10 || got[1] != 11 {
+		t.Errorf("row 0 = %v", got)
+	}
+	if got := r.Row(2); got[0] != 30 {
+		t.Errorf("row 2 = %v", got)
+	}
+	if got := r.Len(1); got != 0 {
+		t.Errorf("row 1 len = %d", got)
+	}
+}
+
+func TestFillerOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow Push did not panic")
+		}
+	}()
+	f := NewFiller[uint32]([]int{1})
+	f.Push(0, 1)
+	f.Push(0, 2)
+}
+
+func TestFillerUnderfillPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("underfilled Rows did not panic")
+		}
+	}()
+	f := NewFiller[uint32]([]int{2})
+	f.Push(0, 1)
+	f.Rows()
+}
+
+func TestNewRowsValidates(t *testing.T) {
+	if _, err := NewRows([]int64{0, 2}, []uint32{1, 2}); err != nil {
+		t.Fatalf("valid rows rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		offsets []int64
+		data    []uint32
+	}{
+		{"nonzero start", []int64{1, 2}, []uint32{1, 2}},
+		{"decreasing", []int64{0, 2, 1}, []uint32{1, 2}},
+		{"bad end", []int64{0, 1}, []uint32{1, 2}},
+		{"data without offsets", nil, []uint32{1}},
+	}
+	for _, c := range cases {
+		if _, err := NewRows(c.offsets, c.data); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestEmptyRows(t *testing.T) {
+	var r Rows[uint32]
+	if r.NumRows() != 0 || r.NNZ() != 0 {
+		t.Fatalf("zero value not empty")
+	}
+	b := NewBuilder[uint32](0, 0)
+	if got := b.Rows(); got.NumRows() != 0 {
+		t.Fatalf("empty builder has %d rows", got.NumRows())
+	}
+}

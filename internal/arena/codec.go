@@ -1,0 +1,253 @@
+package arena
+
+// Binary section codec shared by the on-disk formats of the module
+// (knngraph, dataset). Every file is framed as:
+//
+//	[4]byte magic   — format identifier, caller-chosen
+//	uvarint version — format version
+//	payload         — format-specific fields written through Writer
+//	[4]byte crc32   — IEEE CRC of everything before it, little-endian
+//
+// The Writer computes the checksum as it writes; the Reader re-computes
+// it as it reads and verifies it against the trailer in Close. Decoders
+// are written so corrupt or adversarial inputs produce errors, never
+// panics or unbounded allocations: every length field is consumed
+// incrementally (each decoded element costs at least one input byte), and
+// pre-allocations are capped by MaxPrealloc.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ErrCorrupt tags every decoding failure caused by malformed input (bad
+// magic, bad checksum, impossible lengths, truncation).
+var ErrCorrupt = errors.New("corrupt input")
+
+// MaxPrealloc caps any single allocation a decoder performs before it has
+// consumed input bytes proving the claimed size plausible.
+const MaxPrealloc = 1 << 20
+
+// PreallocCap clamps a claimed element count to a safe initial capacity;
+// decoders allocate min(n, MaxPrealloc) and grow by appending, so an
+// adversarial length field cannot force a huge allocation.
+func PreallocCap(n uint64) int {
+	if n > MaxPrealloc {
+		return MaxPrealloc
+	}
+	return int(n)
+}
+
+// Writer writes one checksummed section. Errors are sticky and surfaced
+// by Close.
+type Writer struct {
+	bw  *bufio.Writer
+	crc hash.Hash32
+	n   int64
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewWriter starts a section: it writes the 4-byte magic and the version
+// immediately.
+func NewWriter(w io.Writer, magic string, version uint64) *Writer {
+	if len(magic) != 4 {
+		panic("arena: magic must be 4 bytes")
+	}
+	sw := &Writer{bw: bufio.NewWriter(w), crc: crc32.NewIEEE()}
+	sw.write([]byte(magic))
+	sw.Uvarint(version)
+	return sw
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.bw.Write(p); err != nil {
+		w.err = err
+		return
+	}
+	w.crc.Write(p)
+	w.n += int64(len(p))
+}
+
+// Uvarint writes x in LEB128 form.
+func (w *Writer) Uvarint(x uint64) {
+	n := binary.PutUvarint(w.buf[:], x)
+	w.write(w.buf[:n])
+}
+
+// Float64 writes the IEEE-754 bits of f, little-endian — bit-exact
+// round-trips, NaN payloads included.
+func (w *Writer) Float64(f float64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], math.Float64bits(f))
+	w.write(w.buf[:8])
+}
+
+// Bytes writes a length-prefixed byte string.
+func (w *Writer) Bytes(p []byte) {
+	w.Uvarint(uint64(len(p)))
+	w.write(p)
+}
+
+// Count returns the number of payload bytes written so far (magic and
+// version included, checksum excluded).
+func (w *Writer) Count() int64 { return w.n }
+
+// Close appends the checksum trailer and flushes. It returns the first
+// error encountered, if any.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], w.crc.Sum32())
+	if _, err := w.bw.Write(tr[:]); err != nil {
+		return err
+	}
+	w.n += 4
+	return w.bw.Flush()
+}
+
+// Reader reads one checksummed section. Errors are sticky: after the
+// first failure every accessor returns zero values and Err/Close report
+// the failure.
+type Reader struct {
+	br  *bufio.Reader
+	crc hash.Hash32
+	err error
+	// scratch buffers for checksummed reads: passing a stack array into
+	// the hash.Hash32 interface would force a heap allocation per call.
+	b1 [1]byte
+	b8 [8]byte
+}
+
+// NewReader checks the magic and returns the section reader plus the
+// decoded version.
+func NewReader(r io.Reader, magic string) (*Reader, uint64, error) {
+	if len(magic) != 4 {
+		panic("arena: magic must be 4 bytes")
+	}
+	sr := &Reader{br: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	var m [4]byte
+	sr.readFull(m[:])
+	if sr.err != nil {
+		return nil, 0, sr.fail("reading magic: %v", sr.err)
+	}
+	if string(m[:]) != magic {
+		return nil, 0, sr.fail("magic %q, want %q", m, magic)
+	}
+	version := sr.Uvarint()
+	if sr.err != nil {
+		return nil, 0, sr.err
+	}
+	return sr, version, nil
+}
+
+// fail records and returns a wrapped ErrCorrupt.
+func (r *Reader) fail(format string, args ...any) error {
+	err := fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	if r.err == nil {
+		r.err = err
+	}
+	return r.err
+}
+
+func (r *Reader) readFull(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.br, p); err != nil {
+		r.fail("truncated: %v", err)
+		return
+	}
+	r.crc.Write(p)
+}
+
+// Err returns the sticky decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Uvarint reads one LEB128 value.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, err := binary.ReadUvarint(checksummedByteReader{r})
+	if err != nil {
+		r.fail("bad uvarint: %v", err)
+		return 0
+	}
+	return x
+}
+
+// UvarintMax reads one LEB128 value and fails if it exceeds max — for
+// length fields with a structurally known bound.
+func (r *Reader) UvarintMax(max uint64, what string) uint64 {
+	x := r.Uvarint()
+	if r.err == nil && x > max {
+		r.fail("%s = %d exceeds %d", what, x, max)
+		return 0
+	}
+	return x
+}
+
+// Float64 reads 8 little-endian bytes as IEEE-754 bits.
+func (r *Reader) Float64() float64 {
+	r.readFull(r.b8[:])
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(r.b8[:]))
+}
+
+// Bytes reads a length-prefixed byte string of at most max bytes.
+func (r *Reader) Bytes(max uint64) []byte {
+	n := r.UvarintMax(max, "byte string length")
+	if r.err != nil {
+		return nil
+	}
+	p := make([]byte, int(n))
+	r.readFull(p)
+	if r.err != nil {
+		return nil
+	}
+	return p
+}
+
+// Close verifies the checksum trailer. Every decoder must call it after
+// consuming the payload and before trusting the decoded value.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	want := r.crc.Sum32()
+	var tr [4]byte
+	if _, err := io.ReadFull(r.br, tr[:]); err != nil {
+		return r.fail("truncated checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(tr[:]); got != want {
+		return r.fail("checksum mismatch: stored %08x, computed %08x", got, want)
+	}
+	return nil
+}
+
+// checksummedByteReader adapts Reader to io.ByteReader for ReadUvarint,
+// keeping the CRC in sync byte by byte.
+type checksummedByteReader struct{ r *Reader }
+
+func (b checksummedByteReader) ReadByte() (byte, error) {
+	c, err := b.r.br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	b.r.b1[0] = c
+	b.r.crc.Write(b.r.b1[:])
+	return c, nil
+}

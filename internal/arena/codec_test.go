@@ -1,0 +1,109 @@
+package arena
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "TST1", 3)
+	w.Uvarint(42)
+	w.Float64(math.Pi)
+	w.Float64(math.NaN())
+	w.Bytes([]byte("hello"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, version, err := NewReader(bytes.NewReader(buf.Bytes()), "TST1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 3 {
+		t.Fatalf("version = %d, want 3", version)
+	}
+	if got := r.Uvarint(); got != 42 {
+		t.Errorf("uvarint = %d", got)
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Errorf("float = %v", got)
+	}
+	if got := r.Float64(); !math.IsNaN(got) {
+		t.Errorf("nan lost: %v", got)
+	}
+	if got := r.Bytes(100); string(got) != "hello" {
+		t.Errorf("bytes = %q", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestCodecDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "TST1", 1)
+	w.Uvarint(7)
+	w.Bytes([]byte("payload"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		_, _, err := NewReader(bytes.NewReader(raw), "XXXX")
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[6] ^= 0xff
+		r, _, err := NewReader(bytes.NewReader(bad), "TST1")
+		if err != nil {
+			return // corruption already detected at header: fine
+		}
+		r.Uvarint()
+		r.Bytes(100)
+		if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("close err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(raw); cut++ {
+			r, _, err := NewReader(bytes.NewReader(raw[:cut]), "TST1")
+			if err != nil {
+				continue
+			}
+			r.Uvarint()
+			r.Bytes(100)
+			if err := r.Close(); err == nil {
+				t.Fatalf("truncation at %d undetected", cut)
+			}
+		}
+	})
+	t.Run("oversized length field", func(t *testing.T) {
+		r, _, err := NewReader(bytes.NewReader(raw), "TST1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Uvarint()
+		if got := r.Bytes(3); got != nil {
+			t.Fatalf("oversized Bytes returned %q", got)
+		}
+		if r.Err() == nil {
+			t.Fatal("oversized length not flagged")
+		}
+	})
+}
+
+func TestPreallocCap(t *testing.T) {
+	if got := PreallocCap(10); got != 10 {
+		t.Errorf("PreallocCap(10) = %d", got)
+	}
+	if got := PreallocCap(1 << 40); got != MaxPrealloc {
+		t.Errorf("PreallocCap(huge) = %d, want %d", got, MaxPrealloc)
+	}
+}

@@ -35,7 +35,7 @@ func Exact(d *dataset.Dataset, metric similarity.Metric, k, workers int) *knngra
 		}
 	})
 	g := knngraph.FromSet(heaps)
-	return knngraph.BuildExact(k, nil, g.Lists)
+	return knngraph.BuildExact(k, nil, g.Views())
 }
 
 // Sampled computes ground truth for sampleSize users drawn uniformly
@@ -66,7 +66,7 @@ func Sampled(d *dataset.Dataset, metric similarity.Metric, k, sampleSize int, se
 			heap.Update(0, uint32(v), sim(u, uint32(v)))
 		}
 		g := knngraph.FromSet(heap)
-		lists[i] = g.Lists[0]
+		lists[i] = g.Neighbors(0)
 	})
 	return knngraph.BuildExact(k, users, lists)
 }

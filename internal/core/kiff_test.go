@@ -101,14 +101,14 @@ func TestGammaInfinityExactOnWeighted(t *testing.T) {
 	// precise property is therefore that the positive prefix of every
 	// neighborhood matches the exact one similarity-for-similarity.
 	exactG := bruteforce.Graph(d, similarity.Cosine{}, k, 0)
-	for u := range exactG.Lists {
+	for u := 0; u < exactG.NumUsers(); u++ {
 		var exactPos, approxPos []float64
-		for _, nb := range exactG.Lists[u] {
+		for _, nb := range exactG.Neighbors(uint32(u)) {
 			if nb.Sim > 1e-12 {
 				exactPos = append(exactPos, nb.Sim)
 			}
 		}
-		for _, nb := range res.Graph.Lists[u] {
+		for _, nb := range res.Graph.Neighbors(uint32(u)) {
 			if nb.Sim > 1e-12 {
 				approxPos = append(approxPos, nb.Sim)
 			}
@@ -186,8 +186,8 @@ func TestWorkerCountInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for u := range a.Graph.Lists {
-		la, lb := a.Graph.Lists[u], b.Graph.Lists[u]
+	for u := 0; u < a.Graph.NumUsers(); u++ {
+		la, lb := a.Graph.Neighbors(uint32(u)), b.Graph.Neighbors(uint32(u))
 		if len(la) != len(lb) {
 			t.Fatalf("user %d: neighbor counts differ across worker counts", u)
 		}
@@ -295,8 +295,8 @@ func TestInitialIterationFillsFromRCSTop(t *testing.T) {
 		t.Fatal(err)
 	}
 	withNeighbors := 0
-	for _, l := range res.Graph.Lists {
-		if len(l) > 0 {
+	for u := 0; u < res.Graph.NumUsers(); u++ {
+		if len(res.Graph.Neighbors(uint32(u))) > 0 {
 			withNeighbors++
 		}
 	}

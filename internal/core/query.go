@@ -3,10 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"kiff/internal/dataset"
 	"kiff/internal/knngraph"
+	"kiff/internal/rcs"
 	"kiff/internal/similarity"
 	"kiff/internal/sparse"
 )
@@ -22,6 +23,12 @@ import (
 // place new, unseen profiles into it (the recommendation and
 // classification workloads of §I). The same Eq. (5)/(6) argument applies:
 // with an unlimited budget the result is the exact KNN of the query.
+//
+// An Index never mutates its dataset after construction and keeps no
+// per-query state, so any number of goroutines may call Query
+// concurrently — as snapshot readers do — provided the dataset itself is
+// not mutated underneath it (hand the Index a frozen dataset.View when
+// the writer keeps going).
 type Index struct {
 	d      *dataset.Dataset
 	metric similarity.Metric
@@ -66,12 +73,8 @@ func (ix *Index) Query(profile sparse.Vector, k, budget int) ([]knngraph.Neighbo
 	for v := range counts {
 		cands = append(cands, v)
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		ca, cb := counts[cands[a]], counts[cands[b]]
-		if ca != cb {
-			return ca > cb
-		}
-		return cands[a] < cands[b]
+	slices.SortFunc(cands, func(a, b uint32) int {
+		return rcs.CompareRanked(counts[a], counts[b], a, b)
 	})
 	if budget >= 0 && len(cands) > budget {
 		cands = cands[:budget]
@@ -86,12 +89,7 @@ func (ix *Index) Query(profile sparse.Vector, k, budget int) ([]knngraph.Neighbo
 		s := ix.evalAgainst(profile, v)
 		sims = append(sims, knngraph.Neighbor{ID: v, Sim: s})
 	}
-	sort.Slice(sims, func(a, b int) bool {
-		if sims[a].Sim != sims[b].Sim {
-			return sims[a].Sim > sims[b].Sim
-		}
-		return sims[a].ID < sims[b].ID
-	})
+	slices.SortFunc(sims, knngraph.CompareNeighbors)
 	if len(sims) > k {
 		sims = sims[:k]
 	}
@@ -134,11 +132,11 @@ func (ix *Index) evalAgainst(profile sparse.Vector, v uint32) float64 {
 
 // evalViaTempUser computes metrics that need dataset-global state by
 // materializing the query as a throwaway single-user dataset view.
+// Item profiles were built at NewIndex time; no mutation happens here
+// (Query must stay concurrency-safe).
 func (ix *Index) evalViaTempUser(profile sparse.Vector, v uint32) float64 {
-	// Build a two-user dataset {query, candidate} sharing the original
-	// item statistics where possible. Adamic-Adar needs |IPi| of the
-	// *indexed* dataset, so reuse its item profiles for the weights.
-	ix.d.EnsureItemProfiles()
+	// Adamic-Adar needs |IPi| of the *indexed* dataset, so reuse its item
+	// profiles for the weights.
 	var s float64
 	other := ix.d.Users[v]
 	i, j := 0, 0

@@ -63,14 +63,14 @@ func TestQuickExhaustiveMatchesBruteForce(t *testing.T) {
 			return false
 		}
 		exact := bruteforce.Graph(c.D, c.Metric, c.K, 1)
-		for u := range exact.Lists {
+		for u := 0; u < exact.NumUsers(); u++ {
 			var want, got []float64
-			for _, nb := range exact.Lists[u] {
+			for _, nb := range exact.Neighbors(uint32(u)) {
 				if nb.Sim > 1e-12 {
 					want = append(want, nb.Sim)
 				}
 			}
-			for _, nb := range res.Graph.Lists[u] {
+			for _, nb := range res.Graph.Neighbors(uint32(u)) {
 				if nb.Sim > 1e-12 {
 					got = append(got, nb.Sim)
 				}

@@ -172,6 +172,7 @@ func SynthesizeCoauthor(cfg CoauthorConfig) (*Dataset, error) {
 		users[a] = sparse.Vector{IDs: ids, Weights: weights}
 	}
 	d := &Dataset{Name: cfg.Name, Users: users, numItems: cfg.Authors}
+	d.Compact()
 	d.EnsureItemProfiles()
 	return d, nil
 }

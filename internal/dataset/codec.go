@@ -1,0 +1,148 @@
+package dataset
+
+// Binary dataset codec, the profile-side companion of the graph codec:
+// a serving process loads the dataset (for queries and profile lookups)
+// and the prebuilt graph, and skips construction entirely.
+//
+//	magic "KFD1", version 1 (arena codec framing, CRC32 trailer)
+//	bytes  name
+//	uvarint numUsers
+//	uvarint numItems
+//	per user:
+//	  uvarint 2·|UP| + weightedBit
+//	  |UP| × uvarint item-ID delta (profiles are strictly ascending;
+//	         first entry is the raw ID)
+//	  |UP| × float64 rating bits, weighted profiles only
+//
+// Profiles are decoded straight into shared arenas (the same layout
+// Compact produces). The item-profile index is NOT rebuilt eagerly: it
+// is a pure function of the profiles, costs O(|E| + numItems), and
+// numItems is a claimed field — rebuilding it inside the decoder would
+// let a few crafted bytes force a numItems-sized allocation. Consumers
+// build it on first use (EnsureItemProfiles), which the query/index/
+// maintenance paths already do; the decoder itself allocates no more
+// than a constant factor of the input size.
+
+import (
+	"fmt"
+	"io"
+
+	"kiff/internal/arena"
+	"kiff/internal/sparse"
+)
+
+const (
+	datasetMagic   = "KFD1"
+	datasetVersion = 1
+	maxNameLen     = 1 << 16
+)
+
+// WriteBinary serializes the dataset in the binary format. Ratings keep
+// their exact IEEE-754 bits, so a load reproduces the dataset
+// bit-identically (unlike the text edge-list round trip, which goes
+// through decimal formatting).
+func WriteBinary(w io.Writer, d *Dataset) error {
+	if len(d.Name) > maxNameLen {
+		// The decoder bounds the name field; enforcing the same bound here
+		// keeps every written file loadable.
+		return fmt.Errorf("dataset: name is %d bytes, max %d", len(d.Name), maxNameLen)
+	}
+	aw := arena.NewWriter(w, datasetMagic, datasetVersion)
+	aw.Bytes([]byte(d.Name))
+	aw.Uvarint(uint64(len(d.Users)))
+	aw.Uvarint(uint64(d.numItems))
+	for _, u := range d.Users {
+		header := uint64(u.Len()) << 1
+		if u.Weights != nil {
+			header |= 1
+		}
+		aw.Uvarint(header)
+		prev := uint32(0)
+		for i, id := range u.IDs {
+			if i == 0 {
+				aw.Uvarint(uint64(id))
+			} else {
+				aw.Uvarint(uint64(id - prev))
+			}
+			prev = id
+		}
+		for _, w := range u.Weights {
+			aw.Float64(w)
+		}
+	}
+	return aw.Close()
+}
+
+// ReadBinary decodes a dataset written by WriteBinary, verifying the
+// checksum and the dataset invariants. The item-profile index is left
+// unbuilt (see the package comment); EnsureItemProfiles builds it on
+// first use. Corrupt input yields an error wrapping arena.ErrCorrupt;
+// decoding never panics and allocates no more than a constant factor of
+// the input size.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	ar, version, err := arena.NewReader(r, datasetMagic)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if version != datasetVersion {
+		return nil, fmt.Errorf("dataset: %w: unsupported version %d", arena.ErrCorrupt, version)
+	}
+	name := ar.Bytes(maxNameLen)
+	numUsers := ar.Uvarint()
+	numItems := ar.UvarintMax(1<<32, "item count")
+	users := make([]sparse.Vector, 0, arena.PreallocCap(numUsers))
+	ids := make([]uint32, 0, arena.PreallocCap(numUsers)) // grows with input
+	var weights []float64
+	for u := uint64(0); u < numUsers && ar.Err() == nil; u++ {
+		header := ar.Uvarint()
+		plen := header >> 1
+		weighted := header&1 == 1
+		if plen > numItems {
+			return nil, fmt.Errorf("dataset: %w: user %d profile length %d exceeds item count %d",
+				arena.ErrCorrupt, u, plen, numItems)
+		}
+		lo := len(ids)
+		prev := uint64(0)
+		for i := uint64(0); i < plen && ar.Err() == nil; i++ {
+			delta := ar.Uvarint()
+			var id uint64
+			if i == 0 {
+				id = delta
+			} else {
+				id = prev + delta
+				if delta == 0 {
+					return nil, fmt.Errorf("dataset: %w: user %d profile not strictly ascending", arena.ErrCorrupt, u)
+				}
+			}
+			if id >= numItems {
+				return nil, fmt.Errorf("dataset: %w: user %d references item %d ≥ %d",
+					arena.ErrCorrupt, u, id, numItems)
+			}
+			prev = id
+			ids = append(ids, uint32(id))
+		}
+		v := sparse.Vector{IDs: ids[lo:len(ids):len(ids)]}
+		if weighted {
+			wlo := len(weights)
+			for i := uint64(0); i < plen && ar.Err() == nil; i++ {
+				weights = append(weights, ar.Float64())
+			}
+			v.Weights = weights[wlo:len(weights):len(weights)]
+		}
+		users = append(users, v)
+	}
+	if err := ar.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if err := ar.Close(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	d := &Dataset{Name: string(name), Users: users, numItems: int(numItems)}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: %w: %v", arena.ErrCorrupt, err)
+	}
+	// The streaming decode may have left early profiles in retired growth
+	// arrays; one compaction pass re-unifies them into a single arena.
+	d.Compact()
+	return d, nil
+}

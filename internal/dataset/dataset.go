@@ -14,12 +14,22 @@ import (
 	"fmt"
 	"sort"
 
+	"kiff/internal/arena"
 	"kiff/internal/sparse"
 )
 
 // Dataset is an in-memory user–item bipartite graph. Users and items are
 // densely numbered from 0; external identifier mappings are handled by the
 // loader (load.go).
+//
+// Storage follows the module's arena discipline: loaders and generators
+// compact user profiles onto shared flat backing arrays (Compact), and
+// the item-profile inverted index is built as one CSR arena. Mutations
+// (AddUser, AddRating) are single-writer and copy-on-write at row
+// granularity — they never modify elements of row storage that an
+// existing header can see, only replace whole rows or append past every
+// published length — which is what lets View publish consistent frozen
+// snapshots to concurrent readers while the writer keeps mutating.
 type Dataset struct {
 	// Name identifies the dataset in tables and reports.
 	Name string
@@ -38,13 +48,40 @@ type Dataset struct {
 }
 
 // New creates a dataset from user profiles. numItems must be at least one
-// greater than the largest item ID referenced by any profile.
+// greater than the largest item ID referenced by any profile. The
+// profiles are compacted onto shared arenas; the caller's slices are not
+// retained.
 func New(name string, users []sparse.Vector, numItems int) (*Dataset, error) {
 	d := &Dataset{Name: name, Users: users, numItems: numItems}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	d.Compact()
 	return d, nil
+}
+
+// Compact re-lays every user profile onto shared contiguous arenas (see
+// sparse.Compact). Constructors call it once; long-mutated datasets may
+// call it again to re-pack rows that copy-on-write mutations scattered
+// across the heap. Single-writer, like every mutator.
+func (d *Dataset) Compact() {
+	d.Users = sparse.Compact(d.Users)
+}
+
+// View returns a frozen shallow snapshot of the dataset: fresh Users and
+// Items header arrays (so subsequent appends or row replacements in the
+// original are invisible), sharing row storage with the original (safe
+// under the copy-on-write mutation discipline). The view must be treated
+// as immutable; it is what a kiff.Snapshot hands to concurrent readers.
+// The item-profile index is built first if missing, so views are always
+// query-ready.
+func (d *Dataset) View() *Dataset {
+	d.EnsureItemProfiles()
+	users := make([]sparse.Vector, len(d.Users))
+	copy(users, d.Users)
+	items := make([][]uint32, len(d.Items))
+	copy(items, d.Items)
+	return &Dataset{Name: d.Name, Users: users, Items: items, numItems: d.numItems}
 }
 
 // NumUsers returns |U|.
@@ -112,7 +149,8 @@ func (d *Dataset) EnsureItemProfiles() {
 	d.Items = BuildItemProfiles(d.Users, d.numItems)
 }
 
-// BuildItemProfiles computes the inverted index for the given profiles.
+// BuildItemProfiles computes the inverted index for the given profiles
+// as capacity-clamped views into one CSR arena (two-pass counted fill).
 // It is exposed separately so the Table IV experiment can time item-profile
 // construction in isolation.
 func BuildItemProfiles(users []sparse.Vector, numItems int) [][]uint32 {
@@ -122,38 +160,31 @@ func BuildItemProfiles(users []sparse.Vector, numItems int) [][]uint32 {
 			counts[it]++
 		}
 	}
-	// One backing array, sliced per item, to avoid per-item allocations.
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	backing := make([]uint32, total)
-	items := make([][]uint32, numItems)
-	offset := 0
-	for i, c := range counts {
-		items[i] = backing[offset : offset : offset+c]
-		offset += c
-	}
+	f := arena.NewFiller[uint32](counts)
 	for uid := range users {
 		for _, it := range users[uid].IDs {
-			items[it] = append(items[it], uint32(uid))
+			f.Push(int(it), uint32(uid))
 		}
 	}
-	return items
+	return f.Rows().Views()
 }
 
 // AddUser appends profile p as a new user and returns its ID. The item
 // space grows automatically if p references items beyond NumItems. The
-// item-profile inverted index, if already built, is patched in place —
-// the new user's ID is the largest, so each touched item profile stays
-// ascending with a plain append.
+// item-profile inverted index, if already built, is patched by appending
+// — the new user's ID is the largest, so each touched item profile stays
+// ascending, and the append lands either in a fresh array or past every
+// length a published View can see (row storage visible to views is never
+// overwritten).
 //
-// Mutations are append-only and single-writer: AddUser must not run
-// concurrently with reads of the same dataset.
+// Mutations are single-writer: AddUser must not run concurrently with
+// other mutations of the same dataset. Readers holding a View are safe.
+// The profile is cloned; the caller's slices are not retained.
 func (d *Dataset) AddUser(p sparse.Vector) (uint32, error) {
 	if err := p.Validate(); err != nil {
 		return 0, fmt.Errorf("dataset: add user: %w", err)
 	}
+	p = p.Clone()
 	if p.Len() > 0 {
 		if maxID := int(p.IDs[p.Len()-1]); maxID >= d.numItems {
 			d.growItems(maxID + 1)
@@ -170,13 +201,16 @@ func (d *Dataset) AddUser(p sparse.Vector) (uint32, error) {
 }
 
 // AddRating sets user u's rating of item to rating, inserting the item
-// into the profile if it is absent and updating it in place otherwise.
-// The item space grows automatically for a new item ID. A binary profile
-// stays binary for rating == 1 and is materialized into an explicitly
-// weighted one otherwise.
+// into the profile if it is absent and replacing it otherwise. The item
+// space grows automatically for a new item ID. A binary profile stays
+// binary for rating == 1 and is materialized into an explicitly weighted
+// one otherwise.
 //
-// Like AddUser, AddRating is single-writer: it must not run concurrently
-// with reads of the same dataset.
+// Like AddUser, AddRating is single-writer but safe to interleave with
+// readers holding a View: mutated rows (the user's profile, the item's
+// inverted-index entry) are rebuilt in fresh arrays and swapped in whole
+// — copy-on-write — so a reader sees either the old or the new row,
+// never a half-shifted one.
 func (d *Dataset) AddRating(u uint32, item uint32, rating float64) error {
 	if int(u) >= len(d.Users) {
 		return fmt.Errorf("dataset: add rating: user %d out of range (have %d users)", u, len(d.Users))
@@ -184,48 +218,52 @@ func (d *Dataset) AddRating(u uint32, item uint32, rating float64) error {
 	if int(item) >= d.numItems {
 		d.growItems(int(item) + 1)
 	}
-	p := &d.Users[u]
+	p := d.Users[u]
 	pos := sort.Search(p.Len(), func(i int) bool { return p.IDs[i] >= item })
 	present := pos < p.Len() && p.IDs[pos] == item
-	if p.IsBinary() && rating != 1 {
-		d.materializeWeights(u)
-	}
+	weighted := p.Weights != nil || rating != 1
 	if present {
-		if p.Weights != nil {
-			p.Weights[pos] = rating
+		if !weighted {
+			return nil // binary profile, rating 1: already recorded
 		}
+		weights := make([]float64, p.Len())
+		if p.Weights == nil {
+			for i := range weights {
+				weights[i] = 1
+			}
+		} else {
+			copy(weights, p.Weights)
+		}
+		weights[pos] = rating
+		d.Users[u] = sparse.Vector{IDs: p.IDs, Weights: weights}
 		return nil
 	}
-	p.IDs = append(p.IDs, 0)
-	copy(p.IDs[pos+1:], p.IDs[pos:])
-	p.IDs[pos] = item
-	if p.Weights != nil {
-		p.Weights = append(p.Weights, 0)
-		copy(p.Weights[pos+1:], p.Weights[pos:])
-		p.Weights[pos] = rating
+	ids := make([]uint32, p.Len()+1)
+	copy(ids, p.IDs[:pos])
+	ids[pos] = item
+	copy(ids[pos+1:], p.IDs[pos:])
+	var weights []float64
+	if weighted {
+		weights = make([]float64, p.Len()+1)
+		for i := 0; i < pos; i++ {
+			weights[i] = p.Weight(i)
+		}
+		weights[pos] = rating
+		for i := pos; i < p.Len(); i++ {
+			weights[i+1] = p.Weight(i)
+		}
 	}
+	d.Users[u] = sparse.Vector{IDs: ids, Weights: weights}
 	if d.Items != nil {
 		ip := d.Items[item]
 		ipos := sort.Search(len(ip), func(i int) bool { return ip[i] >= u })
-		ip = append(ip, 0)
-		copy(ip[ipos+1:], ip[ipos:])
-		ip[ipos] = u
-		d.Items[item] = ip
+		nip := make([]uint32, len(ip)+1)
+		copy(nip, ip[:ipos])
+		nip[ipos] = u
+		copy(nip[ipos+1:], ip[ipos:])
+		d.Items[item] = nip
 	}
 	return nil
-}
-
-// materializeWeights converts user u's binary profile into an explicitly
-// weighted one (all existing ratings are 1 by definition).
-func (d *Dataset) materializeWeights(u uint32) {
-	p := &d.Users[u]
-	if p.Weights != nil {
-		return
-	}
-	p.Weights = make([]float64, p.Len())
-	for i := range p.Weights {
-		p.Weights[i] = 1
-	}
 }
 
 // growItems extends the item space to n items, padding the inverted index

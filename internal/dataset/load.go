@@ -39,7 +39,6 @@ func Load(r io.Reader, opts LoadOptions) (*Dataset, error) {
 	userIDs := make(map[string]uint32)
 	itemIDs := make(map[string]uint32)
 	var profiles [][]edge
-	var items [][]uint32
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -74,14 +73,8 @@ func Load(r io.Reader, opts LoadOptions) (*Dataset, error) {
 		if !ok {
 			iid = uint32(len(itemIDs))
 			itemIDs[fields[1]] = iid
-			if opts.BuildItemProfiles {
-				items = append(items, nil)
-			}
 		}
 		profiles[uid] = append(profiles[uid], edge{item: iid, rating: rating})
-		if opts.BuildItemProfiles {
-			items[iid] = append(items[iid], uid)
-		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("dataset: read: %w", err)
@@ -117,20 +110,11 @@ func Load(r io.Reader, opts LoadOptions) (*Dataset, error) {
 	}
 
 	d := &Dataset{Name: opts.Name, Users: users, numItems: len(itemIDs)}
+	d.Compact()
 	if opts.BuildItemProfiles {
-		// Deduplicate and sort the streamed item profiles; duplicates arise
-		// only from repeated (user,item) lines.
-		d.Items = make([][]uint32, len(items))
-		for i, ip := range items {
-			sort.Slice(ip, func(a, b int) bool { return ip[a] < ip[b] })
-			dst := ip[:0]
-			for j, u := range ip {
-				if j == 0 || dst[len(dst)-1] != u {
-					dst = append(dst, u)
-				}
-			}
-			d.Items[i] = dst
-		}
+		// The inverted index is built from the deduplicated profiles into
+		// one CSR arena (Algorithm 1 lines 1–2, still at loading time).
+		d.EnsureItemProfiles()
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err

@@ -99,6 +99,7 @@ func SynthesizeMovieLens(cfg MovieLensConfig) (*Dataset, error) {
 		users[u] = sparse.FromMap(m, false)
 	}
 	d := &Dataset{Name: cfg.Name, Users: users, numItems: cfg.Items}
+	d.Compact()
 	d.EnsureItemProfiles()
 	return d, nil
 }

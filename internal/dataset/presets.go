@@ -125,6 +125,7 @@ func Toy() (d *Dataset, userNames, itemNames []string) {
 		{IDs: []uint32{3}},    // Dave: shopping
 	}
 	d = &Dataset{Name: "toy", Users: users, numItems: len(itemNames)}
+	d.Compact()
 	d.EnsureItemProfiles()
 	return d, userNames, itemNames
 }
@@ -143,6 +144,7 @@ func FromProfiles(name string, profiles []map[uint32]float64, binary bool) *Data
 		}
 	}
 	d := &Dataset{Name: name, Users: users, numItems: maxItem + 1}
+	d.Compact()
 	d.EnsureItemProfiles()
 	return d
 }

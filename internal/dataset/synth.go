@@ -147,6 +147,7 @@ func Synthesize(cfg SynthConfig) (*Dataset, error) {
 		users[u] = sparse.FromMap(m, cfg.MaxRating <= 1)
 	}
 	d := &Dataset{Name: cfg.Name, Users: users, numItems: cfg.Items}
+	d.Compact()
 	d.EnsureItemProfiles()
 	return d, nil
 }
@@ -200,6 +201,7 @@ func Downsample(d *Dataset, keep float64, seed int64) *Dataset {
 		users[uid] = sparse.Vector{IDs: ids, Weights: weights}
 	}
 	out := &Dataset{Name: d.Name, Users: users, numItems: d.numItems}
+	out.Compact()
 	out.EnsureItemProfiles()
 	return out
 }

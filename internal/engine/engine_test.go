@@ -120,8 +120,8 @@ func TestEngineMatchesDirectBuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for u := range viaConfig.Graph.Lists {
-		a, b := viaConfig.Graph.Lists[u], viaEngine.Graph.Lists[u]
+	for u := 0; u < viaConfig.Graph.NumUsers(); u++ {
+		a, b := viaConfig.Graph.Neighbors(uint32(u)), viaEngine.Graph.Neighbors(uint32(u))
 		if len(a) != len(b) {
 			t.Fatalf("user %d: neighbor counts differ", u)
 		}
@@ -150,8 +150,8 @@ func TestBruteForceBuilderMatchesExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	direct := bruteforce.Graph(d, similarity.Cosine{}, k, 0)
-	for u := range direct.Lists {
-		a, b := direct.Lists[u], res.Graph.Lists[u]
+	for u := 0; u < direct.NumUsers(); u++ {
+		a, b := direct.Neighbors(uint32(u)), res.Graph.Neighbors(uint32(u))
 		if len(a) != len(b) {
 			t.Fatalf("user %d: neighbor counts differ", u)
 		}

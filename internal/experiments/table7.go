@@ -61,8 +61,8 @@ func (h *Harness) Table7() (*Table7Result, error) {
 // of each (complete) RCS, annotated with their true similarities so the
 // recall computation can score them.
 func initFromRCS(d *dataset.Dataset, sets *rcs.Sets, sim similarity.Func, k int) *knngraph.Graph {
-	g := &knngraph.Graph{K: k, Lists: make([][]knngraph.Neighbor, d.NumUsers())}
-	for u := range g.Lists {
+	lists := make([][]knngraph.Neighbor, d.NumUsers())
+	for u := range lists {
 		list := sets.List(uint32(u))
 		if len(list) > k {
 			list = list[:k]
@@ -71,10 +71,10 @@ func initFromRCS(d *dataset.Dataset, sets *rcs.Sets, sim similarity.Func, k int)
 		for i, v := range list {
 			nbs[i] = knngraph.Neighbor{ID: v, Sim: sim(uint32(u), v)}
 		}
-		sortNeighborsDesc(nbs)
-		g.Lists[u] = nbs
+		knngraph.SortNeighbors(nbs)
+		lists[u] = nbs
 	}
-	return g
+	return knngraph.New(k, lists)
 }
 
 // randomGraph builds the random k-degree initial graph of traditional
@@ -82,7 +82,7 @@ func initFromRCS(d *dataset.Dataset, sets *rcs.Sets, sim similarity.Func, k int)
 func randomGraph(d *dataset.Dataset, sim similarity.Func, k int, seed int64) *knngraph.Graph {
 	n := d.NumUsers()
 	rng := rand.New(rand.NewSource(seed))
-	g := &knngraph.Graph{K: k, Lists: make([][]knngraph.Neighbor, n)}
+	lists := make([][]knngraph.Neighbor, n)
 	for u := 0; u < n; u++ {
 		need := k
 		if need > n-1 {
@@ -98,20 +98,8 @@ func randomGraph(d *dataset.Dataset, sim similarity.Func, k int, seed int64) *kn
 			seen[v] = true
 			nbs = append(nbs, knngraph.Neighbor{ID: v, Sim: sim(uint32(u), v)})
 		}
-		sortNeighborsDesc(nbs)
-		g.Lists[u] = nbs
+		knngraph.SortNeighbors(nbs)
+		lists[u] = nbs
 	}
-	return g
-}
-
-func sortNeighborsDesc(nbs []knngraph.Neighbor) {
-	for i := 1; i < len(nbs); i++ {
-		for j := i; j > 0; j-- {
-			a, b := nbs[j-1], nbs[j]
-			if a.Sim > b.Sim || (a.Sim == b.Sim && a.ID < b.ID) {
-				break
-			}
-			nbs[j-1], nbs[j] = b, a
-		}
-	}
+	return knngraph.New(k, lists)
 }

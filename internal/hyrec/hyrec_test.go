@@ -57,8 +57,8 @@ func TestEveryUserGetsKNeighbors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for u, l := range res.Graph.Lists {
-		if len(l) != k {
+	for u := 0; u < res.Graph.NumUsers(); u++ {
+		if l := res.Graph.Neighbors(uint32(u)); len(l) != k {
 			t.Fatalf("user %d has %d neighbors, want %d", u, len(l), k)
 		}
 	}

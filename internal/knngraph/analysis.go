@@ -21,8 +21,8 @@ func (g *Graph) Degrees() DegreeStats {
 	st := DegreeStats{MinOut: -1}
 	in := make([]int, g.NumUsers())
 	totalOut := 0
-	for _, list := range g.Lists {
-		d := len(list)
+	for u := 0; u < g.NumUsers(); u++ {
+		d := len(g.Neighbors(uint32(u)))
 		totalOut += d
 		if d == 0 {
 			st.Isolated++
@@ -33,7 +33,7 @@ func (g *Graph) Degrees() DegreeStats {
 		if d > st.MaxOut {
 			st.MaxOut = d
 		}
-		for _, nb := range list {
+		for _, nb := range g.Neighbors(uint32(u)) {
 			if int(nb.ID) < len(in) {
 				in[nb.ID]++
 			}
@@ -60,12 +60,9 @@ func (g *Graph) Degrees() DegreeStats {
 // proxy for graph quality when ground truth is unavailable.
 func (g *Graph) MeanSimilarity() float64 {
 	var sum float64
-	n := 0
-	for _, list := range g.Lists {
-		for _, nb := range list {
-			sum += nb.Sim
-			n++
-		}
+	n := len(g.entries)
+	for _, nb := range g.entries {
+		sum += nb.Sim
 	}
 	if n == 0 {
 		return 0
@@ -87,7 +84,7 @@ func Agreement(a, b *Graph) float64 {
 	}
 	var total float64
 	for u := 0; u < n; u++ {
-		total += jaccardIDs(a.Lists[u], b.Lists[u])
+		total += jaccardIDs(a.Neighbors(uint32(u)), b.Neighbors(uint32(u)))
 	}
 	return total / float64(n)
 }
@@ -116,11 +113,9 @@ func jaccardIDs(a, b []Neighbor) float64 {
 // InDegreeCCDFInput returns the per-user in-degrees (for CCDF plotting).
 func (g *Graph) InDegreeCCDFInput() []int {
 	in := make([]int, g.NumUsers())
-	for _, list := range g.Lists {
-		for _, nb := range list {
-			if int(nb.ID) < len(in) {
-				in[nb.ID]++
-			}
+	for _, nb := range g.entries {
+		if int(nb.ID) < len(in) {
+			in[nb.ID]++
 		}
 	}
 	return in

@@ -7,12 +7,12 @@ import (
 
 func analysisFixture() *Graph {
 	// 0 -> {1, 2}; 1 -> {0}; 2 -> {}; 3 -> {0}
-	return &Graph{K: 2, Lists: [][]Neighbor{
+	return New(2, [][]Neighbor{
 		{{ID: 1, Sim: 0.8}, {ID: 2, Sim: 0.4}},
 		{{ID: 0, Sim: 0.8}},
 		{},
 		{{ID: 0, Sim: 0.2}},
-	}}
+	})
 }
 
 func TestDegrees(t *testing.T) {
@@ -36,7 +36,7 @@ func TestDegrees(t *testing.T) {
 }
 
 func TestDegreesEmptyGraph(t *testing.T) {
-	g := &Graph{K: 2}
+	g := New(2, nil)
 	st := g.Degrees()
 	if st.MinOut != 0 || st.MaxOut != 0 || st.MeanOut != 0 {
 		t.Errorf("empty graph stats = %+v", st)
@@ -62,16 +62,16 @@ func TestAgreementIdentical(t *testing.T) {
 }
 
 func TestAgreementDisjoint(t *testing.T) {
-	a := &Graph{K: 1, Lists: [][]Neighbor{{{ID: 1, Sim: 1}}}}
-	b := &Graph{K: 1, Lists: [][]Neighbor{{{ID: 2, Sim: 1}}}}
+	a := New(1, [][]Neighbor{{{ID: 1, Sim: 1}}})
+	b := New(1, [][]Neighbor{{{ID: 2, Sim: 1}}})
 	if got := Agreement(a, b); got != 0 {
 		t.Errorf("disjoint Agreement = %v, want 0", got)
 	}
 }
 
 func TestAgreementPartial(t *testing.T) {
-	a := &Graph{K: 2, Lists: [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 2, Sim: 0.5}}}}
-	b := &Graph{K: 2, Lists: [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 3, Sim: 0.5}}}}
+	a := New(2, [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 2, Sim: 0.5}}})
+	b := New(2, [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 3, Sim: 0.5}}})
 	// intersection 1, union 3.
 	if got := Agreement(a, b); math.Abs(got-1.0/3) > 1e-12 {
 		t.Errorf("Agreement = %v, want 1/3", got)
@@ -79,8 +79,8 @@ func TestAgreementPartial(t *testing.T) {
 }
 
 func TestAgreementBothEmptyLists(t *testing.T) {
-	a := &Graph{K: 1, Lists: [][]Neighbor{{}}}
-	b := &Graph{K: 1, Lists: [][]Neighbor{{}}}
+	a := New(1, [][]Neighbor{{}})
+	b := New(1, [][]Neighbor{{}})
 	if got := Agreement(a, b); got != 1 {
 		t.Errorf("empty-lists Agreement = %v, want 1", got)
 	}

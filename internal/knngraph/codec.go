@@ -1,0 +1,104 @@
+package knngraph
+
+// Binary graph codec. A built KNN graph is saved once by the construction
+// process and loaded by any number of serving processes, skipping
+// construction entirely (cmd/kiffknn -save / -load). The format is the
+// CSR arena almost verbatim:
+//
+//	magic "KFG1", version 1 (arena codec framing, CRC32 trailer)
+//	uvarint k
+//	uvarint numUsers
+//	numUsers × uvarint row length
+//	numEdges × (uvarint neighbor ID, float64 similarity bits)
+//
+// Similarities are stored as raw IEEE-754 bits, so a decoded graph is
+// bit-identical to the encoded one — recall computed against a loaded
+// graph is exactly the recall of the in-memory graph.
+
+import (
+	"fmt"
+	"io"
+
+	"kiff/internal/arena"
+)
+
+const (
+	graphMagic   = "KFG1"
+	graphVersion = 1
+	// maxK is the format's neighborhood-size limit. k flows into O(n·k)
+	// allocations in every consumer (heaps, recall ground truth), so the
+	// decoder must not accept arbitrary claimed values; the paper's
+	// configurations use k ≤ 50, and 2¹⁶ leaves two orders of magnitude
+	// of headroom. The encoder enforces the same bound so every written
+	// file stays loadable.
+	maxK = 1 << 16
+)
+
+// WriteTo serializes the graph in the binary format. It implements
+// io.WriterTo.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	if g.k > maxK {
+		return 0, fmt.Errorf("knngraph: k = %d exceeds the format limit %d", g.k, maxK)
+	}
+	aw := arena.NewWriter(w, graphMagic, graphVersion)
+	aw.Uvarint(uint64(g.k))
+	n := g.NumUsers()
+	aw.Uvarint(uint64(n))
+	for u := 0; u < n; u++ {
+		aw.Uvarint(uint64(g.offsets[u+1] - g.offsets[u]))
+	}
+	for _, e := range g.entries {
+		aw.Uvarint(uint64(e.ID))
+		aw.Float64(e.Sim)
+	}
+	err := aw.Close()
+	return aw.Count(), err
+}
+
+// ReadBinary decodes a graph written by WriteTo, verifying the checksum
+// and the graph invariants. Corrupt input yields an error wrapping
+// arena.ErrCorrupt; decoding never panics and allocates no more than a
+// constant factor of the input size.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	ar, version, err := arena.NewReader(r, graphMagic)
+	if err != nil {
+		return nil, fmt.Errorf("knngraph: %w", err)
+	}
+	if version != graphVersion {
+		return nil, fmt.Errorf("knngraph: %w: unsupported version %d", arena.ErrCorrupt, version)
+	}
+	// The k cap also keeps the running offset total far from int64
+	// overflow (row lengths are ≤ k and cost ≥ 1 input byte each).
+	k := ar.UvarintMax(maxK, "k")
+	n := ar.Uvarint()
+	offsets := make([]int64, 1, arena.PreallocCap(n)+1)
+	total := int64(0)
+	for u := uint64(0); u < n && ar.Err() == nil; u++ {
+		l := ar.UvarintMax(k, "neighbor list length")
+		total += int64(l)
+		offsets = append(offsets, total)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("knngraph: %w: offset overflow", arena.ErrCorrupt)
+	}
+	if err := ar.Err(); err != nil {
+		return nil, fmt.Errorf("knngraph: %w", err)
+	}
+	entries := make([]Neighbor, 0, arena.PreallocCap(uint64(total)))
+	for i := int64(0); i < total && ar.Err() == nil; i++ {
+		id := ar.UvarintMax(1<<32-1, "neighbor ID")
+		sim := ar.Float64()
+		entries = append(entries, Neighbor{ID: uint32(id), Sim: sim})
+	}
+	if err := ar.Err(); err != nil {
+		return nil, fmt.Errorf("knngraph: %w", err)
+	}
+	if err := ar.Close(); err != nil {
+		return nil, fmt.Errorf("knngraph: %w", err)
+	}
+	g := fromParts(int(k), offsets, entries)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("knngraph: %w: %v", arena.ErrCorrupt, err)
+	}
+	return g, nil
+}

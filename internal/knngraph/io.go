@@ -11,11 +11,12 @@ import (
 // Read parses the text format emitted by Graph.Write: one
 // "user neighbor similarity" triple per line, '#' comments ignored.
 // Users are sized to the largest ID seen on either side; neighbor lists
-// are re-sorted into the canonical (sim desc, ID asc) order.
+// are re-sorted into the canonical (sim desc, ID asc) order and flattened
+// into the CSR arena.
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	g := &Graph{}
+	var lists [][]Neighbor
 	maxUser := -1
 	lineNo := 0
 	for sc.Scan() {
@@ -40,10 +41,10 @@ func Read(r io.Reader) (*Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("knngraph: line %d: bad similarity %q: %v", lineNo, fields[2], err)
 		}
-		for int(u) >= len(g.Lists) {
-			g.Lists = append(g.Lists, nil)
+		for int(u) >= len(lists) {
+			lists = append(lists, nil)
 		}
-		g.Lists[u] = append(g.Lists[u], Neighbor{ID: uint32(v), Sim: sim})
+		lists[u] = append(lists[u], Neighbor{ID: uint32(v), Sim: sim})
 		if int(u) > maxUser {
 			maxUser = int(u)
 		}
@@ -54,15 +55,17 @@ func Read(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("knngraph: read: %w", err)
 	}
-	for int(maxUser) >= len(g.Lists) {
-		g.Lists = append(g.Lists, nil)
+	for maxUser >= len(lists) {
+		lists = append(lists, nil)
 	}
-	for u := range g.Lists {
-		sortNeighbors(g.Lists[u])
-		if len(g.Lists[u]) > g.K {
-			g.K = len(g.Lists[u])
+	k := 0
+	for u := range lists {
+		SortNeighbors(lists[u])
+		if len(lists[u]) > k {
+			k = len(lists[u])
 		}
 	}
+	g := New(k, lists)
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,13 +1,20 @@
 // Package knngraph defines the directed KNN graph produced by the
 // construction algorithms and the recall metric used to score it against
 // the exact graph (paper §III-B).
+//
+// The graph is stored in CSR form — one contiguous entries array plus
+// per-user offsets (internal/arena's layout) — rather than one slice per
+// user. A graph is immutable once built: builders assemble neighbor lists
+// and hand them to New or FromSet, and serving code reads Neighbors views
+// that alias the shared arena. That immutability is what lets a
+// kiff.Snapshot publish a graph to concurrent readers without locks.
 package knngraph
 
 import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"kiff/internal/knnheap"
 )
@@ -19,62 +26,141 @@ type Neighbor struct {
 	Sim float64
 }
 
-// Graph is a directed k-NN graph: Lists[u] holds u's neighbors sorted by
-// (similarity desc, ID asc).
+// Graph is a directed k-NN graph: Neighbors(u) holds u's neighbors sorted
+// by (similarity desc, ID asc). Storage is a flat CSR arena; the zero
+// value is an empty graph.
 type Graph struct {
-	K     int
-	Lists [][]Neighbor
+	k       int
+	offsets []int64
+	entries []Neighbor
 }
 
-// NumUsers returns the number of nodes.
-func (g *Graph) NumUsers() int { return len(g.Lists) }
-
-// Neighbors returns u's neighbor list (do not mutate).
-func (g *Graph) Neighbors(u uint32) []Neighbor { return g.Lists[u] }
-
-// FromSet snapshots a heap set into a Graph. The heaps are read under
-// their locks, so FromSet may run while another goroutine still updates
-// them (used by per-iteration convergence traces).
-func FromSet(s *knnheap.Set) *Graph {
-	g := &Graph{K: s.K(), Lists: make([][]Neighbor, s.Len())}
-	var buf []knnheap.Entry
-	for u := 0; u < s.Len(); u++ {
-		buf = s.Neighbors(buf[:0], uint32(u))
-		list := make([]Neighbor, len(buf))
-		for i, e := range buf {
-			list[i] = Neighbor{ID: e.ID, Sim: e.Sim}
-		}
-		sortNeighbors(list)
-		g.Lists[u] = list
+// New assembles a graph from per-user neighbor lists, flattening them
+// into the CSR arena. Lists must already be sorted by (sim desc, ID asc);
+// use Validate to check the result when the source is untrusted.
+func New(k int, lists [][]Neighbor) *Graph {
+	g := &Graph{k: k, offsets: make([]int64, len(lists)+1)}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	g.entries = make([]Neighbor, 0, total)
+	for u, l := range lists {
+		g.entries = append(g.entries, l...)
+		g.offsets[u+1] = int64(len(g.entries))
 	}
 	return g
 }
 
-func sortNeighbors(list []Neighbor) {
-	sort.Slice(list, func(a, b int) bool {
-		if list[a].Sim != list[b].Sim {
-			return list[a].Sim > list[b].Sim
-		}
-		return list[a].ID < list[b].ID
-	})
+// fromParts wraps pre-built CSR arrays (codec internal).
+func fromParts(k int, offsets []int64, entries []Neighbor) *Graph {
+	return &Graph{k: k, offsets: offsets, entries: entries}
+}
+
+// K returns the neighborhood bound the graph was built with.
+func (g *Graph) K() int { return g.k }
+
+// NumUsers returns the number of nodes.
+func (g *Graph) NumUsers() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns the total number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.entries) }
+
+// Neighbors returns u's neighbor list as a view into the shared arena
+// (do not mutate). The view's capacity is clamped, so appending to it
+// cannot clobber the next user's list.
+func (g *Graph) Neighbors(u uint32) []Neighbor {
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	return g.entries[lo:hi:hi]
+}
+
+// Views materializes every per-user view in one [][]Neighbor (data stays
+// shared with the arena). It exists for callers that consume whole-graph
+// list shapes, like BuildExact.
+func (g *Graph) Views() [][]Neighbor {
+	out := make([][]Neighbor, g.NumUsers())
+	for u := range out {
+		out[u] = g.Neighbors(uint32(u))
+	}
+	return out
+}
+
+// FromSet snapshots a heap set into a Graph. The heaps are read under
+// their locks, so FromSet may run while another goroutine still updates
+// them (used by per-iteration convergence traces). The export lands in
+// two flat arrays — no per-user allocation.
+func FromSet(s *knnheap.Set) *Graph {
+	n := s.Len()
+	offsets, raw := s.Export(make([]int64, 0, n+1), make([]knnheap.Entry, 0, n*s.K()))
+	entries := make([]Neighbor, len(raw))
+	for i, e := range raw {
+		entries[i] = Neighbor{ID: e.ID, Sim: e.Sim}
+	}
+	for u := 0; u < n; u++ {
+		SortNeighbors(entries[offsets[u]:offsets[u+1]])
+	}
+	return &Graph{k: s.K(), offsets: offsets, entries: entries}
+}
+
+// CompareNeighbors is the canonical edge ordering of the module
+// (similarity descending, ties broken by ascending ID); every sorted
+// neighbor list — graph rows, query results, ground truth — uses it.
+func CompareNeighbors(a, b Neighbor) int {
+	switch {
+	case a.Sim > b.Sim:
+		return -1
+	case a.Sim < b.Sim:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
+// SortNeighbors sorts a neighbor list into the canonical order.
+func SortNeighbors(list []Neighbor) {
+	slices.SortFunc(list, CompareNeighbors)
 }
 
 // Validate checks structural invariants: no self-loops, no duplicate
 // neighbors, lists sorted and bounded by K.
 func (g *Graph) Validate() error {
-	for u, list := range g.Lists {
-		if len(list) > g.K {
+	n := g.NumUsers()
+	for u := 0; u < n; u++ {
+		list := g.Neighbors(uint32(u))
+		if len(list) > g.k {
 			return fmt.Errorf("knngraph: user %d has %d > k neighbors", u, len(list))
 		}
-		seen := make(map[uint32]bool, len(list))
+		// Duplicate detection: allocation-free quadratic scan for the
+		// typical small k, map-based beyond it — k comes from untrusted
+		// codec input, so the quadratic path must not be unbounded.
+		var seen map[uint32]bool
+		if len(list) > 64 {
+			seen = make(map[uint32]bool, len(list))
+		}
 		for i, nb := range list {
 			if int(nb.ID) == u {
 				return fmt.Errorf("knngraph: user %d has a self-loop", u)
 			}
-			if seen[nb.ID] {
-				return fmt.Errorf("knngraph: user %d lists %d twice", u, nb.ID)
+			if seen != nil {
+				if seen[nb.ID] {
+					return fmt.Errorf("knngraph: user %d lists %d twice", u, nb.ID)
+				}
+				seen[nb.ID] = true
+			} else {
+				for j := 0; j < i; j++ {
+					if list[j].ID == nb.ID {
+						return fmt.Errorf("knngraph: user %d lists %d twice", u, nb.ID)
+					}
+				}
 			}
-			seen[nb.ID] = true
 			if i > 0 {
 				prev := list[i-1]
 				if prev.Sim < nb.Sim || (prev.Sim == nb.Sim && prev.ID > nb.ID) {
@@ -89,9 +175,9 @@ func (g *Graph) Validate() error {
 // Write serializes the graph as text: one "u v sim" edge per line.
 func (g *Graph) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# knn graph: %d users, k=%d\n", g.NumUsers(), g.K)
-	for u, list := range g.Lists {
-		for _, nb := range list {
+	fmt.Fprintf(bw, "# knn graph: %d users, k=%d\n", g.NumUsers(), g.k)
+	for u := 0; u < g.NumUsers(); u++ {
+		for _, nb := range g.Neighbors(uint32(u)) {
 			if _, err := fmt.Fprintf(bw, "%d %d %.6g\n", u, nb.ID, nb.Sim); err != nil {
 				return err
 			}

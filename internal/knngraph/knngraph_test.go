@@ -16,8 +16,8 @@ func TestFromSetSortedAndComplete(t *testing.T) {
 	s.Update(0, 3, 0.7)
 	s.Update(1, 0, 0.4)
 	g := FromSet(s)
-	if g.K != 3 || g.NumUsers() != 2 {
-		t.Fatalf("graph shape: k=%d users=%d", g.K, g.NumUsers())
+	if g.K() != 3 || g.NumUsers() != 2 {
+		t.Fatalf("graph shape: k=%d users=%d", g.K(), g.NumUsers())
 	}
 	l0 := g.Neighbors(0)
 	if l0[0].ID != 2 || l0[1].ID != 3 || l0[2].ID != 1 {
@@ -30,11 +30,11 @@ func TestFromSetSortedAndComplete(t *testing.T) {
 
 func TestValidateCatchesProblems(t *testing.T) {
 	bad := []*Graph{
-		{K: 1, Lists: [][]Neighbor{{{ID: 0, Sim: 1}}}},                      // self loop
-		{K: 2, Lists: [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 1, Sim: 1}}}},     // dup
-		{K: 1, Lists: [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 2, Sim: 0}}}},     // > k
-		{K: 2, Lists: [][]Neighbor{{{ID: 1, Sim: 0.1}, {ID: 2, Sim: 0.9}}}}, // unsorted
-		{K: 2, Lists: [][]Neighbor{{{ID: 2, Sim: 0.5}, {ID: 1, Sim: 0.5}}}}, // tie order
+		New(1, [][]Neighbor{{{ID: 0, Sim: 1}}}),                      // self loop
+		New(2, [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 1, Sim: 1}}}),     // dup
+		New(1, [][]Neighbor{{{ID: 1, Sim: 1}, {ID: 2, Sim: 0}}}),     // > k
+		New(2, [][]Neighbor{{{ID: 1, Sim: 0.1}, {ID: 2, Sim: 0.9}}}), // unsorted
+		New(2, [][]Neighbor{{{ID: 2, Sim: 0.5}, {ID: 1, Sim: 0.5}}}), // tie order
 	}
 	for i, g := range bad {
 		if err := g.Validate(); err == nil {
@@ -44,7 +44,7 @@ func TestValidateCatchesProblems(t *testing.T) {
 }
 
 func TestWrite(t *testing.T) {
-	g := &Graph{K: 1, Lists: [][]Neighbor{{{ID: 1, Sim: 0.25}}, {{ID: 0, Sim: 0.25}}}}
+	g := New(1, [][]Neighbor{{{ID: 1, Sim: 0.25}}, {{ID: 0, Sim: 0.25}}})
 	var buf bytes.Buffer
 	if err := g.Write(&buf); err != nil {
 		t.Fatalf("Write: %v", err)
@@ -117,10 +117,10 @@ func TestRecallGraphAveragesUsers(t *testing.T) {
 		{nb(1, 0.9)},
 		{nb(0, 0.9)},
 	})
-	g := &Graph{K: 1, Lists: [][]Neighbor{
+	g := New(1, [][]Neighbor{
 		{nb(1, 0.9)}, // hit
 		{nb(9, 0.1)}, // miss
-	}}
+	})
 	if got := e.Recall(g); math.Abs(got-0.5) > 1e-12 {
 		t.Errorf("Recall = %v, want 0.5", got)
 	}
@@ -132,12 +132,12 @@ func TestRecallSampledUsers(t *testing.T) {
 		{nb(0, 0.9)},
 		{nb(2, 0.8)},
 	})
-	g := &Graph{K: 1, Lists: [][]Neighbor{
+	g := New(1, [][]Neighbor{
 		{nb(9, 0.0)}, // ignored: not sampled
 		{nb(0, 0.9)}, // hit
 		{nb(9, 0.0)}, // ignored
 		{nb(5, 0.2)}, // miss
-	}}
+	})
 	if got := e.Recall(g); math.Abs(got-0.5) > 1e-12 {
 		t.Errorf("sampled Recall = %v, want 0.5", got)
 	}
@@ -148,7 +148,7 @@ func TestRecallSampledUsers(t *testing.T) {
 
 func TestRecallEmptyExact(t *testing.T) {
 	e := BuildExact(1, nil, nil)
-	g := &Graph{K: 1, Lists: [][]Neighbor{}}
+	g := New(1, nil)
 	if got := e.Recall(g); got != 0 {
 		t.Errorf("Recall on empty ground truth = %v, want 0", got)
 	}
@@ -191,8 +191,8 @@ func TestReadRoundTrip(t *testing.T) {
 	if back.NumUsers() != orig.NumUsers() {
 		t.Fatalf("user count changed: %d vs %d", back.NumUsers(), orig.NumUsers())
 	}
-	for u := range orig.Lists {
-		a, b := orig.Lists[u], back.Lists[u]
+	for u := 0; u < orig.NumUsers(); u++ {
+		a, b := orig.Neighbors(uint32(u)), back.Neighbors(uint32(u))
 		if len(a) != len(b) {
 			t.Fatalf("user %d: list sizes differ", u)
 		}
@@ -230,7 +230,7 @@ func TestReadSkipsCommentsAndSizesUsers(t *testing.T) {
 	if g.NumUsers() != 6 {
 		t.Errorf("NumUsers = %d, want 6", g.NumUsers())
 	}
-	if g.K != 1 {
-		t.Errorf("K inferred = %d, want 1", g.K)
+	if g.K() != 1 {
+		t.Errorf("K inferred = %d, want 1", g.K())
 	}
 }

@@ -77,7 +77,7 @@ func (e *Exact) Recall(g *Graph) float64 {
 	}
 	var sum float64
 	for i := 0; i < e.NumEvaluated(); i++ {
-		sum += e.RecallUser(i, g.Lists[e.UserAt(i)])
+		sum += e.RecallUser(i, g.Neighbors(e.UserAt(i)))
 	}
 	return sum / float64(e.NumEvaluated())
 }

@@ -94,7 +94,7 @@ func TestRemoveKeepsHeapInvariant(t *testing.T) {
 			}
 		}
 		// Heap invariant.
-		h := s.heaps[0]
+		h := &s.heaps[0]
 		for i := 1; i < len(h.entries); i++ {
 			parent := (i - 1) / 2
 			if worse(h.entries[i], h.entries[parent]) {

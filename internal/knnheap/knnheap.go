@@ -36,7 +36,9 @@ func worse(a, b Entry) bool {
 
 // Heap is a single bounded neighborhood: a min-heap whose root is the
 // worst retained neighbor. The zero value is unusable; heaps are created
-// through NewSet so capacity is shared.
+// through NewSet, which backs every heap's bounded entry storage with one
+// shared arena — two allocations for the whole population instead of two
+// per user, and neighboring users' entries adjacent in memory.
 type Heap struct {
 	mu      sync.Mutex
 	entries []Entry
@@ -45,7 +47,7 @@ type Heap struct {
 // Set is the collection of one heap per user, all bounded by the same k.
 type Set struct {
 	k     int
-	heaps []*Heap
+	heaps []Heap
 }
 
 // NewSet creates n empty heaps of capacity k.
@@ -53,22 +55,27 @@ func NewSet(n, k int) *Set {
 	if n < 0 || k < 1 {
 		panic("knnheap: NewSet requires n ≥ 0 and k ≥ 1")
 	}
-	s := &Set{k: k, heaps: make([]*Heap, n)}
+	s := &Set{k: k, heaps: make([]Heap, n)}
+	backing := make([]Entry, n*k)
 	for i := range s.heaps {
-		s.heaps[i] = &Heap{entries: make([]Entry, 0, k)}
+		lo := i * k
+		s.heaps[i].entries = backing[lo : lo : lo+k]
 	}
 	return s
 }
 
 // Grow appends extra empty heaps for users appended to the population.
 // It must not run concurrently with other Set operations (incremental
-// maintenance is single-writer); existing heaps are unaffected.
+// maintenance is single-writer); existing heaps are unaffected. Each Grow
+// batch gets its own entry arena.
 func (s *Set) Grow(extra int) {
 	if extra < 0 {
 		panic("knnheap: Grow requires extra ≥ 0")
 	}
+	backing := make([]Entry, extra*s.k)
 	for i := 0; i < extra; i++ {
-		s.heaps = append(s.heaps, &Heap{entries: make([]Entry, 0, s.k)})
+		lo := i * s.k
+		s.heaps = append(s.heaps, Heap{entries: backing[lo : lo : lo+s.k]})
 	}
 }
 
@@ -80,7 +87,7 @@ func (s *Set) Len() int { return len(s.heaps) }
 
 // Size returns the current number of neighbors of user u.
 func (s *Set) Size(u uint32) int {
-	h := s.heaps[u]
+	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.entries)
@@ -95,7 +102,7 @@ func (s *Set) Update(u uint32, id uint32, sim float64) int {
 }
 
 func (s *Set) update(u uint32, e Entry) int {
-	h := s.heaps[u]
+	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.entries {
@@ -120,7 +127,7 @@ func (s *Set) update(u uint32, e Entry) int {
 // Incremental maintenance uses it to evict entries whose similarity went
 // stale after a profile change, before re-offering the fresh value.
 func (s *Set) Remove(u uint32, id uint32) bool {
-	h := s.heaps[u]
+	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.entries {
@@ -143,7 +150,7 @@ func (s *Set) Remove(u uint32, id uint32) bool {
 // Clear empties u's heap (used when a user's neighborhood is rebuilt from
 // scratch after its profile changed).
 func (s *Set) Clear(u uint32) {
-	h := s.heaps[u]
+	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.entries = h.entries[:0]
@@ -152,7 +159,7 @@ func (s *Set) Clear(u uint32) {
 // Worst returns the root (worst retained neighbor) of u's heap and whether
 // the heap is non-empty.
 func (s *Set) Worst(u uint32) (Entry, bool) {
-	h := s.heaps[u]
+	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.entries) == 0 {
@@ -163,7 +170,7 @@ func (s *Set) Worst(u uint32) (Entry, bool) {
 
 // Contains reports whether id is currently a neighbor of u.
 func (s *Set) Contains(u uint32, id uint32) bool {
-	h := s.heaps[u]
+	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.entries {
@@ -177,15 +184,33 @@ func (s *Set) Contains(u uint32, id uint32) bool {
 // Neighbors appends u's current neighbors to dst in arbitrary (heap)
 // order and returns the extended slice.
 func (s *Set) Neighbors(dst []Entry, u uint32) []Entry {
-	h := s.heaps[u]
+	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append(dst, h.entries...)
 }
 
+// Export appends every heap's entries to entries (per heap, in arbitrary
+// heap order) and the CSR row offsets to offsets, so a snapshot of the
+// whole set lands in two contiguous arrays instead of one slice per user.
+// Each heap is read under its own lock; like Neighbors, Export may run
+// while another goroutine still updates the set, and each row is then
+// internally consistent even if the set as a whole keeps moving.
+func (s *Set) Export(offsets []int64, entries []Entry) ([]int64, []Entry) {
+	offsets = append(offsets, int64(len(entries)))
+	for i := range s.heaps {
+		h := &s.heaps[i]
+		h.mu.Lock()
+		entries = append(entries, h.entries...)
+		h.mu.Unlock()
+		offsets = append(offsets, int64(len(entries)))
+	}
+	return offsets, entries
+}
+
 // IDs appends the IDs of u's current neighbors to dst.
 func (s *Set) IDs(dst []uint32, u uint32) []uint32 {
-	h := s.heaps[u]
+	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.entries {
@@ -199,7 +224,7 @@ func (s *Set) IDs(dst []uint32, u uint32) []uint32 {
 // as new. This is the per-iteration flag harvest of NN-Descent's
 // incremental local join.
 func (s *Set) CollectFlagged(newIDs, oldIDs []uint32, u uint32) ([]uint32, []uint32) {
-	h := s.heaps[u]
+	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for i := range h.entries {

@@ -179,7 +179,7 @@ func TestHeapInvariantRandomized(t *testing.T) {
 	s := NewSet(1, 16)
 	for i := 0; i < 2000; i++ {
 		s.Update(0, uint32(r.Intn(500)), float64(r.Intn(20))/20)
-		h := s.heaps[0]
+		h := &s.heaps[0]
 		for idx := 1; idx < len(h.entries); idx++ {
 			parent := (idx - 1) / 2
 			if worse(h.entries[idx], h.entries[parent]) {

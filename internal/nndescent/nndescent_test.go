@@ -62,8 +62,8 @@ func TestEveryUserGetsKNeighbors(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Unlike KIFF, the random init guarantees full neighborhoods.
-	for u, l := range res.Graph.Lists {
-		if len(l) != k {
+	for u := 0; u < res.Graph.NumUsers(); u++ {
+		if l := res.Graph.Neighbors(uint32(u)); len(l) != k {
 			t.Fatalf("user %d has %d neighbors, want %d", u, len(l), k)
 		}
 	}
@@ -200,8 +200,8 @@ func TestRandomInitSeedDeterminism(t *testing.T) {
 	// After one iteration the graph content is a pure function of the
 	// initial graph (see knnheap order-independence), so equal seeds must
 	// give equal graphs even with different interleavings.
-	for u := range a.Graph.Lists {
-		la, lb := a.Graph.Lists[u], b.Graph.Lists[u]
+	for u := 0; u < a.Graph.NumUsers(); u++ {
+		la, lb := a.Graph.Neighbors(uint32(u)), b.Graph.Neighbors(uint32(u))
 		if len(la) != len(lb) {
 			t.Fatalf("user %d: graph differs across identical-seed runs", u)
 		}

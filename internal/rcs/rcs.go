@@ -23,9 +23,10 @@ package rcs
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 
+	"kiff/internal/arena"
 	"kiff/internal/dataset"
 	"kiff/internal/parallel"
 	"kiff/internal/stats"
@@ -57,6 +58,13 @@ type BuildOptions struct {
 
 // Sets holds one ranked candidate list per user plus the iteration cursors
 // used by the refinement phase's top-pop operation.
+//
+// Batch-built lists are views into per-worker-block arenas (internal/
+// arena): one contiguous backing array per block instead of one heap
+// allocation per user, so iterating the sets in user order walks memory
+// almost sequentially. PatchUser replaces individual rows with standalone
+// slices; mixing the two storage kinds is fine because rows are only ever
+// read through their views.
 type Sets struct {
 	lists   [][]uint32
 	counts  [][]int32 // nil unless KeepCounts
@@ -78,6 +86,25 @@ type BuildStats struct {
 	AvgLen float64
 	// MaxLen is the largest |RCSu|.
 	MaxLen int
+}
+
+// CompareRanked is the candidate ordering every counting-phase consumer
+// shares: shared-item count descending, ties broken by ascending user
+// ID. The tie-break is load-bearing — it makes candidate ranking (and
+// through it the whole deterministic pipeline) independent of worker
+// count and map iteration order.
+func CompareRanked(ca, cb int32, a, b uint32) int {
+	switch {
+	case ca > cb:
+		return -1
+	case ca < cb:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
 }
 
 // Build runs the counting phase.
@@ -106,9 +133,18 @@ func Build(d *dataset.Dataset, opts BuildOptions) *Sets {
 
 	parallel.Blocks(n, opts.Workers, func(_, lo, hi int) {
 		// Per-worker scratch: a dense count array plus the list of touched
-		// candidates, reset between users in O(|touched|).
+		// candidates, reset between users in O(|touched|), and a reusable
+		// ordering buffer. Rows are ranked in the scratch buffer and then
+		// appended to the block arena — no per-user allocation.
 		countOf := make([]int32, n)
 		touched := make([]uint32, 0, 256)
+		order := make([]uint32, 0, 256)
+		var cscratch []int32
+		ab := arena.NewBuilder[uint32](hi-lo, 0)
+		var cb *arena.Builder[int32]
+		if opts.KeepCounts {
+			cb = arena.NewBuilder[int32](hi-lo, 0)
+		}
 		var rng *rand.Rand
 		if opts.Shuffle {
 			rng = rand.New(rand.NewSource(opts.Seed + int64(lo)))
@@ -136,29 +172,34 @@ func Build(d *dataset.Dataset, opts BuildOptions) *Sets {
 					countOf[v]++
 				}
 			}
-			list := make([]uint32, len(touched))
-			copy(list, touched)
+			order = append(order[:0], touched...)
 			if opts.Shuffle {
-				rng.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
+				rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 			} else {
-				sort.Slice(list, func(i, j int) bool {
-					ci, cj := countOf[list[i]], countOf[list[j]]
-					if ci != cj {
-						return ci > cj
-					}
-					return list[i] < list[j]
+				slices.SortFunc(order, func(a, b uint32) int {
+					return CompareRanked(countOf[a], countOf[b], a, b)
 				})
 			}
+			ab.AppendRow(order)
 			if opts.KeepCounts {
-				cs := make([]int32, len(list))
-				for i, v := range list {
-					cs[i] = countOf[v]
+				cscratch = cscratch[:0]
+				for _, v := range order {
+					cscratch = append(cscratch, countOf[v])
 				}
-				s.counts[u] = cs
+				cb.AppendRow(cscratch)
 			}
-			s.lists[u] = list
 			for _, v := range touched {
 				countOf[v] = 0
+			}
+		}
+		rows := ab.Rows()
+		for i := 0; i < rows.NumRows(); i++ {
+			s.lists[lo+i] = rows.Row(i)
+		}
+		if cb != nil {
+			crows := cb.Rows()
+			for i := 0; i < crows.NumRows(); i++ {
+				s.counts[lo+i] = crows.Row(i)
 			}
 		}
 	})
@@ -227,12 +268,8 @@ func CandidatesFor(d *dataset.Dataset, u uint32, opts BuildOptions) []uint32 {
 	for v := range counts {
 		list = append(list, v)
 	}
-	sort.Slice(list, func(i, j int) bool {
-		ci, cj := counts[list[i]], counts[list[j]]
-		if ci != cj {
-			return ci > cj
-		}
-		return list[i] < list[j]
+	slices.SortFunc(list, func(a, b uint32) int {
+		return CompareRanked(counts[a], counts[b], a, b)
 	})
 	return list
 }

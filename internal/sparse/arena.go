@@ -1,0 +1,34 @@
+package sparse
+
+// Compact re-lays a set of vectors onto two shared backing arenas (one
+// for IDs, one for weights), returning new vector headers whose slices
+// are capacity-clamped views into the arenas. The per-vector heap
+// allocations of the input are released; scanning the output in order
+// walks memory sequentially — the layout every batch phase (counting,
+// similarity) wants.
+//
+// The clamped capacity doubles as the copy-on-write guarantee the
+// snapshot machinery relies on: appending to a compacted vector's slices
+// always reallocates, so a reader holding the old header never observes
+// the mutation.
+func Compact(vs []Vector) []Vector {
+	totalIDs, totalWeights := 0, 0
+	for _, v := range vs {
+		totalIDs += len(v.IDs)
+		totalWeights += len(v.Weights)
+	}
+	ids := make([]uint32, 0, totalIDs)
+	weights := make([]float64, 0, totalWeights)
+	out := make([]Vector, len(vs))
+	for i, v := range vs {
+		lo := len(ids)
+		ids = append(ids, v.IDs...)
+		out[i] = Vector{IDs: ids[lo:len(ids):len(ids)]}
+		if v.Weights != nil {
+			wlo := len(weights)
+			weights = append(weights, v.Weights...)
+			out[i].Weights = weights[wlo:len(weights):len(weights)]
+		}
+	}
+	return out
+}

@@ -44,6 +44,7 @@
 package kiff
 
 import (
+	"fmt"
 	"io"
 	"os"
 
@@ -179,8 +180,14 @@ func buildEngine(d *Dataset, opts Options) (*engine.Result, error) {
 
 // Recall scores an approximate graph against exact ground truth computed
 // by brute force over sampleSize users (0 = every user), using the same
-// metric. It implements Eq. (3)/(4) of the paper, tie-aware.
+// metric. It implements Eq. (3)/(4) of the paper, tie-aware. The graph
+// must cover exactly the dataset's users — loading a saved graph against
+// a different edge list is rejected rather than mis-scored.
 func Recall(d *Dataset, g *Graph, opts Options, sampleSize int) (float64, error) {
+	if g.NumUsers() != d.NumUsers() {
+		return 0, fmt.Errorf("kiff: recall: graph covers %d users, dataset has %d (was the graph built/saved from a different dataset?)",
+			g.NumUsers(), d.NumUsers())
+	}
 	metricName := opts.Metric
 	if metricName == "" {
 		metricName = "cosine"
@@ -191,9 +198,9 @@ func Recall(d *Dataset, g *Graph, opts Options, sampleSize int) (float64, error)
 	}
 	var exact *knngraph.Exact
 	if sampleSize > 0 && sampleSize < d.NumUsers() {
-		exact = bruteforce.Sampled(d, metric, g.K, sampleSize, opts.Seed, opts.Workers)
+		exact = bruteforce.Sampled(d, metric, g.K(), sampleSize, opts.Seed, opts.Workers)
 	} else {
-		exact = bruteforce.Exact(d, metric, g.K, opts.Workers)
+		exact = bruteforce.Exact(d, metric, g.K(), opts.Workers)
 	}
 	return exact.Recall(g), nil
 }
@@ -238,6 +245,78 @@ func LoadFile(path string, opts LoadOptions) (*Dataset, error) {
 
 // WriteDataset serializes a dataset as an edge list that Load round-trips.
 func WriteDataset(w io.Writer, d *Dataset) error { return dataset.Write(w, d) }
+
+// WriteGraphBinary serializes a graph in the versioned, checksummed
+// binary format (magic KFG1): build once, then serve the saved graph
+// from any number of processes via ReadGraphBinary. Similarities are
+// stored bit-exactly, so the loaded graph scores identically to the
+// in-memory one.
+func WriteGraphBinary(w io.Writer, g *Graph) error {
+	_, err := g.WriteTo(w)
+	return err
+}
+
+// ReadGraphBinary decodes a graph written by WriteGraphBinary, verifying
+// the checksum and graph invariants. Corrupt input returns an error,
+// never panics.
+func ReadGraphBinary(r io.Reader) (*Graph, error) { return knngraph.ReadBinary(r) }
+
+// SaveGraph writes the binary graph format to a file.
+func SaveGraph(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteGraphBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadGraph reads a file written by SaveGraph.
+func LoadGraph(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadGraphBinary(f)
+}
+
+// WriteDatasetBinary serializes a dataset in the versioned, checksummed
+// binary format (magic KFD1). Unlike the text edge list, ratings are
+// stored bit-exactly. The item-profile index is not serialized; it is
+// rebuilt lazily on first use after a load (NewIndex, Build and
+// NewMaintainer all trigger it).
+func WriteDatasetBinary(w io.Writer, d *Dataset) error { return dataset.WriteBinary(w, d) }
+
+// ReadDatasetBinary decodes a dataset written by WriteDatasetBinary,
+// verifying the checksum and dataset invariants.
+func ReadDatasetBinary(r io.Reader) (*Dataset, error) { return dataset.ReadBinary(r) }
+
+// SaveDataset writes the binary dataset format to a file.
+func SaveDataset(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDatasetBinary(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDataset reads a file written by SaveDataset.
+func LoadDataset(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDatasetBinary(f)
+}
 
 // GeneratePreset materializes one of the paper's synthetic dataset
 // replicas ("arxiv", "wikipedia", "gowalla", "dblp") at the given scale

@@ -125,8 +125,8 @@ func TestNegativeBetaIsExactViaFacade(t *testing.T) {
 	if viaBeta.Run.Iterations < viaGamma.Run.Iterations {
 		t.Errorf("Beta<0 ran %d iterations, γ=∞ ran %d", viaBeta.Run.Iterations, viaGamma.Run.Iterations)
 	}
-	for u := range viaGamma.Graph.Lists {
-		a, b := viaGamma.Graph.Lists[u], viaBeta.Graph.Lists[u]
+	for u := 0; u < viaGamma.Graph.NumUsers(); u++ {
+		a, b := viaGamma.Graph.Neighbors(uint32(u)), viaBeta.Graph.Neighbors(uint32(u))
 		if len(a) != len(b) {
 			t.Fatalf("user %d: neighbor counts differ: %d vs %d", u, len(a), len(b))
 		}

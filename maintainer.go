@@ -36,8 +36,12 @@ import (
 // it never evaluated; the recall of the maintained graph consequently
 // tracks a cold build's within noise (see the convergence property test).
 //
-// A Maintainer is a single-writer structure: Insert, AddRating and
-// Rebuild must not run concurrently with each other or with Graph.
+// A Maintainer is a single-writer structure: Insert, InsertBatch,
+// AddRating and Rebuild must not run concurrently with each other or
+// with Graph. Concurrent readers do not touch the live structures at
+// all: they load the immutable Snapshot the writer publishes after each
+// mutation batch (see Snapshot) and serve Neighbors/Query from it
+// lock-free.
 type Maintainer struct {
 	d     *Dataset
 	opts  engine.Options
@@ -55,6 +59,11 @@ type Maintainer struct {
 	run     runstats.Run
 	dirty   map[uint32]struct{}
 	scratch []uint32
+
+	// snap is the serving-side publication point: an immutable view
+	// replaced wholesale by the writer, loaded lock-free by readers.
+	snap    atomic.Pointer[Snapshot]
+	version uint64
 }
 
 // NewMaintainer cold-builds the KNN graph with KIFF (honoring opts as in
@@ -110,8 +119,23 @@ func NewMaintainer(d *Dataset, opts Options) (*Maintainer, error) {
 		m.refresh = refresh
 		m.simOK = true
 	}
+	m.publish()
 	return m, nil
 }
+
+// publish freezes the current graph and dataset into a new Snapshot and
+// swaps it in atomically. Writer-only; see newSnapshot for the cost
+// model.
+func (m *Maintainer) publish() {
+	m.version++
+	m.snap.Store(newSnapshot(m.version, knngraph.FromSet(m.heaps), m.d.View(), m.opts.Metric))
+}
+
+// Snapshot returns the most recently published immutable view. It is
+// safe to call from any goroutine at any time; the returned Snapshot
+// stays valid (and internally consistent) forever, even as the writer
+// publishes newer ones.
+func (m *Maintainer) Snapshot() *Snapshot { return m.snap.Load() }
 
 // rcsOpts maps the maintenance options onto the counting-phase options.
 func (m *Maintainer) rcsOpts() rcs.BuildOptions {
@@ -156,7 +180,40 @@ func (m *Maintainer) Insert(p Profile) (uint32, error) {
 	m.refineUser(id)
 	m.run.NumUsers = m.d.NumUsers()
 	m.run.WallTime += time.Since(start)
+	m.publish()
 	return id, nil
+}
+
+// InsertBatch inserts a batch of users, growing the neighborhood heaps
+// once and publishing a single snapshot at the end — amortizing both the
+// per-user arena growth and the O(|U|·k + |I|) publication cost over the
+// whole batch. Profiles are validated up front; on a validation error
+// nothing is mutated.
+func (m *Maintainer) InsertBatch(ps []Profile) ([]uint32, error) {
+	start := time.Now()
+	for i := range ps {
+		if err := ps[i].Validate(); err != nil {
+			return nil, fmt.Errorf("kiff: insert batch: profile %d: %w", i, err)
+		}
+	}
+	m.heaps.Grow(len(ps))
+	ids := make([]uint32, 0, len(ps))
+	for _, p := range ps {
+		// AddUser re-validates; validation is its only error path, so it
+		// cannot fail on the pre-checked profiles above.
+		id, err := m.d.AddUser(p)
+		if err != nil {
+			return ids, fmt.Errorf("kiff: insert batch: %w", err)
+		}
+		m.sets.PatchUser(m.d, id, m.rcsOpts())
+		m.noteMutation(id)
+		m.refineUser(id)
+		ids = append(ids, id)
+	}
+	m.run.NumUsers = m.d.NumUsers()
+	m.run.WallTime += time.Since(start)
+	m.publish()
+	return ids, nil
 }
 
 // AddRating records a rating change for an existing user and marks the
@@ -229,6 +286,7 @@ func (m *Maintainer) Rebuild(dirty []uint32) error {
 		delete(m.dirty, u)
 	}
 	m.run.WallTime += time.Since(start)
+	m.publish()
 	return nil
 }
 

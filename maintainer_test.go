@@ -140,8 +140,8 @@ func TestMaintainerRebuildRefreshesDirtyUsers(t *testing.T) {
 	// No stale similarities may survive anywhere: every edge must carry the
 	// post-mutation similarity of its endpoints.
 	sim := similarity.Cosine{}.Prepare(m.Dataset())
-	for u := range g.Lists {
-		for _, nb := range g.Lists[u] {
+	for u := 0; u < g.NumUsers(); u++ {
+		for _, nb := range g.Neighbors(uint32(u)) {
 			if want := sim(uint32(u), nb.ID); math.Abs(nb.Sim-want) > 1e-12 {
 				t.Fatalf("stale edge %d→%d: recorded sim %v, true sim %v", u, nb.ID, nb.Sim, want)
 			}
@@ -154,8 +154,8 @@ func TestMaintainerRebuildRefreshesDirtyUsers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := exact.Graph.Lists[target]
-	got := g.Lists[target]
+	want := exact.Graph.Neighbors(target)
+	got := g.Neighbors(target)
 	if len(got) != len(want) {
 		t.Fatalf("rebuilt user has %d neighbors, exact has %d", len(got), len(want))
 	}
@@ -272,7 +272,7 @@ func TestMaintainerNonIncrementalMetric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, got := exact.Graph.Lists[id], g.Lists[id]
+	want, got := exact.Graph.Neighbors(id), g.Neighbors(id)
 	if len(got) != len(want) {
 		t.Fatalf("inserted user has %d neighbors, exact has %d", len(got), len(want))
 	}

@@ -1,0 +1,75 @@
+package kiff
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestPersistedGraphScoresIdentically is the facade-level round-trip
+// guarantee: a graph saved and loaded through the binary codec is
+// bit-identical to the in-memory one, so recall computed against it is
+// *exactly* equal — not approximately.
+func TestPersistedGraphScoresIdentically(t *testing.T) {
+	d, err := GeneratePreset("wikipedia", 0.02, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 8, Seed: 5}
+	res, err := Build(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "graph.kfg")
+	dpath := filepath.Join(dir, "data.kfd")
+	if err := SaveGraph(gpath, res.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDataset(dpath, d); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := LoadGraph(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadDataset(dpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recall over the loaded pair must be exactly the in-memory number:
+	// the codec stores similarities and ratings bit-for-bit.
+	want, err := Recall(d, res.Graph, opts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recall(ds, g, opts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("recall of loaded graph = %v, in-memory = %v (must be exactly equal)", got, want)
+	}
+
+	// A loaded dataset is immediately serviceable: index queries work
+	// and the maintained path accepts it.
+	ix, err := NewIndex(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Query(ds.Users[0], 5, -1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Insert(ds.Users[1].Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Snapshot().Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

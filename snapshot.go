@@ -1,0 +1,77 @@
+package kiff
+
+import (
+	"io"
+
+	"kiff/internal/core"
+	"kiff/internal/dataset"
+	"kiff/internal/knngraph"
+	"kiff/internal/similarity"
+)
+
+// Snapshot is an immutable, consistent view of a maintained KNN graph and
+// the dataset state it was built against: the serving-side counterpart of
+// the Maintainer. The Maintainer publishes a fresh Snapshot through an
+// atomic pointer after every mutation batch (Insert, InsertBatch,
+// Rebuild), so any number of reader goroutines can call Neighbors and
+// Query lock-free — and keep using the Snapshot they hold for as long as
+// they like — while the single writer keeps maintaining the live graph.
+//
+// Consistency contract: the graph and dataset inside one Snapshot belong
+// to the same publication point. Rating changes recorded by AddRating
+// appear in the *next* published snapshot's dataset; the neighborhoods
+// they invalidate are refreshed by Rebuild, exactly as in the live graph.
+type Snapshot struct {
+	version uint64
+	graph   *Graph
+	data    *Dataset // frozen dataset.View; never mutated
+	index   *Index
+}
+
+// Version returns the publication sequence number: 1 for the snapshot
+// published by NewMaintainer, +1 for each republication. Readers can use
+// it to detect staleness cheaply.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// NumUsers returns the number of users covered by the snapshot.
+func (s *Snapshot) NumUsers() int { return s.data.NumUsers() }
+
+// K returns the neighborhood size of the snapshot graph.
+func (s *Snapshot) K() int { return s.graph.K() }
+
+// Graph returns the immutable KNN graph of the snapshot.
+func (s *Snapshot) Graph() *Graph { return s.graph }
+
+// Dataset returns the frozen dataset the snapshot was published against.
+// Treat it as read-only: mutate only through the Maintainer.
+func (s *Snapshot) Dataset() *Dataset { return s.data }
+
+// Neighbors returns user u's neighbor list in the snapshot graph (do not
+// mutate). Safe for any number of concurrent callers.
+func (s *Snapshot) Neighbors(u uint32) []Neighbor { return s.graph.Neighbors(u) }
+
+// Query returns the k users most similar to an arbitrary profile under
+// the maintained metric, using KIFF's counting-phase pruning against the
+// snapshot's frozen item-profile index. budget bounds similarity
+// evaluations as in Index.Query (negative = exact). Safe for any number
+// of concurrent callers.
+func (s *Snapshot) Query(profile Profile, k, budget int) ([]Neighbor, error) {
+	return s.index.Query(profile, k, budget)
+}
+
+// WriteGraphTo serializes the snapshot graph in the binary graph format
+// — the handoff from a maintaining process to serving processes.
+func (s *Snapshot) WriteGraphTo(w io.Writer) (int64, error) { return s.graph.WriteTo(w) }
+
+// newSnapshot freezes the current maintainer state. Called by the writer
+// only; cost is O(|U|·k) for the graph export plus O(|U| + |I|) for the
+// dataset header copies — batch mutations (InsertBatch, Rebuild) to
+// amortize it.
+func newSnapshot(version uint64, g *knngraph.Graph, view *dataset.Dataset, metric similarity.Metric) *Snapshot {
+	return &Snapshot{
+		version: version,
+		graph:   g,
+		data:    view,
+		index:   core.NewIndex(view, metric),
+	}
+}

@@ -1,0 +1,283 @@
+package kiff
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// snapshotFixture builds a small random dataset plus a Maintainer over it.
+func snapshotFixture(t testing.TB, users, items int, seed int64) *Maintainer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	profiles := make([]Profile, users)
+	for u := range profiles {
+		m := map[uint32]float64{}
+		for j := 0; j < 3+rng.Intn(6); j++ {
+			m[uint32(rng.Intn(items))] = float64(1 + rng.Intn(5))
+		}
+		profiles[u] = ProfileFromMap(m, false)
+	}
+	d, err := NewDataset("snapfix", profiles, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaintainer(d, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randomProfile(rng *rand.Rand, items int) Profile {
+	m := map[uint32]float64{}
+	for j := 0; j < 3+rng.Intn(6); j++ {
+		m[uint32(rng.Intn(items))] = float64(1 + rng.Intn(5))
+	}
+	return ProfileFromMap(m, false)
+}
+
+func TestSnapshotPublishedAtConstruction(t *testing.T) {
+	m := snapshotFixture(t, 60, 40, 7)
+	s := m.Snapshot()
+	if s == nil {
+		t.Fatal("no snapshot published by NewMaintainer")
+	}
+	if s.Version() != 1 {
+		t.Errorf("initial version = %d, want 1", s.Version())
+	}
+	if s.NumUsers() != 60 || s.Graph().NumUsers() != 60 {
+		t.Errorf("snapshot covers %d/%d users, want 60", s.NumUsers(), s.Graph().NumUsers())
+	}
+	if err := s.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot graph equals the live graph at publication time.
+	live := m.Graph()
+	for u := 0; u < live.NumUsers(); u++ {
+		a, b := live.Neighbors(uint32(u)), s.Neighbors(uint32(u))
+		if len(a) != len(b) {
+			t.Fatalf("user %d: snapshot list diverges from live graph", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %d: snapshot entry %d = %v, live %v", u, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotIsolatedFromLaterMutations(t *testing.T) {
+	m := snapshotFixture(t, 50, 30, 11)
+	rng := rand.New(rand.NewSource(12))
+
+	old := m.Snapshot()
+	oldUsers := old.NumUsers()
+	oldEdges := old.Graph().NumEdges()
+	type edge struct {
+		u  uint32
+		nb Neighbor
+	}
+	var oldView []edge
+	for u := 0; u < old.Graph().NumUsers(); u++ {
+		for _, nb := range old.Neighbors(uint32(u)) {
+			oldView = append(oldView, edge{uint32(u), nb})
+		}
+	}
+
+	// Hammer the maintainer: inserts, rating updates, rebuilds.
+	for i := 0; i < 25; i++ {
+		if _, err := m.Insert(randomProfile(rng, 30)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddRating(uint32(rng.Intn(50)), uint32(rng.Intn(30)), float64(1+rng.Intn(5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Rebuild(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old snapshot must be bit-for-bit what it was.
+	if old.NumUsers() != oldUsers || old.Graph().NumEdges() != oldEdges {
+		t.Fatalf("old snapshot changed shape: %d users %d edges, was %d/%d",
+			old.NumUsers(), old.Graph().NumEdges(), oldUsers, oldEdges)
+	}
+	i := 0
+	for u := 0; u < old.Graph().NumUsers(); u++ {
+		for _, nb := range old.Neighbors(uint32(u)) {
+			if oldView[i].u != uint32(u) || oldView[i].nb != nb {
+				t.Fatalf("old snapshot edge %d changed: %v vs %v", i, oldView[i], nb)
+			}
+			i++
+		}
+	}
+
+	// And the new snapshot reflects the mutations.
+	cur := m.Snapshot()
+	if cur.Version() <= old.Version() {
+		t.Fatalf("version did not advance: %d after %d", cur.Version(), old.Version())
+	}
+	if cur.NumUsers() != 75 {
+		t.Fatalf("new snapshot has %d users, want 75", cur.NumUsers())
+	}
+}
+
+func TestSnapshotQueryMatchesIndex(t *testing.T) {
+	m := snapshotFixture(t, 80, 50, 21)
+	s := m.Snapshot()
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		q := randomProfile(rng, 50)
+		got, err := s.Query(q, 5, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := NewIndex(s.Dataset(), Options{K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ix.Query(q, 5, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].ID || math.Abs(got[i].Sim-want[i].Sim) > 1e-12 {
+				t.Fatalf("trial %d result %d: %v vs %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInsertBatchPublishesOnce(t *testing.T) {
+	m := snapshotFixture(t, 40, 30, 31)
+	rng := rand.New(rand.NewSource(32))
+	before := m.Snapshot().Version()
+	batch := make([]Profile, 8)
+	for i := range batch {
+		batch[i] = randomProfile(rng, 30)
+	}
+	ids, err := m.InsertBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 8 {
+		t.Fatalf("inserted %d users, want 8", len(ids))
+	}
+	after := m.Snapshot()
+	if after.Version() != before+1 {
+		t.Errorf("batch published %d snapshots, want 1", after.Version()-before)
+	}
+	if after.NumUsers() != 48 {
+		t.Errorf("snapshot has %d users, want 48", after.NumUsers())
+	}
+	if err := after.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentServing is the serving-safety property of the snapshot
+// machinery: N reader goroutines continuously load snapshots and serve
+// Neighbors/Query from them while the single writer streams Insert,
+// AddRating and Rebuild. Run under -race (the CI race job does), this
+// both exercises the copy-on-write discipline of the dataset mutators
+// and asserts every observed snapshot is internally consistent.
+func TestConcurrentServing(t *testing.T) {
+	const (
+		readers = 4
+		items   = 40
+		ops     = 120
+	)
+	m := snapshotFixture(t, 80, items, 41)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			lastVersion := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Snapshot()
+				if s.Version() < lastVersion {
+					t.Errorf("snapshot version went backwards: %d after %d", s.Version(), lastVersion)
+					return
+				}
+				lastVersion = s.Version()
+
+				// Internal consistency: graph and dataset cover the same
+				// population, the graph is structurally valid, every edge
+				// stays inside it, and the frozen dataset passes its own
+				// (exhaustive) invariant check.
+				g := s.Graph()
+				n := s.NumUsers()
+				if g.NumUsers() != n {
+					t.Errorf("snapshot v%d: graph covers %d users, dataset %d", s.Version(), g.NumUsers(), n)
+					return
+				}
+				if err := g.Validate(); err != nil {
+					t.Errorf("snapshot v%d: invalid graph: %v", s.Version(), err)
+					return
+				}
+				for u := 0; u < n; u++ {
+					for _, nb := range s.Neighbors(uint32(u)) {
+						if int(nb.ID) >= n {
+							t.Errorf("snapshot v%d: edge %d→%d escapes population %d", s.Version(), u, nb.ID, n)
+							return
+						}
+					}
+				}
+				if err := s.Dataset().Validate(); err != nil {
+					t.Errorf("snapshot v%d: invalid dataset: %v", s.Version(), err)
+					return
+				}
+				if _, err := s.Query(randomProfile(rng, items), 3, 64); err != nil {
+					t.Errorf("snapshot v%d: query: %v", s.Version(), err)
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	writerRng := rand.New(rand.NewSource(55))
+	for i := 0; i < ops; i++ {
+		switch writerRng.Intn(4) {
+		case 0, 1:
+			if _, err := m.Insert(randomProfile(writerRng, items)); err != nil {
+				t.Error(err)
+			}
+		case 2:
+			u := uint32(writerRng.Intn(m.Dataset().NumUsers()))
+			if err := m.AddRating(u, uint32(writerRng.Intn(items)), float64(1+writerRng.Intn(5))); err != nil {
+				t.Error(err)
+			}
+		case 3:
+			if err := m.Rebuild(nil); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := m.Rebuild(nil); err != nil {
+		t.Error(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	final := m.Snapshot()
+	if err := final.Graph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if final.NumUsers() != final.Graph().NumUsers() {
+		t.Fatal("final snapshot inconsistent")
+	}
+}
