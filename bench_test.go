@@ -12,6 +12,7 @@ package kiff
 import (
 	"bytes"
 	"io"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -391,6 +392,70 @@ func BenchmarkGraphBinaryDecode(b *testing.B) {
 		if _, err := knngraph.ReadBinary(bytes.NewReader(buf.Bytes())); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchCheckpoint builds the ablation fixture once and saves the graph
+// and dataset checkpoints for the load-path benchmarks.
+func benchCheckpoint(b *testing.B) (gpath, dpath string) {
+	b.Helper()
+	d := ablationDataset(b)
+	res, err := core.Build(d, core.DefaultConfig(10))
+	benchErr(b, err)
+	dir := b.TempDir()
+	gpath = filepath.Join(dir, "graph.kfg")
+	dpath = filepath.Join(dir, "data.kfd")
+	benchErr(b, SaveGraph(gpath, res.Graph))
+	benchErr(b, SaveDataset(dpath, d))
+	return gpath, dpath
+}
+
+// BenchmarkGraphLoadHeap vs BenchmarkGraphLoadMapped pin the mmap-path
+// property: the heap load allocates O(edges), the mapped load O(1) —
+// compare allocs/op and bytes/op between the two.
+func BenchmarkGraphLoadHeap(b *testing.B) {
+	gpath, _ := benchCheckpoint(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := LoadGraph(gpath)
+		benchErr(b, err)
+		_ = g
+	}
+}
+
+func BenchmarkGraphLoadMapped(b *testing.B) {
+	gpath, _ := benchCheckpoint(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg, err := LoadGraphMapped(gpath)
+		benchErr(b, err)
+		benchErr(b, mg.Close())
+	}
+}
+
+// Dataset loads: the mapped path still allocates the O(|U|) profile
+// headers, but the ID/rating payload arenas stay in the mapping.
+func BenchmarkDatasetLoadHeap(b *testing.B) {
+	_, dpath := benchCheckpoint(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := LoadDataset(dpath)
+		benchErr(b, err)
+		_ = d
+	}
+}
+
+func BenchmarkDatasetLoadMapped(b *testing.B) {
+	_, dpath := benchCheckpoint(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		md, err := LoadDatasetMapped(dpath)
+		benchErr(b, err)
+		benchErr(b, md.Close())
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -126,6 +127,63 @@ func runBenchOut(path string, stderr io.Writer) error {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := kiff.ReadDatasetBinary(bytes.NewReader(dsEncoded.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Load-path benches: heap decode vs zero-copy mapped decode of the
+	// same checkpoints. allocs/op is the headline — the mapped loads stay
+	// O(1) in graph size.
+	tmp, err := os.MkdirTemp("", "kiffbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	gpath := filepath.Join(tmp, "graph.kfg")
+	dpath := filepath.Join(tmp, "data.kfd")
+	if err := kiff.SaveGraph(gpath, built.Graph); err != nil {
+		return err
+	}
+	if err := kiff.SaveDataset(dpath, d); err != nil {
+		return err
+	}
+	report.Benches = append(report.Benches, measure("graph-load-heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kiff.LoadGraph(gpath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	report.Benches = append(report.Benches, measure("graph-load-mapped", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mg, err := kiff.LoadGraphMapped(gpath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := mg.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	report.Benches = append(report.Benches, measure("dataset-load-heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := kiff.LoadDataset(dpath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	report.Benches = append(report.Benches, measure("dataset-load-mapped", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			md, err := kiff.LoadDatasetMapped(dpath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := md.Close(); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -14,6 +14,12 @@
 //	kiffknn -in ratings.tsv -k 20 -save graph.kfg -o /dev/null
 //	kiffknn -load graph.kfg -o graph.tsv
 //	kiffknn -in ratings.tsv -load graph.kfg -recall-sample 500
+//
+// -save-data persists the dataset alongside the graph — the checkpoint
+// pair cmd/kiffserve serves:
+//
+//	kiffknn -in ratings.tsv -k 20 -save graph.kfg -save-data data.kfd -o /dev/null
+//	kiffserve -graph graph.kfg -data data.kfd
 package main
 
 import (
@@ -50,6 +56,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		recallSample = fs.Int("recall-sample", 0, "if > 0, report recall estimated on this many users (needs -in)")
 		binary       = fs.Bool("binary", false, "ignore the rating column")
 		save         = fs.String("save", "", "after building, save the graph in binary format to this path")
+		saveData     = fs.String("save-data", "", "save the loaded dataset in binary format to this path (the kiffserve companion of -save)")
 		load         = fs.String("load", "", "skip construction: load a binary graph saved with -save")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -110,6 +117,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			return fmt.Errorf("save graph: %w", err)
 		}
 		fmt.Fprintf(stderr, "kiffknn: graph saved to %s\n", *save)
+	}
+	if *saveData != "" {
+		if ds == nil {
+			return fmt.Errorf("-save-data needs the dataset: pass -in")
+		}
+		if err := kiff.SaveDataset(*saveData, ds); err != nil {
+			return fmt.Errorf("save dataset: %w", err)
+		}
+		fmt.Fprintf(stderr, "kiffknn: dataset saved to %s\n", *saveData)
 	}
 
 	if *recallSample > 0 {

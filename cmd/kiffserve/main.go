@@ -1,0 +1,204 @@
+// Command kiffserve is the HTTP serving front-end: it loads (or
+// cold-builds) a KNN graph, wraps it in the lock-free snapshot serving
+// path, and exposes neighbor lookups, profile queries and mutations over
+// HTTP (see internal/server for the endpoint contract).
+//
+// Serve a saved checkpoint, zero-copy via mmap (the intended production
+// flow — build once with kiffknn -save, serve many):
+//
+//	kiffknn -in ratings.tsv -k 20 -save graph.kfg -o /dev/null
+//	kiffserve -graph graph.kfg -data data.kfd -addr :8080
+//
+// Flags select the load path (-mmap=false forces the heap decoder), a
+// read-only mode (-readonly skips the Maintainer entirely; mutation
+// endpoints return 403), and a cold build straight from an edge list
+// (-in ratings.tsv) for small datasets and smoke tests.
+//
+//	curl localhost:8080/neighbors/42
+//	curl -X POST localhost:8080/query -d '{"profile":{"7":3,"42":5},"k":10}'
+//	curl -X POST localhost:8080/users -d '{"profile":{"42":5}}'
+//	curl -X POST localhost:8080/ratings -d '{"user":3,"item":42,"rating":4}'
+//	curl localhost:8080/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"kiff"
+	"kiff/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "kiffserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the serving stack and blocks until ctx is canceled or the
+// listener fails. When ready is non-nil the bound address is sent on it
+// once the listener is up (the in-process test hook).
+func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) error {
+	fs := flag.NewFlagSet("kiffserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		graph    = fs.String("graph", "", "binary graph checkpoint (kiffknn -save); requires -data")
+		data     = fs.String("data", "", "binary dataset checkpoint (SaveDataset)")
+		in       = fs.String("in", "", "edge list to load and cold-build from (alternative to -graph/-data)")
+		binary   = fs.Bool("binary", false, "ignore the rating column of -in")
+		useMmap  = fs.Bool("mmap", true, "load checkpoints through the zero-copy mmap path")
+		readonly = fs.Bool("readonly", false, "serve a static snapshot; mutation endpoints return 403")
+		k        = fs.Int("k", 20, "neighborhood size for cold builds (checkpoints carry their own)")
+		metric   = fs.String("metric", "cosine", "similarity metric: "+strings.Join(kiff.Metrics(), ", "))
+		budget   = fs.Int("budget", 0, "default similarity-eval budget per query (0 = exact)")
+		queue    = fs.Int("queue", 256, "mutation queue depth (full queue = backpressure)")
+		batch    = fs.Int("batch", 64, "max mutations applied per writer batch")
+		workers  = fs.Int("workers", 0, "cold-build worker goroutines (0 = all CPUs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := kiff.Options{K: *k, Metric: *metric, Workers: *workers}
+
+	// --- Assemble the dataset -------------------------------------------
+	var (
+		ds  *kiff.Dataset
+		err error
+	)
+	switch {
+	case *data != "" && *useMmap:
+		md, merr := kiff.LoadDatasetMapped(*data)
+		if merr != nil {
+			return fmt.Errorf("load dataset: %w", merr)
+		}
+		// The mapping lives for the process lifetime; the kernel reclaims
+		// it at exit.
+		ds = md.Dataset()
+		fmt.Fprintf(stderr, "kiffserve: dataset %s loaded (mmap=%v)\n", *data, md.Mapped())
+	case *data != "":
+		if ds, err = kiff.LoadDataset(*data); err != nil {
+			return fmt.Errorf("load dataset: %w", err)
+		}
+		fmt.Fprintf(stderr, "kiffserve: dataset %s loaded (heap)\n", *data)
+	case *in != "":
+		if ds, err = kiff.LoadFile(*in, kiff.LoadOptions{Binary: *binary}); err != nil {
+			return fmt.Errorf("load edge list: %w", err)
+		}
+		fmt.Fprintf(stderr, "kiffserve: loaded %s\n", ds.Stats())
+	default:
+		fs.Usage()
+		return fmt.Errorf("a data source is required: -graph/-data checkpoints or -in edge list")
+	}
+
+	// --- Assemble the graph + serving source ----------------------------
+	cfg := server.Config{
+		QueryBudget: *budget,
+		QueueDepth:  *queue,
+		MaxBatch:    *batch,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	}
+	var g *kiff.Graph
+	if *graph != "" {
+		if *useMmap {
+			mg, merr := kiff.LoadGraphMapped(*graph)
+			if merr != nil {
+				return fmt.Errorf("load graph: %w", merr)
+			}
+			g = mg.Graph()
+			fmt.Fprintf(stderr, "kiffserve: graph %s loaded: k=%d, %d users, %d edges (mmap=%v, construction skipped)\n",
+				*graph, g.K(), g.NumUsers(), g.NumEdges(), mg.Mapped())
+		} else {
+			if g, err = kiff.LoadGraph(*graph); err != nil {
+				return fmt.Errorf("load graph: %w", err)
+			}
+			fmt.Fprintf(stderr, "kiffserve: graph %s loaded: k=%d, %d users, %d edges (heap, construction skipped)\n",
+				*graph, g.K(), g.NumUsers(), g.NumEdges())
+		}
+		opts.K = 0 // adopt the checkpoint's k
+	}
+	switch {
+	case *readonly && g == nil:
+		start := time.Now()
+		res, berr := kiff.Build(ds, opts)
+		if berr != nil {
+			return fmt.Errorf("cold build: %w", berr)
+		}
+		g = res.Graph
+		fmt.Fprintf(stderr, "kiffserve: cold-built k=%d graph in %v (%d similarity evals)\n",
+			g.K(), time.Since(start), res.Run.SimEvals)
+		fallthrough
+	case *readonly:
+		snap, serr := kiff.NewSnapshot(g, ds, opts)
+		if serr != nil {
+			return serr
+		}
+		cfg.Static = snap
+		fmt.Fprintf(stderr, "kiffserve: read-only snapshot over %d users\n", snap.NumUsers())
+	case g != nil:
+		m, merr := kiff.NewMaintainerFromGraph(ds, g, opts)
+		if merr != nil {
+			return merr
+		}
+		cfg.Maintainer = m
+		fmt.Fprintf(stderr, "kiffserve: maintainer seeded from checkpoint (no rebuild)\n")
+	default:
+		start := time.Now()
+		m, merr := kiff.NewMaintainer(ds, opts)
+		if merr != nil {
+			return fmt.Errorf("cold build: %w", merr)
+		}
+		cfg.Maintainer = m
+		fmt.Fprintf(stderr, "kiffserve: cold-built and wrapped k=%d graph in %v\n", *k, time.Since(start))
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// --- Serve ----------------------------------------------------------
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "kiffserve: serving on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- httpSrv.Shutdown(sctx)
+	}()
+	err = httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		// Graceful path: wait for in-flight requests, then stop the writer.
+		err = <-shutdownErr
+	}
+	if cerr := srv.Close(); err == nil {
+		err = cerr
+	}
+	fmt.Fprintf(stderr, "kiffserve: shut down\n")
+	return err
+}

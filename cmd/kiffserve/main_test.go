@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kiff"
+)
+
+// writeEdgeList materializes a small deterministic edge list.
+func writeEdgeList(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+	for u := 0; u < 30; u++ {
+		for j := 0; j < 4; j++ {
+			fmt.Fprintf(&sb, "%d %d %d\n", u, (u*3+j*5)%17, 1+(u+j)%5)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "ratings.tsv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// boot starts run() on an ephemeral port and returns the base URL and a
+// shutdown func that waits for a clean exit.
+func boot(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	var stderr bytes.Buffer
+	go func() {
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &stderr, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-errc:
+				return err
+			case <-time.After(10 * time.Second):
+				return fmt.Errorf("server did not shut down")
+			}
+		}
+	case err := <-errc:
+		cancel()
+		t.Fatalf("server exited before ready: %v\nstderr: %s", err, stderr.String())
+		return "", nil
+	case <-time.After(60 * time.Second):
+		cancel()
+		t.Fatalf("server never became ready\nstderr: %s", stderr.String())
+		return "", nil
+	}
+}
+
+func TestServeColdBuildLifecycle(t *testing.T) {
+	url, shutdown := boot(t, "-in", writeEdgeList(t), "-k", "5")
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Users  int    `json:"users"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Users != 30 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	q := `{"profile":{"3":2,"8":1},"k":3}`
+	resp, err = http.Post(url+"/query", "application/json", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(url+"/users", "application/json", strings.NewReader(`{"profile":{"1":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("insert: %d: %s", resp.StatusCode, body)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeCheckpointReadonly drives the intended production flow: save a
+// checkpoint pair, serve it mmap-loaded and read-only, and verify reads
+// work while mutations are refused.
+func TestServeCheckpointReadonly(t *testing.T) {
+	d, err := kiff.GeneratePreset("wikipedia", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := kiff.Build(d, kiff.Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "g.kfg")
+	dpath := filepath.Join(dir, "d.kfd")
+	if err := kiff.SaveGraph(gpath, res.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if err := kiff.SaveDataset(dpath, d); err != nil {
+		t.Fatal(err)
+	}
+
+	url, shutdown := boot(t, "-graph", gpath, "-data", dpath, "-readonly")
+
+	resp, err := http.Get(url + "/neighbors/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("neighbors: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(url+"/users", "application/json", strings.NewReader(`{"profile":{"1":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("read-only insert: %d, want 403", resp.StatusCode)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run(context.Background(), nil, &stderr, nil); err == nil {
+		t.Fatal("no data source accepted")
+	}
+	if err := run(context.Background(), []string{"-graph", "/does/not/exist.kfg", "-data", "/does/not/exist.kfd"}, &stderr, nil); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}

@@ -1,7 +1,8 @@
 package arena
 
 // Binary section codec shared by the on-disk formats of the module
-// (knngraph, dataset). Every file is framed as:
+// (knngraph, dataset); docs/FORMATS.md is the normative specification of
+// the framing and of both formats built on it. Every file is framed as:
 //
 //	[4]byte magic   — format identifier, caller-chosen
 //	uvarint version — format version
@@ -14,6 +15,13 @@ package arena
 // panics or unbounded allocations: every length field is consumed
 // incrementally (each decoded element costs at least one input byte), and
 // pre-allocations are capped by MaxPrealloc.
+//
+// Payloads come in two families. Varint-framed fields (Uvarint, Bytes,
+// Float64) are compact but must be decoded element by element. Aligned
+// raw sections (Align + Uint32s/Int64s/Float64s/Raw) trade a little size
+// for layout: they are fixed-width little-endian arrays starting on an
+// 8-byte boundary, which is what lets View decode them as zero-copy typed
+// slices straight out of a file mapping (see view.go and mmap_unix.go).
 
 import (
 	"bufio"
@@ -34,6 +42,44 @@ var ErrCorrupt = errors.New("corrupt input")
 // consumed input bytes proving the claimed size plausible.
 const MaxPrealloc = 1 << 20
 
+// Decoder is the accessor set shared by Reader (streaming, heap-copying)
+// and View (zero-copy from a buffer). Format decoders written against it
+// run unchanged on both paths, which keeps the two from drifting apart —
+// the property the codec fuzzers enforce from the outside. Sections whose
+// two paths must genuinely differ (e.g. chunked adversarial-safe record
+// decoding vs. an in-place cast) stay outside the interface.
+type Decoder interface {
+	// Uvarint reads one LEB128 value.
+	Uvarint() uint64
+	// UvarintMax reads one LEB128 value, failing if it exceeds max.
+	UvarintMax(max uint64, what string) uint64
+	// Float64 reads one little-endian IEEE-754 value.
+	Float64() float64
+	// Bytes reads a length-prefixed byte string of at most max bytes
+	// (Reader copies; View returns a view into its buffer).
+	Bytes(max uint64) []byte
+	// Align consumes zero padding up to a boundary multiple of the
+	// payload offset.
+	Align(boundary int64)
+	// Uint32s, Int64s and Float64s read raw little-endian arrays of n
+	// values (Reader decodes into fresh slices; View aliases its buffer
+	// where the platform allows).
+	Uint32s(n uint64) []uint32
+	Int64s(n uint64) []int64
+	Float64s(n uint64) []float64
+	// Count returns the payload offset consumed so far.
+	Count() int64
+	// Err returns the sticky decoding error, if any.
+	Err() error
+	// Close verifies the section's end (checksum and framing).
+	Close() error
+}
+
+var (
+	_ Decoder = (*Reader)(nil)
+	_ Decoder = (*View)(nil)
+)
+
 // PreallocCap clamps a claimed element count to a safe initial capacity;
 // decoders allocate min(n, MaxPrealloc) and grow by appending, so an
 // adversarial length field cannot force a huge allocation.
@@ -44,14 +90,20 @@ func PreallocCap(n uint64) int {
 	return int(n)
 }
 
+// rawChunkBytes sizes the scratch buffers the raw-section codecs convert
+// through: big enough to amortize call overhead, small enough to stay
+// cache-resident.
+const rawChunkBytes = 8192
+
 // Writer writes one checksummed section. Errors are sticky and surfaced
 // by Close.
 type Writer struct {
-	bw  *bufio.Writer
-	crc hash.Hash32
-	n   int64
-	err error
-	buf [binary.MaxVarintLen64]byte
+	bw    *bufio.Writer
+	crc   hash.Hash32
+	n     int64
+	err   error
+	buf   [binary.MaxVarintLen64]byte
+	chunk []byte // lazily allocated raw-section scratch
 }
 
 // NewWriter starts a section: it writes the 4-byte magic and the version
@@ -97,6 +149,78 @@ func (w *Writer) Bytes(p []byte) {
 	w.write(p)
 }
 
+// Raw writes p verbatim (checksummed like everything else). Callers that
+// assemble fixed-width records themselves (the graph codec's neighbor
+// records) use it to emit whole chunks at a time.
+func (w *Writer) Raw(p []byte) { w.write(p) }
+
+// Align pads the section with zero bytes until the payload offset
+// (Count) is a multiple of boundary. Raw sections that View hands out as
+// typed slices must start 8-byte aligned, so that the slice view is
+// correctly aligned whenever the backing buffer is (mappings are
+// page-aligned).
+func (w *Writer) Align(boundary int64) {
+	var zero [8]byte
+	for w.err == nil && w.n%boundary != 0 {
+		pad := boundary - w.n%boundary
+		if pad > int64(len(zero)) {
+			pad = int64(len(zero))
+		}
+		w.write(zero[:pad])
+	}
+}
+
+// chunkBuf returns the lazily allocated scratch buffer shared by the raw
+// section writers, so bulk sections cost one bufio copy per chunk instead
+// of one write call per element.
+func (w *Writer) chunkBuf() []byte {
+	if w.chunk == nil {
+		w.chunk = make([]byte, rawChunkBytes)
+	}
+	return w.chunk
+}
+
+// Uint32s writes xs as a raw little-endian array. Call Align(8) first
+// when the section is meant to be viewed from a mapping.
+func (w *Writer) Uint32s(xs []uint32) {
+	buf := w.chunkBuf()
+	for len(xs) > 0 && w.err == nil {
+		n := min(len(xs), len(buf)/4)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], xs[i])
+		}
+		w.write(buf[:4*n])
+		xs = xs[n:]
+	}
+}
+
+// Int64s writes xs as a raw little-endian array (two's complement).
+func (w *Writer) Int64s(xs []int64) {
+	buf := w.chunkBuf()
+	for len(xs) > 0 && w.err == nil {
+		n := min(len(xs), len(buf)/8)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(xs[i]))
+		}
+		w.write(buf[:8*n])
+		xs = xs[n:]
+	}
+}
+
+// Float64s writes xs as a raw array of little-endian IEEE-754 bits —
+// bit-exact round-trips, like Float64.
+func (w *Writer) Float64s(xs []float64) {
+	buf := w.chunkBuf()
+	for len(xs) > 0 && w.err == nil {
+		n := min(len(xs), len(buf)/8)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(xs[i]))
+		}
+		w.write(buf[:8*n])
+		xs = xs[n:]
+	}
+}
+
 // Count returns the number of payload bytes written so far (magic and
 // version included, checksum excluded).
 func (w *Writer) Count() int64 { return w.n }
@@ -122,11 +246,13 @@ func (w *Writer) Close() error {
 type Reader struct {
 	br  *bufio.Reader
 	crc hash.Hash32
+	n   int64
 	err error
 	// scratch buffers for checksummed reads: passing a stack array into
 	// the hash.Hash32 interface would force a heap allocation per call.
-	b1 [1]byte
-	b8 [8]byte
+	b1    [1]byte
+	b8    [8]byte
+	chunk []byte // lazily allocated raw-section scratch
 }
 
 // NewReader checks the magic and returns the section reader plus the
@@ -151,9 +277,14 @@ func NewReader(r io.Reader, magic string) (*Reader, uint64, error) {
 	return sr, version, nil
 }
 
+// corruptf wraps ErrCorrupt with a formatted description.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
 // fail records and returns a wrapped ErrCorrupt.
 func (r *Reader) fail(format string, args ...any) error {
-	err := fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	err := corruptf(format, args...)
 	if r.err == nil {
 		r.err = err
 	}
@@ -169,7 +300,13 @@ func (r *Reader) readFull(p []byte) {
 		return
 	}
 	r.crc.Write(p)
+	r.n += int64(len(p))
 }
+
+// Count returns the number of payload bytes consumed so far (magic and
+// version included) — the mirror of Writer.Count, used to locate
+// alignment padding.
+func (r *Reader) Count() int64 { return r.n }
 
 // Err returns the sticky decoding error, if any.
 func (r *Reader) Err() error { return r.err }
@@ -221,8 +358,93 @@ func (r *Reader) Bytes(max uint64) []byte {
 	return p
 }
 
-// Close verifies the checksum trailer. Every decoder must call it after
-// consuming the payload and before trusting the decoded value.
+// Raw reads exactly len(p) bytes into p (the mirror of Writer.Raw).
+func (r *Reader) Raw(p []byte) { r.readFull(p) }
+
+// Align consumes the zero padding Writer.Align emitted: it skips bytes
+// until Count is a multiple of boundary, failing on non-zero padding
+// (which can only come from a corrupt or misframed file).
+func (r *Reader) Align(boundary int64) {
+	for r.err == nil && r.n%boundary != 0 {
+		r.readFull(r.b1[:])
+		if r.err == nil && r.b1[0] != 0 {
+			r.fail("non-zero alignment padding byte %#x", r.b1[0])
+		}
+	}
+}
+
+// chunkBuf returns the lazily allocated scratch buffer shared by the raw
+// section readers.
+func (r *Reader) chunkBuf() []byte {
+	if r.chunk == nil {
+		r.chunk = make([]byte, rawChunkBytes)
+	}
+	return r.chunk
+}
+
+// Uint32s reads a raw little-endian array of n values into a fresh slice.
+// The read is chunked, so a lying length field fails on truncation having
+// allocated no more than a constant factor of the input actually present.
+func (r *Reader) Uint32s(n uint64) []uint32 {
+	out := make([]uint32, 0, PreallocCap(n))
+	buf := r.chunkBuf()
+	for n > 0 && r.err == nil {
+		c := min(n, uint64(len(buf)/4))
+		r.readFull(buf[:4*c])
+		if r.err != nil {
+			return nil
+		}
+		for i := uint64(0); i < c; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		n -= c
+	}
+	return out
+}
+
+// Int64s reads a raw little-endian array of n values into a fresh slice.
+func (r *Reader) Int64s(n uint64) []int64 {
+	out := make([]int64, 0, PreallocCap(n))
+	buf := r.chunkBuf()
+	for n > 0 && r.err == nil {
+		c := min(n, uint64(len(buf)/8))
+		r.readFull(buf[:8*c])
+		if r.err != nil {
+			return nil
+		}
+		for i := uint64(0); i < c; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+		n -= c
+	}
+	return out
+}
+
+// Float64s reads a raw array of n little-endian IEEE-754 values into a
+// fresh slice, bit-exactly.
+func (r *Reader) Float64s(n uint64) []float64 {
+	out := make([]float64, 0, PreallocCap(n))
+	buf := r.chunkBuf()
+	for n > 0 && r.err == nil {
+		c := min(n, uint64(len(buf)/8))
+		r.readFull(buf[:8*c])
+		if r.err != nil {
+			return nil
+		}
+		for i := uint64(0); i < c; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+		n -= c
+	}
+	return out
+}
+
+// Close verifies the checksum trailer and that the trailer ends the
+// stream — a file is exactly one section, so trailing bytes are
+// corruption (and View, which anchors the checksum at the end of the
+// buffer, could never accept them anyway; the decoders must agree).
+// Every decoder must call Close after consuming the payload and before
+// trusting the decoded value.
 func (r *Reader) Close() error {
 	if r.err != nil {
 		return r.err
@@ -234,6 +456,9 @@ func (r *Reader) Close() error {
 	}
 	if got := binary.LittleEndian.Uint32(tr[:]); got != want {
 		return r.fail("checksum mismatch: stored %08x, computed %08x", got, want)
+	}
+	if _, err := r.br.ReadByte(); err != io.EOF {
+		return r.fail("trailing data after the checksum trailer")
 	}
 	return nil
 }
@@ -249,5 +474,6 @@ func (b checksummedByteReader) ReadByte() (byte, error) {
 	}
 	b.r.b1[0] = c
 	b.r.crc.Write(b.r.b1[:])
+	b.r.n++
 	return c, nil
 }

@@ -1,0 +1,39 @@
+package arena
+
+// Mapping is a read-only view of a whole file, memory-mapped where the
+// platform supports it (see mmap_unix.go) and read into the heap where it
+// does not (mmap_other.go) — same semantics either way, so callers never
+// branch on the platform. A mapped load gives the zero-copy cold start
+// the serving path wants: decoding a KFG1/KFD1 checkpoint through a
+// Mapping plus a View allocates O(1) memory regardless of file size, and
+// the page cache backing the mapping is shared across every process
+// serving the same checkpoint.
+//
+// Close unmaps the file. Every slice decoded out of the mapping (graph
+// neighbor lists, dataset profiles) dies with it: closing a mapping that
+// a live Graph or Dataset still views is a use-after-free, so serving
+// code closes only after the last reader is gone (or never, letting
+// process exit clean up).
+type Mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// OpenMapping opens path as a read-only Mapping. On platforms (or
+// filesystems) without working mmap the file is read into the heap
+// instead; Mapped reports which happened.
+func OpenMapping(path string) (*Mapping, error) {
+	return openMapping(path)
+}
+
+// Data returns the file contents. Treat as immutable: the backing pages
+// may be write-protected.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether Data is a true memory mapping (false = heap
+// fallback).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the mapping. No slice decoded from Data may be used
+// afterwards. Close is idempotent.
+func (m *Mapping) Close() error { return m.close() }

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package arena
+
+import "os"
+
+// openMapping on platforms without syscall.Mmap (windows, wasm, plan9)
+// reads the file into the heap. Same Mapping semantics, no zero-copy —
+// Mapped reports false so callers and tests can tell.
+func openMapping(path string) (*Mapping, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: buf}, nil
+}
+
+func (m *Mapping) close() error {
+	m.data, m.mapped = nil, false
+	return nil
+}

@@ -1,0 +1,55 @@
+//go:build unix
+
+package arena
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// openMapping maps path read-only via mmap(2). The file descriptor is
+// closed immediately after mapping — the mapping keeps the inode alive on
+// its own. If mmap itself fails (some network and FUSE filesystems reject
+// it), the file is read into the heap instead, so OpenMapping succeeds
+// wherever plain reading would.
+func openMapping(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("arena: %s is %d bytes, too large to map on this platform", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Read through the descriptor already open, not the path: the
+		// file may have been atomically replaced since os.Open, and the
+		// fallback must see the same inode the caller opened.
+		buf, rerr := io.ReadAll(f)
+		if rerr != nil {
+			return nil, fmt.Errorf("arena: mmap %s: %w (heap fallback also failed: %v)", path, err, rerr)
+		}
+		return &Mapping{data: buf}, nil
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func (m *Mapping) close() error {
+	data, wasMapped := m.data, m.mapped
+	m.data, m.mapped = nil, false
+	if !wasMapped || data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

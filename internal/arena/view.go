@@ -1,0 +1,249 @@
+package arena
+
+// Zero-copy counterpart of Reader: a View decodes one checksummed section
+// directly from an in-memory byte buffer — typically a file Mapping — and
+// hands aligned raw sections out as typed slices that alias the buffer
+// instead of copying them through the heap. The checksum is verified once
+// over the whole buffer up front (one sequential pass, no allocation), so
+// the per-field accessors do no hashing at all.
+//
+// Aliasing contract: every slice a View returns (Bytes, Raw, Uint32s,
+// Int64s, Float64s) points into the buffer handed to NewView and is valid
+// only as long as that buffer is — for a Mapping, until Close. Callers
+// must treat the views as immutable; writing through them to a read-only
+// mapping faults.
+//
+// Zero-copy requires the host to be little-endian (every Go port except
+// wasm big-endian experiments is) and the section start to be 8-byte
+// aligned within an 8-byte-aligned buffer (Writer.Align provides the
+// former, page-aligned mappings the latter). When either fails the typed
+// accessors transparently fall back to an allocate-and-decode path, so
+// View is correct everywhere and zero-copy nearly everywhere.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"unsafe"
+)
+
+// HostLittleEndian reports whether the running machine stores integers
+// little-endian — the precondition for viewing raw sections without
+// byte-swapping. Format-specific viewers (the graph codec's neighbor
+// records) consult it before casting.
+var HostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// Aligned8 reports whether p starts on an 8-byte boundary.
+func Aligned8(p []byte) bool {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(p)))%8 == 0
+}
+
+// View reads one checksummed section from a byte buffer. Errors are
+// sticky, exactly as on Reader.
+type View struct {
+	buf []byte
+	pos int // read cursor
+	end int // offset of the checksum trailer
+	err error
+}
+
+// NewView verifies the framing (length, magic, CRC32 trailer) and returns
+// a View positioned after the version field, plus the decoded version.
+// The CRC of the whole payload is checked here, once.
+func NewView(buf []byte, magic string) (*View, uint64, error) {
+	if len(magic) != 4 {
+		panic("arena: magic must be 4 bytes")
+	}
+	v := &View{buf: buf}
+	if len(buf) < len(magic)+1+4 {
+		return nil, 0, v.fail("buffer of %d bytes is too short for a section", len(buf))
+	}
+	v.end = len(buf) - 4
+	if string(buf[:4]) != magic {
+		return nil, 0, v.fail("magic %q, want %q", buf[:4], magic)
+	}
+	if got, want := binary.LittleEndian.Uint32(buf[v.end:]), crc32.ChecksumIEEE(buf[:v.end]); got != want {
+		return nil, 0, v.fail("checksum mismatch: stored %08x, computed %08x", got, want)
+	}
+	v.pos = 4
+	version := v.Uvarint()
+	if v.err != nil {
+		return nil, 0, v.err
+	}
+	return v, version, nil
+}
+
+// fail records and returns a wrapped ErrCorrupt (sticky).
+func (v *View) fail(format string, args ...any) error {
+	err := corruptf(format, args...)
+	if v.err == nil {
+		v.err = err
+	}
+	return v.err
+}
+
+// Err returns the sticky decoding error, if any.
+func (v *View) Err() error { return v.err }
+
+// Count returns the payload offset of the cursor — the mirror of
+// Reader.Count.
+func (v *View) Count() int64 { return int64(v.pos) }
+
+// remaining returns the number of unread payload bytes.
+func (v *View) remaining() int { return v.end - v.pos }
+
+// Uvarint reads one LEB128 value.
+func (v *View) Uvarint() uint64 {
+	if v.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(v.buf[v.pos:v.end])
+	if n <= 0 {
+		v.fail("bad uvarint at offset %d", v.pos)
+		return 0
+	}
+	v.pos += n
+	return x
+}
+
+// UvarintMax reads one LEB128 value and fails if it exceeds max.
+func (v *View) UvarintMax(max uint64, what string) uint64 {
+	x := v.Uvarint()
+	if v.err == nil && x > max {
+		v.fail("%s = %d exceeds %d", what, x, max)
+		return 0
+	}
+	return x
+}
+
+// Float64 reads 8 little-endian bytes as IEEE-754 bits.
+func (v *View) Float64() float64 {
+	if v.err != nil {
+		return 0
+	}
+	if v.remaining() < 8 {
+		v.fail("truncated float64 at offset %d", v.pos)
+		return 0
+	}
+	x := math.Float64frombits(binary.LittleEndian.Uint64(v.buf[v.pos:]))
+	v.pos += 8
+	return x
+}
+
+// Bytes reads a length-prefixed byte string of at most max bytes. Unlike
+// Reader.Bytes the result aliases the underlying buffer.
+func (v *View) Bytes(max uint64) []byte {
+	n := v.UvarintMax(max, "byte string length")
+	if v.err != nil {
+		return nil
+	}
+	return v.Raw(n)
+}
+
+// Align skips the zero padding Writer.Align emitted, failing on non-zero
+// padding bytes.
+func (v *View) Align(boundary int64) {
+	for v.err == nil && int64(v.pos)%boundary != 0 {
+		if v.remaining() < 1 {
+			v.fail("truncated alignment padding at offset %d", v.pos)
+			return
+		}
+		if v.buf[v.pos] != 0 {
+			v.fail("non-zero alignment padding byte %#x at offset %d", v.buf[v.pos], v.pos)
+			return
+		}
+		v.pos++
+	}
+}
+
+// Raw returns the next n payload bytes as a capacity-clamped view into
+// the buffer.
+func (v *View) Raw(n uint64) []byte {
+	if v.err != nil {
+		return nil
+	}
+	if n > uint64(v.remaining()) {
+		v.fail("raw section of %d bytes exceeds the %d remaining", n, v.remaining())
+		return nil
+	}
+	lo, hi := v.pos, v.pos+int(n)
+	v.pos = hi
+	return v.buf[lo:hi:hi]
+}
+
+// Uint32s reads a raw little-endian array of n values. Zero-copy when the
+// host is little-endian and the section is 4-byte aligned; decoded into a
+// fresh slice otherwise.
+func (v *View) Uint32s(n uint64) []uint32 {
+	if n > uint64(v.remaining())/4 {
+		v.fail("uint32 section of %d values exceeds the %d bytes remaining", n, v.remaining())
+	}
+	p := v.Raw(n * 4)
+	if v.err != nil || n == 0 {
+		return nil
+	}
+	if HostLittleEndian && uintptr(unsafe.Pointer(unsafe.SliceData(p)))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(unsafe.SliceData(p))), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	return out
+}
+
+// Int64s reads a raw little-endian array of n values. Zero-copy when the
+// host is little-endian and the section is 8-byte aligned.
+func (v *View) Int64s(n uint64) []int64 {
+	if n > uint64(v.remaining())/8 {
+		v.fail("int64 section of %d values exceeds the %d bytes remaining", n, v.remaining())
+	}
+	p := v.Raw(n * 8)
+	if v.err != nil || n == 0 {
+		return nil
+	}
+	if HostLittleEndian && Aligned8(p) {
+		return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(p))), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return out
+}
+
+// Float64s reads a raw array of n little-endian IEEE-754 values.
+// Zero-copy when the host is little-endian and the section is 8-byte
+// aligned.
+func (v *View) Float64s(n uint64) []float64 {
+	if n > uint64(v.remaining())/8 {
+		v.fail("float64 section of %d values exceeds the %d bytes remaining", n, v.remaining())
+	}
+	p := v.Raw(n * 8)
+	if v.err != nil || n == 0 {
+		return nil
+	}
+	if HostLittleEndian && Aligned8(p) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(unsafe.SliceData(p))), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return out
+}
+
+// Close checks that the payload was consumed exactly: a decoder that
+// stops early (or ran past into the trailer) mis-parsed the format.
+func (v *View) Close() error {
+	if v.err != nil {
+		return v.err
+	}
+	if v.pos != v.end {
+		return v.fail("payload not fully consumed: cursor at %d of %d", v.pos, v.end)
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package arena
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+	"unsafe"
+)
+
+// sliceAddr returns the address of a slice's first element, for the
+// did-it-copy assertions.
+func sliceAddr[T any](s []T) uintptr {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(s)))
+}
+
+// patchCRC recomputes the trailer after a test mutated payload bytes.
+func patchCRC(raw []byte) {
+	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(raw[:len(raw)-4]))
+}
+
+// writeSection emits one section exercising every raw-section feature:
+// varint header fields, 8-byte alignment, and one array of each width.
+func writeSection(t *testing.T) ([]byte, []int64, []uint32, []float64) {
+	t.Helper()
+	offsets := []int64{0, 3, 3, 7}
+	ids := []uint32{9, 8, 7, 0, 1, 2, math.MaxUint32}
+	sims := []float64{1.5, -0.25, math.Pi, math.Inf(1), math.NaN(), 0, -0}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "TSV1", 2)
+	w.Uvarint(uint64(len(offsets)))
+	w.Uvarint(uint64(len(ids)))
+	w.Align(8)
+	w.Int64s(offsets)
+	w.Uint32s(ids)
+	w.Align(8)
+	w.Float64s(sims)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), offsets, ids, sims
+}
+
+func TestViewRoundTrip(t *testing.T) {
+	raw, offsets, ids, sims := writeSection(t)
+	v, version, err := NewView(raw, "TSV1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 {
+		t.Fatalf("version = %d, want 2", version)
+	}
+	no := v.Uvarint()
+	ni := v.Uvarint()
+	v.Align(8)
+	gotOffsets := v.Int64s(no)
+	gotIDs := v.Uint32s(ni)
+	v.Align(8)
+	gotSims := v.Float64s(ni)
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(gotOffsets, offsets) || !slices.Equal(gotIDs, ids) {
+		t.Fatalf("offsets/ids mismatch: %v %v", gotOffsets, gotIDs)
+	}
+	for i := range sims {
+		if math.Float64bits(gotSims[i]) != math.Float64bits(sims[i]) {
+			t.Fatalf("sim %d: bits %x, want %x", i, math.Float64bits(gotSims[i]), math.Float64bits(sims[i]))
+		}
+	}
+}
+
+// TestViewMatchesReader decodes the same section through the streaming
+// Reader and the View; both paths must agree exactly.
+func TestViewMatchesReader(t *testing.T) {
+	raw, offsets, ids, sims := writeSection(t)
+	r, _, err := NewReader(bytes.NewReader(raw), "TSV1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	no := r.Uvarint()
+	ni := r.Uvarint()
+	r.Align(8)
+	gotOffsets := r.Int64s(no)
+	gotIDs := r.Uint32s(ni)
+	r.Align(8)
+	gotSims := r.Float64s(ni)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(gotOffsets, offsets) || !slices.Equal(gotIDs, ids) {
+		t.Fatalf("reader offsets/ids mismatch: %v %v", gotOffsets, gotIDs)
+	}
+	for i := range sims {
+		if math.Float64bits(gotSims[i]) != math.Float64bits(sims[i]) {
+			t.Fatalf("reader sim %d bits differ", i)
+		}
+	}
+}
+
+// TestViewZeroCopy pins the tentpole property: on little-endian hosts an
+// aligned raw section is returned as a view into the input buffer, not a
+// copy.
+func TestViewZeroCopy(t *testing.T) {
+	if !HostLittleEndian {
+		t.Skip("zero-copy views require a little-endian host")
+	}
+	raw, _, _, _ := writeSection(t)
+	if !Aligned8(raw) {
+		t.Skip("test buffer not 8-byte aligned (allocator quirk)")
+	}
+	v, _, err := NewView(raw, "TSV1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	no := v.Uvarint()
+	ni := v.Uvarint()
+	v.Align(8)
+	gotOffsets := v.Int64s(no)
+	gotIDs := v.Uint32s(ni)
+	v.Align(8)
+	gotSims := v.Float64s(ni)
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base := sliceAddr(raw)
+	inBuf := func(p uintptr) bool { return p >= base && p < base+uintptr(len(raw)) }
+	if !inBuf(sliceAddr(gotOffsets)) {
+		t.Error("Int64s copied instead of viewing")
+	}
+	if !inBuf(sliceAddr(gotIDs)) {
+		t.Error("Uint32s copied instead of viewing")
+	}
+	if !inBuf(sliceAddr(gotSims)) {
+		t.Error("Float64s copied instead of viewing")
+	}
+}
+
+func TestViewRejectsCorruption(t *testing.T) {
+	raw, _, _, _ := writeSection(t)
+
+	// Bad magic.
+	if _, _, err := NewView(raw, "XXXX"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	// Flipped payload byte fails the up-front CRC.
+	bad := slices.Clone(raw)
+	bad[10] ^= 0x40
+	if _, _, err := NewView(bad, "TSV1"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: err = %v", err)
+	}
+	// Truncation.
+	if _, _, err := NewView(raw[:5], "TSV1"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated: err = %v", err)
+	}
+	// Oversized claimed section must fail, not panic or over-allocate.
+	v, _, err := NewView(raw, "TSV1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Int64s(1 << 60); got != nil || v.Err() == nil {
+		t.Fatalf("oversized section: got %v, err %v", got, v.Err())
+	}
+}
+
+// TestViewCloseRequiresFullConsumption: a decoder that stops early holds
+// a mis-parse; Close must say so.
+func TestViewCloseRequiresFullConsumption(t *testing.T) {
+	raw, _, _, _ := writeSection(t)
+	v, _, err := NewView(raw, "TSV1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Uvarint()
+	if err := v.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("early close: err = %v", err)
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	raw, _, ids, _ := writeSection(t)
+	path := filepath.Join(t.TempDir(), "section.bin")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapping(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data(), raw) {
+		t.Fatal("mapping contents differ from file")
+	}
+	v, _, err := NewView(m.Data(), "TSV1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	no := v.Uvarint()
+	ni := v.Uvarint()
+	v.Align(8)
+	v.Int64s(no)
+	gotIDs := v.Uint32s(ni)
+	if !slices.Equal(gotIDs, ids) {
+		t.Fatalf("ids via mapping = %v, want %v", gotIDs, ids)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := OpenMapping(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("opening a missing file must fail")
+	}
+}
+
+func TestMappingEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenMapping(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(m.Data()) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(m.Data()))
+	}
+	if _, _, err := NewView(m.Data(), "TSV1"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty view: err = %v", err)
+	}
+}
+
+// TestReaderAlignRejectsGarbagePadding: padding is part of the format, so
+// non-zero filler is corruption even when the CRC was recomputed over it.
+func TestReaderAlignRejectsGarbagePadding(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "TSV1", 2)
+	w.Uvarint(1)
+	w.Align(8)
+	w.Int64s([]int64{7})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Locate a padding byte: payload starts at 4 (magic) + 1 (version) + 1
+	// (uvarint) = 6; bytes 6 and 7 are padding. Patch one and fix the CRC.
+	raw[6] = 0xAB
+	patchCRC(raw)
+	if _, err := decodeAligned(raw); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reader: garbage padding: err = %v", err)
+	}
+	v, _, err := NewView(raw, "TSV1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Uvarint()
+	v.Align(8)
+	if v.Err() == nil {
+		t.Fatal("view: garbage padding accepted")
+	}
+}
+
+func decodeAligned(raw []byte) (int64, error) {
+	r, _, err := NewReader(bytes.NewReader(raw), "TSV1")
+	if err != nil {
+		return 0, err
+	}
+	n := r.Uvarint()
+	r.Align(8)
+	xs := r.Int64s(n)
+	if err := r.Close(); err != nil {
+		return 0, err
+	}
+	return xs[0], nil
+}

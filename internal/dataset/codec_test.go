@@ -40,9 +40,16 @@ func TestDatasetBinaryRoundTrip(t *testing.T) {
 		t.Fatalf("shape changed: %s/%d/%d vs %s/%d/%d",
 			back.Name, back.NumUsers(), back.NumItems(), orig.Name, orig.NumUsers(), orig.NumItems())
 	}
+	// Dataset-level binariness is preserved; in a *mixed* dataset the v2
+	// format materializes binary users' implicit 1.0 ratings (one offsets
+	// array describes both arenas), so per-user IsBinary may flip while
+	// Weight stays bit-identical.
+	if orig.Binary() != back.Binary() {
+		t.Fatalf("dataset binariness changed: %v vs %v", back.Binary(), orig.Binary())
+	}
 	for u := range orig.Users {
 		a, b := orig.Users[u], back.Users[u]
-		if a.Len() != b.Len() || a.IsBinary() != b.IsBinary() {
+		if a.Len() != b.Len() {
 			t.Fatalf("user %d: profile shape changed", u)
 		}
 		for i := range a.IDs {
@@ -127,8 +134,17 @@ func FuzzDatasetDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := ReadBinary(bytes.NewReader(data))
+		dv, errv := ViewBinary(bytes.Clone(data))
+		// The streaming and zero-copy decoders must accept exactly the
+		// same inputs and agree on the decoded shape.
+		if (err == nil) != (errv == nil) {
+			t.Fatalf("decoder disagreement: ReadBinary err=%v, ViewBinary err=%v", err, errv)
+		}
 		if err != nil {
 			return
+		}
+		if dv.NumUsers() != d.NumUsers() || dv.NumItems() != d.NumItems() || dv.NumRatings() != d.NumRatings() {
+			t.Fatalf("decoder shape disagreement")
 		}
 		if vErr := d.Validate(); vErr != nil {
 			t.Fatalf("decoder accepted invalid dataset: %v", vErr)

@@ -191,8 +191,11 @@ func (s *Session) finalize() *Result {
 
 // Result is the outcome of an engine run.
 type Result struct {
+	// Graph is the constructed KNN graph.
 	Graph *knngraph.Graph
-	Run   runstats.Run
+	// Run is the cost record of the construction (wall time, similarity
+	// evaluations, per-phase breakdown).
+	Run runstats.Run
 	// RCS reports KIFF's counting-phase statistics (zero for builders
 	// without a counting phase).
 	RCS rcs.BuildStats

@@ -7,10 +7,13 @@ import "sort"
 // users attract many incoming edges, which drives the load imbalance of
 // neighbor-of-neighbor approaches.
 type DegreeStats struct {
+	// MinOut, MaxOut and MeanOut describe the out-degree distribution
+	// (≤ k by construction).
 	MinOut, MaxOut int
 	MeanOut        float64
-	MaxIn          int
-	MeanIn         float64
+	// MaxIn and MeanIn describe the unbounded in-degree distribution.
+	MaxIn  int
+	MeanIn float64
 	// Isolated counts users with no outgoing edges (possible under KIFF
 	// when a user shares items with nobody).
 	Isolated int

@@ -163,8 +163,18 @@ func FuzzGraphDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadBinary(bytes.NewReader(data))
+		gv, errv := ViewBinary(bytes.Clone(data))
+		// The streaming and zero-copy decoders must accept exactly the
+		// same inputs...
+		if (err == nil) != (errv == nil) {
+			t.Fatalf("decoder disagreement: ReadBinary err=%v, ViewBinary err=%v", err, errv)
+		}
 		if err != nil {
 			return
+		}
+		// ...and agree on what they decoded.
+		if gv.NumUsers() != g.NumUsers() || gv.NumEdges() != g.NumEdges() || gv.K() != g.K() {
+			t.Fatalf("decoder shape disagreement")
 		}
 		if vErr := g.Validate(); vErr != nil {
 			t.Fatalf("decoder accepted invalid graph: %v", vErr)

@@ -21,8 +21,16 @@ import (
 
 // Neighbor is one edge of the KNN graph, annotated with the similarity
 // that justified it.
+//
+// The field order and types are load-bearing: on 64-bit little-endian
+// hosts the struct layout (ID at offset 0, 4 bytes padding, Sim at
+// offset 8) matches the on-disk edge record of the version-2 binary
+// format, which is what lets mapped graphs view records in place (see
+// mapped.go). Changing the struct requires a format version bump.
 type Neighbor struct {
-	ID  uint32
+	// ID is the neighbor's user ID.
+	ID uint32
+	// Sim is the similarity between the list owner and ID.
 	Sim float64
 }
 

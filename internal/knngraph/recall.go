@@ -13,9 +13,14 @@ const simEps = 1e-12
 // are indexed by sample position. Sampling the mean of per-user recalls is
 // an unbiased estimator of the overall recall of Eq. (4).
 type Exact struct {
-	K          int
-	Users      []uint32
-	Lists      [][]Neighbor
+	// K is the neighborhood size the ground truth was computed for.
+	K int
+	// Users lists the sampled user IDs (nil = every user evaluated).
+	Users []uint32
+	// Lists holds the exact top-k list per evaluated user.
+	Lists [][]Neighbor
+	// Thresholds holds the k-th exact similarity per evaluated user (the
+	// tie threshold of Eq. 3).
 	Thresholds []float64
 	// AboveCounts[i] is the number of users with similarity strictly above
 	// Thresholds[i] — these appear in *every* exact top-k set, so an

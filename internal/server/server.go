@@ -1,0 +1,627 @@
+// Package server implements the HTTP serving front-end over the
+// lock-free snapshot path (cmd/kiffserve is the thin binary around it).
+//
+// Reads never take a lock: every request loads the current immutable
+// kiff.Snapshot from the atomic publication pointer and serves neighbor
+// lists and profile queries from it. Writes are funneled to the single
+// writer the Maintainer requires through a bounded channel: one writer
+// goroutine drains the queue in batches (amortizing snapshot publication
+// across the batch, via InsertBatch and one Rebuild per batch), and a
+// full queue pushes back on producers — a mutation request blocks until
+// the writer catches up or the client gives up, which is the server's
+// backpressure.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness + snapshot version
+//	GET  /stats              serving counters, queue depth, maintenance costs
+//	GET  /neighbors/{user}   the user's current KNN list
+//	POST /query              profile → top-k similar users (or recommended items)
+//	POST /users              insert a user profile, returns its ID
+//	POST /ratings            record rating updates, rebuild, returns the new version
+//
+// A server constructed from a static Snapshot (no Maintainer) is
+// read-only: mutation endpoints return 403 and everything else works
+// unchanged — the zero-copy "map a checkpoint and serve" mode.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"kiff"
+)
+
+// Config assembles a Server. Exactly one of Maintainer (mutable serving)
+// or Static (read-only serving) must be set.
+type Config struct {
+	// Maintainer is the single-writer maintained graph. The Server owns
+	// the write side: no other goroutine may mutate it while the Server
+	// is running.
+	Maintainer *kiff.Maintainer
+	// Static serves a fixed snapshot when Maintainer is nil; mutation
+	// endpoints are disabled.
+	Static *kiff.Snapshot
+	// QueryBudget bounds similarity evaluations per query when the
+	// request does not set its own; ≤ 0 means exhaustive (exact) queries.
+	QueryBudget int
+	// MaxBatch caps how many queued mutations the writer applies per
+	// batch (default 64).
+	MaxBatch int
+	// QueueDepth bounds the mutation queue; a full queue blocks mutation
+	// requests — the backpressure contract (default 256).
+	QueueDepth int
+	// Logf, when set, receives one line per mutation batch and lifecycle
+	// event (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// ErrClosed is returned to mutation requests caught in the queue when the
+// server shuts down.
+var ErrClosed = errors.New("server: closed")
+
+// Server routes HTTP requests onto a snapshot source and, when mutable,
+// runs the writer goroutine. Create with New, serve via Handler, stop
+// with Close (after the HTTP listener has drained).
+type Server struct {
+	cfg    Config
+	m      *kiff.Maintainer
+	static *kiff.Snapshot
+	mux    *http.ServeMux
+
+	ops       chan op
+	stop      chan struct{} // closed by Close: writer drains and exits
+	done      chan struct{} // closed when the writer has exited
+	closeOnce sync.Once
+
+	// maintainStats mirrors Maintainer.Stats after every batch, so /stats
+	// never reads the writer's live state (that would race).
+	maintainStats atomic.Pointer[kiff.Run]
+
+	queries      atomic.Int64
+	neighborGets atomic.Int64
+	inserts      atomic.Int64
+	ratings      atomic.Int64
+	rejected     atomic.Int64
+}
+
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opRatings
+)
+
+// Rating is one rating update of the POST /ratings payload.
+type Rating struct {
+	User   uint32  `json:"user"`
+	Item   uint32  `json:"item"`
+	Rating float64 `json:"rating"`
+}
+
+// op is one queued mutation; the writer sends exactly one opResult on
+// reply (buffered, never blocks the writer).
+type op struct {
+	kind    opKind
+	profile kiff.Profile
+	ratings []Rating
+	reply   chan opResult
+}
+
+type opResult struct {
+	id      uint32
+	version uint64
+	err     error
+}
+
+// New validates the configuration and starts the writer goroutine (when
+// mutable). The returned Server is ready to serve.
+func New(cfg Config) (*Server, error) {
+	if (cfg.Maintainer == nil) == (cfg.Static == nil) {
+		return nil, errors.New("server: exactly one of Maintainer or Static must be set")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:    cfg,
+		m:      cfg.Maintainer,
+		static: cfg.Static,
+		ops:    make(chan op, cfg.QueueDepth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /neighbors/{user}", s.handleNeighbors)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /users", s.handleInsert)
+	s.mux.HandleFunc("POST /ratings", s.handleRatings)
+	if s.m != nil {
+		run := s.m.Stats()
+		s.maintainStats.Store(&run)
+		go s.writer()
+	} else {
+		close(s.done)
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the server's routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the writer goroutine, failing queued mutations with
+// ErrClosed, and waits for it to exit. Call after the HTTP listener has
+// stopped accepting requests (http.Server.Shutdown) so no new mutations
+// race the drain. Close is idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { close(s.stop) })
+	<-s.done
+	return nil
+}
+
+// snapshot loads the current serving snapshot — the only coupling between
+// the read path and the writer.
+func (s *Server) snapshot() *kiff.Snapshot {
+	if s.m != nil {
+		return s.m.Snapshot()
+	}
+	return s.static
+}
+
+// readOnly reports whether mutation endpoints are disabled.
+func (s *Server) readOnly() bool { return s.m == nil }
+
+// --- Writer side --------------------------------------------------------
+
+// writer is the single mutation applier: it owns every call into the
+// Maintainer. Batches amortize snapshot publication; see apply.
+func (s *Server) writer() {
+	defer close(s.done)
+	for {
+		var first op
+		select {
+		case first = <-s.ops:
+		case <-s.stop:
+			s.drain()
+			return
+		}
+		batch := make([]op, 1, s.cfg.MaxBatch)
+		batch[0] = first
+	fill:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case o := <-s.ops:
+				batch = append(batch, o)
+			default:
+				break fill
+			}
+		}
+		s.apply(batch)
+	}
+}
+
+// drain fails every op still queued at shutdown so no handler waits
+// forever.
+func (s *Server) drain() {
+	for {
+		select {
+		case o := <-s.ops:
+			o.reply <- opResult{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// apply executes one batch: runs of consecutive inserts go through
+// InsertBatch (one snapshot publication per run), rating ops are recorded
+// and rebuilt once at the end (one more publication), and every op gets
+// its reply. Order within the batch is preserved.
+func (s *Server) apply(batch []op) {
+	var pendingRatings []op
+	applied := 0
+	for i := 0; i < len(batch); {
+		switch batch[i].kind {
+		case opInsert:
+			j := i
+			for j < len(batch) && batch[j].kind == opInsert {
+				j++
+			}
+			profiles := make([]kiff.Profile, j-i)
+			for k := i; k < j; k++ {
+				profiles[k-i] = batch[k].profile
+			}
+			ids, err := s.m.InsertBatch(profiles)
+			version := s.m.Snapshot().Version()
+			for k := i; k < j; k++ {
+				if k-i < len(ids) {
+					batch[k].reply <- opResult{id: ids[k-i], version: version}
+				} else {
+					batch[k].reply <- opResult{err: err}
+				}
+			}
+			applied += len(ids)
+			i = j
+		case opRatings:
+			// Pre-validate the whole op against the live dataset before
+			// touching it, so one bad rating cannot leave the batch
+			// half-applied (AddRating's only failure mode is an
+			// out-of-range user).
+			var err error
+			n := uint32(s.m.Dataset().NumUsers())
+			for _, rt := range batch[i].ratings {
+				if rt.User >= n {
+					err = fmt.Errorf("user %d out of range (have %d users)", rt.User, n)
+					break
+				}
+			}
+			if err == nil {
+				for _, rt := range batch[i].ratings {
+					if err = s.m.AddRating(rt.User, rt.Item, rt.Rating); err != nil {
+						break
+					}
+					applied++
+				}
+			}
+			if err != nil {
+				batch[i].reply <- opResult{err: err}
+			} else {
+				// Reply after the rebuild below, so the reported version
+				// includes the update.
+				pendingRatings = append(pendingRatings, batch[i])
+			}
+			i++
+		}
+	}
+	if len(pendingRatings) > 0 {
+		err := s.m.Rebuild(nil)
+		version := s.m.Snapshot().Version()
+		for _, o := range pendingRatings {
+			o.reply <- opResult{version: version, err: err}
+		}
+	}
+	run := s.m.Stats()
+	s.maintainStats.Store(&run)
+	s.cfg.Logf("server: applied batch of %d ops (%d mutations), version %d",
+		len(batch), applied, s.m.Snapshot().Version())
+}
+
+// enqueue funnels one mutation to the writer, blocking while the queue is
+// full (backpressure) until the client gives up or the server closes.
+func (s *Server) enqueue(r *http.Request, o op) opResult {
+	if s.readOnly() {
+		return opResult{err: errReadOnly}
+	}
+	o.reply = make(chan opResult, 1)
+	select {
+	case s.ops <- o:
+	case <-r.Context().Done():
+		s.rejected.Add(1)
+		return opResult{err: errQueueWait}
+	case <-s.stop:
+		s.rejected.Add(1)
+		return opResult{err: ErrClosed}
+	}
+	select {
+	case res := <-o.reply:
+		return res
+	case <-s.done:
+		// The writer exited; it may still have replied in the instant
+		// before — prefer the reply.
+		select {
+		case res := <-o.reply:
+			return res
+		default:
+			return opResult{err: ErrClosed}
+		}
+	}
+}
+
+var (
+	errReadOnly  = errors.New("server: read-only (started from a static snapshot)")
+	errQueueWait = errors.New("server: request canceled while waiting for the write queue")
+)
+
+// --- Read handlers ------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"version": snap.Version(),
+		"users":   snap.NumUsers(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	resp := map[string]any{
+		"version":           snap.Version(),
+		"users":             snap.NumUsers(),
+		"k":                 snap.K(),
+		"read_only":         s.readOnly(),
+		"queue_depth":       len(s.ops),
+		"queue_capacity":    cap(s.ops),
+		"queries":           s.queries.Load(),
+		"neighbor_requests": s.neighborGets.Load(),
+		"inserts":           s.inserts.Load(),
+		"ratings":           s.ratings.Load(),
+		"rejected":          s.rejected.Load(),
+	}
+	if run := s.maintainStats.Load(); run != nil {
+		resp["maintain"] = map[string]any{
+			"sim_evals":  run.SimEvals,
+			"iterations": run.Iterations,
+			"wall_ns":    run.WallTime.Nanoseconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type neighborJSON struct {
+	ID  uint32  `json:"id"`
+	Sim float64 `json:"sim"`
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	s.neighborGets.Add(1)
+	snap := s.snapshot()
+	u, err := strconv.ParseUint(r.PathValue("user"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad user id: %w", err))
+		return
+	}
+	if u >= uint64(snap.NumUsers()) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("user %d not in snapshot (have %d users)", u, snap.NumUsers()))
+		return
+	}
+	nbs := snap.Neighbors(uint32(u))
+	out := make([]neighborJSON, len(nbs))
+	for i, nb := range nbs {
+		out[i] = neighborJSON{ID: nb.ID, Sim: nb.Sim}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"user":      u,
+		"version":   snap.Version(),
+		"neighbors": out,
+	})
+}
+
+// queryRequest is the POST /query payload. Profile maps item IDs (JSON
+// object keys are strings of the numeric ID) to ratings; Binary discards
+// the ratings. Budget ≤ 0 (or omitted with a ≤ 0 server default) means
+// exhaustive evaluation over every overlapping candidate — the exact
+// result. Want selects "users" (default) or "items" (aggregate the top
+// users' profiles into item recommendations).
+type queryRequest struct {
+	Profile map[uint32]float64 `json:"profile"`
+	K       int                `json:"k"`
+	Budget  *int               `json:"budget"`
+	Binary  bool               `json:"binary"`
+	Want    string             `json:"want"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	var req queryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	snap := s.snapshot()
+	k := req.K
+	if k <= 0 {
+		k = snap.K()
+	}
+	budget := s.cfg.QueryBudget
+	if req.Budget != nil {
+		budget = *req.Budget
+	}
+	if budget <= 0 {
+		budget = -1
+	}
+	profile := kiff.ProfileFromMap(req.Profile, req.Binary)
+	switch req.Want {
+	case "", "users":
+		res, err := snap.Query(profile, k, budget)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		out := make([]neighborJSON, len(res))
+		for i, nb := range res {
+			out[i] = neighborJSON{ID: nb.ID, Sim: nb.Sim}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"version": snap.Version(),
+			"k":       k,
+			"results": out,
+		})
+	case "items":
+		// Two-stage recommendation: KNN over users, then score the
+		// neighbors' items (similarity-weighted ratings) excluding what
+		// the query profile already holds.
+		nbs, err := snap.Query(profile, snap.K(), budget)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"version": snap.Version(),
+			"k":       k,
+			"results": recommendItems(snap, profile, nbs, k),
+		})
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("want = %q, expected \"users\" or \"items\"", req.Want))
+	}
+}
+
+type scoredItem struct {
+	ID    uint32  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// recommendItems aggregates the neighbors' profiles into item scores:
+// score(i) = Σ over neighbors holding i of sim(neighbor) · rating — the
+// classic user-based collaborative filtering step on top of the KNN
+// result, restricted to items the query profile does not already hold.
+func recommendItems(snap *kiff.Snapshot, profile kiff.Profile, nbs []kiff.Neighbor, k int) []scoredItem {
+	have := make(map[uint32]bool, profile.Len())
+	for _, it := range profile.IDs {
+		have[it] = true
+	}
+	scores := make(map[uint32]float64)
+	for _, nb := range nbs {
+		if nb.Sim <= 0 {
+			continue
+		}
+		p := snap.Dataset().Users[nb.ID]
+		for i, it := range p.IDs {
+			if !have[it] {
+				scores[it] += nb.Sim * p.Weight(i)
+			}
+		}
+	}
+	out := make([]scoredItem, 0, len(scores))
+	for it, sc := range scores {
+		out = append(out, scoredItem{ID: it, Score: sc})
+	}
+	slices.SortFunc(out, func(a, b scoredItem) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// --- Mutation handlers --------------------------------------------------
+
+type insertRequest struct {
+	Profile map[uint32]float64 `json:"profile"`
+	Binary  bool               `json:"binary"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.inserts.Add(1)
+	var req insertRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := s.enqueue(r, op{kind: opInsert, profile: kiff.ProfileFromMap(req.Profile, req.Binary)})
+	if res.err != nil {
+		httpError(w, mutationStatus(res.err), res.err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":      res.id,
+		"version": res.version,
+	})
+}
+
+// ratingsRequest accepts either a single rating object or a batch:
+// {"user":1,"item":2,"rating":3} or {"ratings":[...]}. The single form
+// uses pointers so a missing field is a 400, not a silent zero-value
+// mutation of user 0 / item 0.
+type ratingsRequest struct {
+	User    *uint32  `json:"user"`
+	Item    *uint32  `json:"item"`
+	Rating  *float64 `json:"rating"`
+	Ratings []Rating `json:"ratings"`
+}
+
+func (s *Server) handleRatings(w http.ResponseWriter, r *http.Request) {
+	s.ratings.Add(1)
+	var req ratingsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ratings := req.Ratings
+	switch {
+	case ratings == nil:
+		if req.User == nil || req.Item == nil || req.Rating == nil {
+			httpError(w, http.StatusBadRequest, errors.New("a rating requires user, item and rating fields"))
+			return
+		}
+		ratings = []Rating{{User: *req.User, Item: *req.Item, Rating: *req.Rating}}
+	case len(ratings) == 0:
+		httpError(w, http.StatusBadRequest, errors.New("empty ratings batch"))
+		return
+	}
+	// Non-finite ratings cannot arrive here: JSON has no NaN/Infinity
+	// literals and overflowing numbers fail in decodeJSON.
+	res := s.enqueue(r, op{kind: opRatings, ratings: ratings})
+	if res.err != nil {
+		httpError(w, mutationStatus(res.err), res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied": len(ratings),
+		"version": res.version,
+	})
+}
+
+// mutationStatus maps writer-side failures onto HTTP statuses.
+func mutationStatus(err error) int {
+	switch {
+	case errors.Is(err, errReadOnly):
+		return http.StatusForbidden
+	case errors.Is(err, ErrClosed), errors.Is(err, errQueueWait):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// --- Plumbing -----------------------------------------------------------
+
+// maxBodyBytes bounds request bodies; profiles of millions of entries do
+// not arrive over this API.
+const maxBodyBytes = 8 << 20
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

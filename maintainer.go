@@ -2,6 +2,7 @@ package kiff
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,85 @@ func NewMaintainer(d *Dataset, opts Options) (*Maintainer, error) {
 		run: runstats.Run{
 			Algorithm: "kiff-maintain",
 			NumUsers:  d.NumUsers(),
+			K:         eo.K,
+		},
+	}
+	if inc, ok := eo.Metric.(similarity.Incremental); ok {
+		fn, refresh := inc.PrepareIncremental(d)
+		m.sim = similarity.Counted(fn, &m.evals)
+		m.refresh = refresh
+		m.simOK = true
+	}
+	m.publish()
+	return m, nil
+}
+
+// NewMaintainerFromGraph wraps an already-built graph — typically one
+// loaded from a checkpoint with LoadGraph or LoadGraphMapped — in a
+// Maintainer without re-running construction: the cold start of a serving
+// process that must also accept writes. The neighborhood heaps are seeded
+// from the graph's edge lists in O(|U|·k); candidate sets are recomputed
+// lazily, per user, as mutations touch them.
+//
+// The graph must cover exactly the dataset's users and match Options.K
+// (K = 0 adopts the graph's k). The dataset is retained and mutated like
+// in NewMaintainer; the graph itself is only read during seeding, so a
+// mapped graph may be closed once NewMaintainerFromGraph returns. The
+// first published Snapshot serves an exported copy of the seeded heaps,
+// which is edge-for-edge identical to the input graph.
+func NewMaintainerFromGraph(d *Dataset, g *Graph, opts Options) (*Maintainer, error) {
+	if opts.Algorithm != "" && opts.Algorithm != KIFF {
+		return nil, fmt.Errorf("kiff: Maintainer requires the kiff algorithm, got %q", opts.Algorithm)
+	}
+	if g.NumUsers() != d.NumUsers() {
+		return nil, fmt.Errorf("kiff: graph covers %d users, dataset has %d (was the graph saved from a different dataset?)",
+			g.NumUsers(), d.NumUsers())
+	}
+	if opts.K == 0 {
+		opts.K = g.K()
+	}
+	if opts.K != g.K() {
+		return nil, fmt.Errorf("kiff: Options.K = %d, graph was built with k = %d", opts.K, g.K())
+	}
+	if opts.K < 1 {
+		return nil, fmt.Errorf("kiff: K must be ≥ 1, got %d", opts.K)
+	}
+	if math.IsNaN(opts.Beta) {
+		return nil, fmt.Errorf("kiff: Beta must not be NaN")
+	}
+	eo, err := opts.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	b, err := engine.Lookup(string(KIFF))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Normalize(&eo); err != nil {
+		return nil, err
+	}
+	// Same §VII gate as NewMaintainer: the positive-rating candidate
+	// filter only applies to weighted datasets.
+	if eo.MinRating > 0 && d.Binary() {
+		eo.MinRating = 0
+	}
+	d.EnsureItemProfiles()
+	n := d.NumUsers()
+	heaps := knnheap.NewSet(n, eo.K)
+	for u := 0; u < n; u++ {
+		for _, nb := range g.Neighbors(uint32(u)) {
+			heaps.Update(uint32(u), nb.ID, nb.Sim)
+		}
+	}
+	m := &Maintainer{
+		d:     d,
+		opts:  eo,
+		heaps: heaps,
+		sets:  rcs.NewSets(n),
+		dirty: make(map[uint32]struct{}),
+		run: runstats.Run{
+			Algorithm: "kiff-maintain",
+			NumUsers:  n,
 			K:         eo.K,
 		},
 	}

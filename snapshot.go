@@ -1,6 +1,7 @@
 package kiff
 
 import (
+	"fmt"
 	"io"
 
 	"kiff/internal/core"
@@ -62,6 +63,33 @@ func (s *Snapshot) Query(profile Profile, k, budget int) ([]Neighbor, error) {
 // WriteGraphTo serializes the snapshot graph in the binary graph format
 // — the handoff from a maintaining process to serving processes.
 func (s *Snapshot) WriteGraphTo(w io.Writer) (int64, error) { return s.graph.WriteTo(w) }
+
+// NewSnapshot assembles a serving Snapshot (version 1) directly from an
+// already-built graph and its dataset — the read-only fast path of a
+// serving process that loads a checkpoint (LoadGraphMapped +
+// LoadDatasetMapped) and never mutates it, skipping the Maintainer
+// entirely. The graph must cover exactly the dataset's users; the
+// dataset's item-profile index is built if missing (the only O(|E|) cost
+// on this path). Options supplies the query metric, as in Build.
+//
+// The caller must not mutate d afterwards: a static snapshot freezes a
+// shallow view, and there is no writer to publish successors. For a
+// mutable server, wrap the pair in NewMaintainerFromGraph instead.
+func NewSnapshot(g *Graph, d *Dataset, opts Options) (*Snapshot, error) {
+	if g.NumUsers() != d.NumUsers() {
+		return nil, fmt.Errorf("kiff: snapshot: graph covers %d users, dataset has %d (was the graph saved from a different dataset?)",
+			g.NumUsers(), d.NumUsers())
+	}
+	metricName := opts.Metric
+	if metricName == "" {
+		metricName = "cosine"
+	}
+	metric, err := similarity.ByName(metricName)
+	if err != nil {
+		return nil, err
+	}
+	return newSnapshot(1, g, d.View(), metric), nil
+}
 
 // newSnapshot freezes the current maintainer state. Called by the writer
 // only; cost is O(|U|·k) for the graph export plus O(|U| + |I|) for the
