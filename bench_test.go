@@ -348,6 +348,46 @@ func BenchmarkSimilarityCosineWeighted(b *testing.B) {
 	}
 }
 
+// BenchmarkSimilarityKernels contrasts the batched one-vs-many kernels
+// against the pairwise reference on the wikipedia fixture: one pivot
+// scored against a γ=2k-sized candidate chunk, the refine loop's unit of
+// work. The batch path scatters the pivot once per chunk; the pairwise
+// path re-merges it per candidate.
+func BenchmarkSimilarityKernels(b *testing.B) {
+	d := ablationDataset(b)
+	const gamma = 20 // 2k for the k=10 ablation fixture
+	pivot := uint32(0)
+	cands := make([]uint32, gamma)
+	for i := range cands {
+		cands[i] = uint32(i + 1)
+	}
+	scores := make([]float64, gamma)
+	for _, name := range []string{"cosine", "jaccard", "adamic-adar"} {
+		m, err := similarity.ByName(name)
+		benchErr(b, err)
+		bm, ok := m.(similarity.BatchMetric)
+		if !ok {
+			b.Fatalf("%s has no batch kernel", name)
+		}
+		kernel := bm.PrepareBatch(d)()
+		pair := m.Prepare(d)
+		b.Run(name+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				kernel.ScoreInto(scores, pivot, cands)
+			}
+		})
+		b.Run(name+"/pairwise", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j, v := range cands {
+					scores[j] = pair(pivot, v)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkRCSBuildWikipedia(b *testing.B) {
 	d := ablationDataset(b)
 	b.ReportAllocs()

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"kiff"
@@ -50,10 +51,82 @@ func measure(name string, fn func(b *testing.B)) benchResult {
 	}
 }
 
+// benchFilter selects a subset of the named benches: nil/empty selects
+// everything.
+type benchFilter map[string]bool
+
+func parseBenchFilter(names string) benchFilter {
+	if names == "" {
+		return nil
+	}
+	f := benchFilter{}
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			f[n] = true
+		}
+	}
+	return f
+}
+
+func (f benchFilter) selects(name string) bool { return f == nil || f[name] }
+
+// compareAgainst checks the freshly measured report against a committed
+// baseline record: any bench present in both whose ns/op grew beyond
+// tolerance× the baseline is a regression. It prints the full delta table
+// to stderr and returns an error (→ nonzero exit) listing the
+// regressions, so CI can gate — or merely surface — construction-path
+// slowdowns against the committed BENCH_pr<N>.json trajectory.
+func compareAgainst(oldPath string, report benchReport, tolerance float64, stderr io.Writer) error {
+	raw, err := os.ReadFile(oldPath)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var old benchReport
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("compare: %s: %w", oldPath, err)
+	}
+	oldBy := make(map[string]benchResult, len(old.Benches))
+	for _, b := range old.Benches {
+		oldBy[b.Name] = b
+	}
+	var regressions []string
+	for _, b := range report.Benches {
+		prev, ok := oldBy[b.Name]
+		if !ok || prev.NsPerOp <= 0 {
+			continue
+		}
+		ratio := b.NsPerOp / prev.NsPerOp
+		fmt.Fprintf(stderr, "kiffbench: compare %-18s %12.0f -> %12.0f ns/op  (%.2fx)\n",
+			b.Name, prev.NsPerOp, b.NsPerOp, ratio)
+		if ratio > tolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx > %.2fx tolerance)",
+					b.Name, prev.NsPerOp, b.NsPerOp, ratio, tolerance))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("compare: %d bench(es) regressed vs %s:\n  %s",
+			len(regressions), oldPath, strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// benchOptions parameterizes runBenchOut beyond the output path.
+type benchOptions struct {
+	// Names restricts which benches run (comma-separated; empty = all).
+	Names string
+	// Compare, when set, checks the results against this baseline record
+	// and fails on regressions beyond Tolerance.
+	Compare string
+	// Tolerance is the allowed ns/op growth ratio for -compare (e.g. 1.5
+	// = fail past +50%).
+	Tolerance float64
+}
+
 // runBenchOut measures the build/persist/serve hot paths on the Wikipedia
 // replica at 5% scale (the same fixture bench_test.go's ablation benches
 // use) and writes the JSON record to path ("-" = stdout).
-func runBenchOut(path string, stderr io.Writer) error {
+func runBenchOut(path string, opts benchOptions, stderr io.Writer) error {
 	d, err := dataset.Wikipedia.Generate(0.05, 3)
 	if err != nil {
 		return err
@@ -67,16 +140,22 @@ func runBenchOut(path string, stderr io.Writer) error {
 		Arch:    runtime.GOOS + "/" + runtime.GOARCH,
 		Dataset: fmt.Sprintf("wikipedia scale=0.05 seed=3 k=%d", k),
 	}
+	filter := parseBenchFilter(opts.Names)
+	add := func(name string, fn func(b *testing.B)) {
+		if filter.selects(name) {
+			report.Benches = append(report.Benches, measure(name, fn))
+		}
+	}
 
-	report.Benches = append(report.Benches, measure("rcs-build", func(b *testing.B) {
+	add("rcs-build", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rcs.Build(d, rcs.BuildOptions{})
 		}
-	}))
+	})
 
 	var built *kiff.Result
-	report.Benches = append(report.Benches, measure("kiff-build", func(b *testing.B) {
+	add("kiff-build", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := core.Build(d, core.DefaultConfig(k))
@@ -85,7 +164,7 @@ func runBenchOut(path string, stderr io.Writer) error {
 			}
 			_ = res
 		}
-	}))
+	})
 	if built, err = kiff.Build(d, kiff.Options{K: k}); err != nil {
 		return err
 	}
@@ -94,43 +173,43 @@ func runBenchOut(path string, stderr io.Writer) error {
 	if err := kiff.WriteGraphBinary(&encoded, built.Graph); err != nil {
 		return err
 	}
-	report.Benches = append(report.Benches, measure("graph-encode", func(b *testing.B) {
+	add("graph-encode", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := kiff.WriteGraphBinary(io.Discard, built.Graph); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}))
-	report.Benches = append(report.Benches, measure("graph-decode", func(b *testing.B) {
+	})
+	add("graph-decode", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := kiff.ReadGraphBinary(bytes.NewReader(encoded.Bytes())); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
 
 	var dsEncoded bytes.Buffer
 	if err := kiff.WriteDatasetBinary(&dsEncoded, d); err != nil {
 		return err
 	}
-	report.Benches = append(report.Benches, measure("dataset-encode", func(b *testing.B) {
+	add("dataset-encode", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := kiff.WriteDatasetBinary(io.Discard, d); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}))
-	report.Benches = append(report.Benches, measure("dataset-decode", func(b *testing.B) {
+	})
+	add("dataset-decode", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := kiff.ReadDatasetBinary(bytes.NewReader(dsEncoded.Bytes())); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
 
 	// Load-path benches: heap decode vs zero-copy mapped decode of the
 	// same checkpoints. allocs/op is the headline — the mapped loads stay
@@ -148,15 +227,15 @@ func runBenchOut(path string, stderr io.Writer) error {
 	if err := kiff.SaveDataset(dpath, d); err != nil {
 		return err
 	}
-	report.Benches = append(report.Benches, measure("graph-load-heap", func(b *testing.B) {
+	add("graph-load-heap", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := kiff.LoadGraph(gpath); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}))
-	report.Benches = append(report.Benches, measure("graph-load-mapped", func(b *testing.B) {
+	})
+	add("graph-load-mapped", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			mg, err := kiff.LoadGraphMapped(gpath)
@@ -167,16 +246,16 @@ func runBenchOut(path string, stderr io.Writer) error {
 				b.Fatal(err)
 			}
 		}
-	}))
-	report.Benches = append(report.Benches, measure("dataset-load-heap", func(b *testing.B) {
+	})
+	add("dataset-load-heap", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := kiff.LoadDataset(dpath); err != nil {
 				b.Fatal(err)
 			}
 		}
-	}))
-	report.Benches = append(report.Benches, measure("dataset-load-mapped", func(b *testing.B) {
+	})
+	add("dataset-load-mapped", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			md, err := kiff.LoadDatasetMapped(dpath)
@@ -187,9 +266,9 @@ func runBenchOut(path string, stderr io.Writer) error {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
 
-	report.Benches = append(report.Benches, measure("snapshot-publish", func(b *testing.B) {
+	add("snapshot-publish", func(b *testing.B) {
 		m, err := kiff.NewMaintainer(mustClone(d), kiff.Options{K: k})
 		if err != nil {
 			b.Fatal(err)
@@ -208,9 +287,9 @@ func runBenchOut(path string, stderr io.Writer) error {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
 
-	report.Benches = append(report.Benches, measure("snapshot-query", func(b *testing.B) {
+	add("snapshot-query", func(b *testing.B) {
 		m, err := kiff.NewMaintainer(mustClone(d), kiff.Options{K: k})
 		if err != nil {
 			b.Fatal(err)
@@ -224,7 +303,7 @@ func runBenchOut(path string, stderr io.Writer) error {
 				b.Fatal(err)
 			}
 		}
-	}))
+	})
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -232,13 +311,19 @@ func runBenchOut(path string, stderr io.Writer) error {
 	}
 	out = append(out, '\n')
 	if path == "-" {
-		_, err = os.Stdout.Write(out)
-		return err
+		if _, err = os.Stdout.Write(out); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "kiffbench: wrote %s (%d benches)\n", path, len(report.Benches))
 	}
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		return err
+	// Compare after writing, so the fresh record survives a failed gate.
+	if opts.Compare != "" {
+		return compareAgainst(opts.Compare, report, opts.Tolerance, stderr)
 	}
-	fmt.Fprintf(stderr, "kiffbench: wrote %s (%d benches)\n", path, len(report.Benches))
 	return nil
 }
 

@@ -44,6 +44,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		dataDir      = fs.String("data-dir", "", "directory for plot-ready .tsv figure series (empty = none)")
 		list         = fs.Bool("list", false, "list experiment IDs and exit")
 		benchOut     = fs.String("bench-out", "", "run the build/persist/serve micro-benchmarks and write JSON to this path ('-' = stdout), then exit")
+		benchNames   = fs.String("bench-names", "", "with -bench-out: comma-separated bench names to run (empty = all)")
+		compare      = fs.String("compare", "", "with -bench-out: baseline BENCH json to compare against; exits nonzero when a bench regresses beyond -compare-tolerance")
+		compareTol   = fs.Float64("compare-tolerance", 1.5, "allowed ns/op growth ratio for -compare (1.5 = fail past +50%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,7 +57,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 	if *benchOut != "" {
-		return runBenchOut(*benchOut, stderr)
+		return runBenchOut(*benchOut, benchOptions{
+			Names:     *benchNames,
+			Compare:   *compare,
+			Tolerance: *compareTol,
+		}, stderr)
+	}
+	if *compare != "" || *benchNames != "" {
+		return fmt.Errorf("-compare and -bench-names require -bench-out")
 	}
 
 	h := experiments.New(experiments.Options{

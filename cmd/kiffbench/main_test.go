@@ -74,3 +74,57 @@ func TestRunBadFlags(t *testing.T) {
 		t.Error("bad flag value must fail")
 	}
 }
+
+// TestCompareDetectsRegression pins the -compare gate: a baseline with an
+// absurdly fast ns/op must fail the run with a nonzero-exit error, and a
+// generous baseline must pass. The bench subset is filtered to keep the
+// test fast.
+func TestCompareDetectsRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "new.json")
+
+	fast := filepath.Join(dir, "fast.json")
+	if err := os.WriteFile(fast, []byte(`{"schema":"kiff/bench/v1","benches":[
+		{"name":"rcs-build","ns_per_op":1,"bytes_per_op":0,"allocs_per_op":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	err := run([]string{"-bench-out", outPath, "-bench-names", "rcs-build", "-compare", fast}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("impossible baseline must report a regression, got err = %v", err)
+	}
+	// The fresh record must have been written even though the gate failed,
+	// and contain only the filtered bench.
+	data, readErr := os.ReadFile(outPath)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if !strings.Contains(string(data), "rcs-build") || strings.Contains(string(data), "kiff-build") {
+		t.Fatalf("filtered record wrong:\n%s", data)
+	}
+
+	slow := filepath.Join(dir, "slow.json")
+	if err := os.WriteFile(slow, []byte(`{"schema":"kiff/bench/v1","benches":[
+		{"name":"rcs-build","ns_per_op":1e15,"bytes_per_op":0,"allocs_per_op":0},
+		{"name":"not-measured-here","ns_per_op":1,"bytes_per_op":0,"allocs_per_op":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench-out", outPath, "-bench-names", "rcs-build", "-compare", slow}, &out, &errOut); err != nil {
+		t.Fatalf("generous baseline must pass, got %v", err)
+	}
+}
+
+// TestCompareRequiresBenchOut: the compare/filter flags are meaningless
+// without -bench-out and must be rejected rather than ignored.
+func TestCompareRequiresBenchOut(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-compare", "x.json"}, &out, &errOut); err == nil {
+		t.Error("-compare without -bench-out must fail")
+	}
+	if err := run([]string{"-bench-names", "rcs-build"}, &out, &errOut); err == nil {
+		t.Error("-bench-names without -bench-out must fail")
+	}
+}

@@ -13,6 +13,11 @@ const Name = "brute-force"
 
 func init() { engine.Register(builder{}) }
 
+// bruteChunk bounds the one-vs-many scoring chunks: large enough to
+// amortize the pivot scatter over many gathers, small enough that the
+// candidate-ID and score buffers stay cache-resident.
+const bruteChunk = 1024
+
 // builder plugs the exhaustive O(|U|²) sweep into the engine, so brute
 // force is dispatchable and instrumented like every other algorithm
 // (wall time, similarity-evaluation count, phase breakdown).
@@ -27,16 +32,30 @@ func (builder) Normalize(*engine.Options) error { return nil }
 
 // Refine implements engine.Builder: evaluate every unordered pair once
 // and offer it to both endpoints' heaps, like the pivot strategy of the
-// real algorithms. There are no iterations to trace.
+// real algorithms. Each pivot u is scored against v ∈ (u, n) in batched
+// chunks — the pivot's profile is scattered once per chunk instead of
+// merged once per pair. There are no iterations to trace.
 func (builder) Refine(s *engine.Session) error {
 	n := s.Dataset.NumUsers()
 	simStart := time.Now()
 	parallel.Blocks(n, s.Opts.Workers, func(_, lo, hi int) {
+		kernel := s.Batcher()
+		cands := make([]uint32, bruteChunk)
+		scores := make([]float64, bruteChunk)
 		for u := lo; u < hi; u++ {
-			for v := u + 1; v < n; v++ {
-				sim := s.Sim(uint32(u), uint32(v))
-				s.Heaps.Update(uint32(u), uint32(v), sim)
-				s.Heaps.Update(uint32(v), uint32(u), sim)
+			for v := u + 1; v < n; v += bruteChunk {
+				m := n - v
+				if m > bruteChunk {
+					m = bruteChunk
+				}
+				for i := 0; i < m; i++ {
+					cands[i] = uint32(v + i)
+				}
+				kernel.ScoreInto(scores[:m], uint32(u), cands[:m])
+				for i := 0; i < m; i++ {
+					s.Heaps.Update(uint32(u), cands[i], scores[i])
+					s.Heaps.Update(cands[i], uint32(u), scores[i])
+				}
 			}
 		}
 	})

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"testing"
+	"time"
 
 	"kiff/internal/bruteforce"
 	"kiff/internal/dataset"
@@ -335,11 +336,25 @@ func TestPhaseTimesPopulated(t *testing.T) {
 	if res.Run.PhaseTimes[runstats.PhasePreprocess] <= 0 {
 		t.Error("preprocessing time missing")
 	}
+	if res.Run.PhaseTimes[runstats.PhaseCandidates] <= 0 {
+		t.Error("candidate-selection time missing")
+	}
 	if res.Run.PhaseTimes[runstats.PhaseSimilarity] <= 0 {
 		t.Error("similarity time missing")
 	}
 	if res.Run.WallTime <= 0 {
 		t.Error("wall time missing")
+	}
+	// The phases are measured sub-spans of the run (now at block
+	// granularity, not per user), so their sum must stay within the wall
+	// clock: per-worker spans are divided by the worker count before
+	// being folded into PhaseTimes.
+	var sum time.Duration
+	for _, pt := range res.Run.PhaseTimes {
+		sum += pt
+	}
+	if sum > res.Run.WallTime {
+		t.Errorf("phase times sum to %v, exceeding wall time %v", sum, res.Run.WallTime)
 	}
 }
 

@@ -1,0 +1,84 @@
+package engine_test
+
+import (
+	"testing"
+
+	"kiff/internal/dataset"
+	"kiff/internal/engine"
+	"kiff/internal/similarity"
+)
+
+// pairwiseOnly hides a metric's batch form: only the plain Metric
+// methods are promoted, so the engine session falls back to the
+// PairwiseBatcher adapter — the reference path.
+type pairwiseOnly struct{ similarity.Metric }
+
+// TestBatchPathEqualsPairwisePath builds with every registered builder
+// twice — once with the metric's batch kernels, once with the same
+// metric stripped down to its pairwise form — and requires identical
+// graphs and identical SimEvals. This is the end-to-end guarantee that
+// adopting the batched kernels changed no observable output: recall,
+// neighbor lists, similarity values and the §IV-C evaluation counts are
+// all byte-identical.
+func TestBatchPathEqualsPairwisePath(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := []similarity.Metric{
+		similarity.Cosine{},
+		similarity.Jaccard{},
+		similarity.AdamicAdar{},
+	}
+	for _, algo := range engine.Names() {
+		for _, metric := range metrics {
+			// Workers: 1 for determinism — HyRec and NN-Descent gather
+			// candidates from heaps that concurrent workers mutate, so
+			// multi-worker runs differ run-to-run regardless of the
+			// scoring path.
+			opts := engine.Options{K: 6, Metric: metric, Seed: 7, Workers: 1, MaxIterations: 8}
+			batched, err := engine.Build(algo, d, opts)
+			if err != nil {
+				t.Fatalf("%s/%s batched: %v", algo, metric.Name(), err)
+			}
+			opts.Metric = pairwiseOnly{metric}
+			plain, err := engine.Build(algo, d, opts)
+			if err != nil {
+				t.Fatalf("%s/%s pairwise: %v", algo, metric.Name(), err)
+			}
+			if batched.Run.SimEvals != plain.Run.SimEvals {
+				t.Errorf("%s/%s: SimEvals %d (batched) != %d (pairwise)",
+					algo, metric.Name(), batched.Run.SimEvals, plain.Run.SimEvals)
+			}
+			if bi, pi := batched.Run.Iterations, plain.Run.Iterations; bi != pi {
+				t.Errorf("%s/%s: iterations %d (batched) != %d (pairwise)", algo, metric.Name(), bi, pi)
+			}
+			for u := 0; u < d.NumUsers(); u++ {
+				bn := batched.Graph.Neighbors(uint32(u))
+				pn := plain.Graph.Neighbors(uint32(u))
+				if len(bn) != len(pn) {
+					t.Fatalf("%s/%s: user %d has %d vs %d neighbors", algo, metric.Name(), u, len(bn), len(pn))
+				}
+				for i := range bn {
+					if bn[i] != pn[i] {
+						t.Fatalf("%s/%s: user %d neighbor %d: %+v (batched) != %+v (pairwise)",
+							algo, metric.Name(), u, i, bn[i], pn[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSessionBatcherFallback: a session over a batchless metric still
+// hands out a working (counted) kernel.
+func TestSessionBatcherFallback(t *testing.T) {
+	d, _, _ := dataset.Toy()
+	res, err := engine.Build("brute-force", d, engine.Options{K: 2, Metric: pairwiseOnly{similarity.Cosine{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.SimEvals == 0 {
+		t.Error("fallback batcher recorded no similarity evaluations")
+	}
+}

@@ -145,6 +145,9 @@ type Session struct {
 	// one (Table V); zero otherwise.
 	RCS rcs.BuildStats
 
+	// batch mints evaluation-counted one-vs-many kernels when the metric
+	// has a batch form; nil otherwise (Batcher then adapts Sim).
+	batch similarity.BatchFactory
 	evals atomic.Int64
 	start time.Time
 }
@@ -153,6 +156,9 @@ func newSession(b Builder, d *dataset.Dataset, o Options) *Session {
 	s := &Session{Dataset: d, Opts: o, start: time.Now()}
 	prepStart := time.Now()
 	s.Sim = similarity.Counted(o.Metric.Prepare(d), &s.evals)
+	if bm, ok := o.Metric.(similarity.BatchMetric); ok {
+		s.batch = similarity.CountedBatch(bm.PrepareBatch(d), &s.evals)
+	}
 	s.Heaps = knnheap.NewSet(d.NumUsers(), o.K)
 	s.Wall.Add(runstats.PhasePreprocess, time.Since(prepStart))
 	s.Run = runstats.Run{Algorithm: b.Name(), NumUsers: d.NumUsers(), K: o.K}
@@ -161,6 +167,19 @@ func newSession(b Builder, d *dataset.Dataset, o Options) *Session {
 
 // Evals returns the number of similarity evaluations performed so far.
 func (s *Session) Evals() int64 { return s.evals.Load() }
+
+// Batcher mints a one-vs-many scoring kernel for one worker: the
+// metric's batch kernel when it has one, otherwise an adapter over Sim.
+// Every scored pair is counted into SimEvals exactly like a Sim call,
+// and the kernels score bit-identically to Sim, so builders are free to
+// use either path without perturbing the §IV-C statistics. The returned
+// kernel owns scratch memory and must stay confined to one goroutine.
+func (s *Session) Batcher() similarity.Batcher {
+	if s.batch != nil {
+		return s.batch()
+	}
+	return similarity.PairwiseBatcher(s.Sim)
+}
 
 // RecordIteration closes refinement iteration iter: it appends the change
 // count and cumulative evaluation count to the run traces and fires the

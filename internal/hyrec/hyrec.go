@@ -135,52 +135,81 @@ func (builder) Refine(s *engine.Session) error {
 	})
 	s.Wall.Add(runstats.PhaseSimilarity, time.Since(simStart))
 
-	// marks is per-worker scratch for candidate deduplication; generation
-	// stamps avoid clearing between users.
+	// Per-worker scratch, allocated on first use and reused across
+	// iterations: the scoring kernel (with its scatter accumulator), the
+	// deduplication marks (generation stamps avoid clearing between
+	// users), and the candidate/score buffers. parallel's block layout is
+	// deterministic for fixed (n, workers), so worker w always owns the
+	// same state.
+	type starWorker struct {
+		kernel    similarity.Batcher
+		marks     []int32
+		gen       int32
+		neighbors []uint32
+		hop       []uint32
+		cands     []uint32
+		scores    []float64
+	}
+	nw := parallel.Workers(o.Workers)
+	if nw > n && n > 0 {
+		nw = n
+	}
+	workers := make([]starWorker, nw)
 	for iter := 0; ; iter++ {
 		if o.MaxIterations > 0 && iter >= o.MaxIterations {
 			break
 		}
-		changes := parallel.SumInt64(n, o.Workers, func(_, lo, hi int) int64 {
+		changes := parallel.SumInt64(n, o.Workers, func(w, lo, hi int) int64 {
 			var c int64
-			marks := make([]int32, n)
-			gen := int32(0)
-			var neighbors, hop, cands []uint32
+			ws := &workers[w]
+			if ws.kernel == nil {
+				ws.kernel = s.Batcher()
+				ws.marks = make([]int32, n)
+			}
 			var candTime, simTime time.Duration
 			rng := rand.New(rand.NewSource(o.Seed ^ 0x243f_6a88 ^ int64(lo+iter*n)))
 			for u := lo; u < hi; u++ {
 				t0 := time.Now()
-				gen++
-				cands = cands[:0]
-				marks[u] = gen // never propose u to itself
-				neighbors = s.Heaps.IDs(neighbors[:0], uint32(u))
+				ws.gen++
+				cands := ws.cands[:0]
+				ws.marks[u] = ws.gen // never propose u to itself
+				ws.neighbors = s.Heaps.IDs(ws.neighbors[:0], uint32(u))
 				// Direct neighbors are already in the heap; exclude them so
 				// only genuinely new candidates cost a similarity call.
-				for _, w := range neighbors {
-					marks[w] = gen
+				for _, w := range ws.neighbors {
+					ws.marks[w] = ws.gen
 				}
-				for _, w := range neighbors {
-					hop = s.Heaps.IDs(hop[:0], w)
-					for _, x := range hop {
-						if marks[x] != gen {
-							marks[x] = gen
+				for _, w := range ws.neighbors {
+					ws.hop = s.Heaps.IDs(ws.hop[:0], w)
+					for _, x := range ws.hop {
+						if ws.marks[x] != ws.gen {
+							ws.marks[x] = ws.gen
 							cands = append(cands, x)
 						}
 					}
 				}
 				for r := 0; r < o.R; r++ {
 					x := uint32(rng.Intn(n))
-					if marks[x] != gen {
-						marks[x] = gen
+					if ws.marks[x] != ws.gen {
+						ws.marks[x] = ws.gen
 						cands = append(cands, x)
 					}
 				}
+				ws.cands = cands
 				t1 := time.Now()
 				candTime += t1.Sub(t0)
-				for _, v := range cands {
-					sim := s.Sim(uint32(u), v)
-					c += int64(s.Heaps.Update(uint32(u), v, sim))
-					c += int64(s.Heaps.Update(v, uint32(u), sim))
+				// Star join: one batched kernel call scores u against its
+				// whole candidate set (u's profile scattered once).
+				if len(cands) > 0 {
+					if cap(ws.scores) < len(cands) {
+						ws.scores = make([]float64, len(cands))
+					}
+					sc := ws.scores[:len(cands)]
+					ws.kernel.ScoreInto(sc, uint32(u), cands)
+					for i, v := range cands {
+						c += int64(s.Heaps.Update(uint32(u), v, sc[i]))
+						c += int64(s.Heaps.Update(v, uint32(u), sc[i]))
+					}
 				}
 				simTime += time.Since(t1)
 			}

@@ -146,6 +146,21 @@ func (builder) Refine(s *engine.Session) error {
 	oldLists := make([][]uint32, n)
 	threshold := o.Delta * float64(o.K) * float64(n)
 
+	// Per-worker join scratch, allocated on first use and reused across
+	// iterations (the kernel's scatter accumulator in particular);
+	// parallel's block layout is deterministic for fixed (n, workers), so
+	// worker w always owns the same state.
+	type joinWorker struct {
+		kernel           similarity.Batcher
+		nn, on, partners []uint32
+		scores           []float64
+	}
+	nw := parallel.Workers(o.Workers)
+	if nw > n && n > 0 {
+		nw = n
+	}
+	joinWorkers := make([]joinWorker, nw)
+
 	for iter := 0; ; iter++ {
 		if o.MaxIterations > 0 && iter >= o.MaxIterations {
 			break
@@ -174,37 +189,54 @@ func (builder) Refine(s *engine.Session) error {
 		sampleCap := int(o.Sample * float64(o.K))
 		s.Wall.Add(runstats.PhaseCandidates, time.Since(candStart))
 
-		// Phase 2 (similarity): local join around every user.
+		// Phase 2 (similarity): local join around every user. Each join
+		// pivot p is scored against its remaining join partners in one
+		// batched kernel call per list (new×new tail, then new×old), so
+		// p's profile is scattered twice per pivot instead of merged once
+		// per pair. Pair set, evaluation order and heap-update order match
+		// the pairwise loop exactly.
 		joinStart := time.Now()
-		changes := parallel.SumInt64(n, o.Workers, func(_, lo, hi int) int64 {
+		changes := parallel.SumInt64(n, o.Workers, func(w, lo, hi int) int64 {
 			var c int64
-			var nn, on []uint32
+			ws := &joinWorkers[w]
+			if ws.kernel == nil {
+				ws.kernel = s.Batcher()
+			}
+			score := func(p uint32, cands []uint32) {
+				if len(cands) == 0 {
+					return
+				}
+				if cap(ws.scores) < len(cands) {
+					ws.scores = make([]float64, len(cands))
+				}
+				sc := ws.scores[:len(cands)]
+				ws.kernel.ScoreInto(sc, p, cands)
+				for i, q := range cands {
+					c += int64(s.Heaps.Update(p, q, sc[i]))
+					c += int64(s.Heaps.Update(q, p, sc[i]))
+				}
+			}
 			rng := rand.New(rand.NewSource(o.Seed ^ 0x5bf0_3635 ^ int64(lo+iter*n)))
 			for u := lo; u < hi; u++ {
-				nn = append(nn[:0], newLists[u]...)
+				nn := append(ws.nn[:0], newLists[u]...)
 				nn = appendSampled(nn, rnew[u], sampleCap, o.Sample, rng)
-				on = append(on[:0], oldLists[u]...)
+				on := append(ws.on[:0], oldLists[u]...)
 				on = appendSampled(on, rold[u], sampleCap, o.Sample, rng)
 				nn = dedup(nn)
 				on = dedup(on)
-				// new × new (each unordered pair once) and new × old.
+				ws.nn, ws.on = nn, on
+				// new × new (each unordered pair once) and new × old; nn is
+				// deduplicated, so the nn tail never contains p, but on may.
 				for i, p := range nn {
-					for _, q := range nn[i+1:] {
-						if p == q {
-							continue
-						}
-						sim := s.Sim(p, q)
-						c += int64(s.Heaps.Update(p, q, sim))
-						c += int64(s.Heaps.Update(q, p, sim))
-					}
+					score(p, nn[i+1:])
+					partners := ws.partners[:0]
 					for _, q := range on {
-						if p == q {
-							continue
+						if q != p {
+							partners = append(partners, q)
 						}
-						sim := s.Sim(p, q)
-						c += int64(s.Heaps.Update(p, q, sim))
-						c += int64(s.Heaps.Update(q, p, sim))
 					}
+					ws.partners = partners
+					score(p, partners)
 				}
 			}
 			return c

@@ -80,9 +80,11 @@ type Server struct {
 	done      chan struct{} // closed when the writer has exited
 	closeOnce sync.Once
 
-	// maintainStats mirrors Maintainer.Stats after every batch, so /stats
-	// never reads the writer's live state (that would race).
-	maintainStats atomic.Pointer[kiff.Run]
+	// maintainStats and maintainCounters mirror Maintainer.Stats and
+	// Maintainer.Counters after every batch, so /stats never reads the
+	// writer's live state (that would race).
+	maintainStats    atomic.Pointer[kiff.Run]
+	maintainCounters atomic.Pointer[kiff.Counters]
 
 	queries      atomic.Int64
 	neighborGets atomic.Int64
@@ -153,6 +155,8 @@ func New(cfg Config) (*Server, error) {
 	if s.m != nil {
 		run := s.m.Stats()
 		s.maintainStats.Store(&run)
+		counters := s.m.Counters()
+		s.maintainCounters.Store(&counters)
 		go s.writer()
 	} else {
 		close(s.done)
@@ -296,6 +300,8 @@ func (s *Server) apply(batch []op) {
 	}
 	run := s.m.Stats()
 	s.maintainStats.Store(&run)
+	counters := s.m.Counters()
+	s.maintainCounters.Store(&counters)
 	s.cfg.Logf("server: applied batch of %d ops (%d mutations), version %d",
 		len(batch), applied, s.m.Snapshot().Version())
 }
@@ -363,11 +369,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"rejected":          s.rejected.Load(),
 	}
 	if run := s.maintainStats.Load(); run != nil {
-		resp["maintain"] = map[string]any{
+		maintain := map[string]any{
 			"sim_evals":  run.SimEvals,
 			"iterations": run.Iterations,
 			"wall_ns":    run.WallTime.Nanoseconds(),
 		}
+		// Cumulative maintenance counters: what serving-time freshness has
+		// cost so far — inserted users, rebuild passes, users refreshed by
+		// them (sim_evals above is the matching evaluation total).
+		if c := s.maintainCounters.Load(); c != nil {
+			maintain["inserts"] = c.Inserts
+			maintain["rebuilds"] = c.Rebuilds
+			maintain["rebuilt_users"] = c.RebuiltUsers
+		}
+		resp["maintain"] = maintain
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

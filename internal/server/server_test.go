@@ -183,12 +183,24 @@ func TestServerEndToEnd(t *testing.T) {
 		ReadOnly bool   `json:"read_only"`
 		Queries  int64  `json:"queries"`
 		Maintain *struct {
-			SimEvals int64 `json:"sim_evals"`
+			SimEvals     int64 `json:"sim_evals"`
+			Inserts      int64 `json:"inserts"`
+			Rebuilds     int64 `json:"rebuilds"`
+			RebuiltUsers int64 `json:"rebuilt_users"`
 		} `json:"maintain"`
 	}
 	getJSON(t, ts.URL+"/stats", &stats)
 	if stats.ReadOnly || stats.Version < 2 || stats.Queries == 0 || stats.Maintain == nil || stats.Maintain.SimEvals == 0 {
 		t.Fatalf("stats = %+v", stats)
+	}
+	// The maintenance counters must reflect the applied mutations: every
+	// insert counted, at least one rebuild pass over at least as many
+	// users as passes.
+	if stats.Maintain.Inserts != writerInserts {
+		t.Fatalf("maintain.inserts = %d, want %d", stats.Maintain.Inserts, writerInserts)
+	}
+	if stats.Maintain.Rebuilds == 0 || stats.Maintain.RebuiltUsers < stats.Maintain.Rebuilds {
+		t.Fatalf("maintain rebuild counters = %+v", stats.Maintain)
 	}
 
 	// The maintained graph must still satisfy every structural invariant.

@@ -61,3 +61,61 @@ func TestPrepareIncrementalMatchesPrepare(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalAppendBatchGrowsCache pushes a batch of appended users
+// through every incremental metric — enough to force the per-user state
+// caches (cosine's norm cache) to reallocate several times — and checks
+// the incremental function still matches a fresh preparation for every
+// pair touching the appended range. This covers the single-step cache
+// growth in refresh (including an ID jump past the end, which grows the
+// cache by more than one slot at once).
+func TestIncrementalAppendBatchGrowsCache(t *testing.T) {
+	for _, name := range Names() {
+		metric, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, ok := metric.(Incremental)
+		if !ok {
+			continue
+		}
+		d, err := dataset.Wikipedia.Generate(0.005, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn, refresh := inc.PrepareIncremental(d)
+		base := uint32(d.NumUsers())
+		const appended = 64 // well past the initial cache capacity
+		for i := 0; i < appended; i++ {
+			p := sparse.Vector{IDs: []uint32{uint32(i % 7), uint32(10 + i%11), uint32(30 + i)}}
+			if i%2 == 1 {
+				p.Weights = []float64{1, float64(2 + i%4), 3}
+			}
+			id, err := d.AddUser(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refresh(id)
+		}
+		// An explicit jump: refresh IDs out of order after a plain AddUser
+		// window, exercising growth by more than one slot.
+		if id, err := d.AddUser(sparse.Vector{IDs: []uint32{0, 1}}); err != nil {
+			t.Fatal(err)
+		} else {
+			refresh(id)
+		}
+
+		fresh := metric.Prepare(d)
+		n := uint32(d.NumUsers())
+		for u := base; u < n; u++ {
+			for v := uint32(0); v < n; v += 13 {
+				if u == v {
+					continue
+				}
+				if a, b := fn(u, v), fresh(u, v); a != b {
+					t.Fatalf("%s: appended-range mismatch at (%d,%d): %v vs %v", name, u, v, a, b)
+				}
+			}
+		}
+	}
+}

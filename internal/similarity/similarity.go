@@ -9,8 +9,13 @@
 // A metric is bound to a dataset once via Prepare, which lets it precompute
 // per-user norms or per-item statistics; the returned Func is then a pure,
 // concurrency-safe pairwise function. Every similarity evaluation performed
-// by an algorithm flows through a Func wrapped with Counted, giving the
-// scan-rate metric of §IV-C for free.
+// by an algorithm flows through a Func wrapped with Counted (or a batch
+// kernel wrapped with CountedBatch), giving the scan-rate metric of §IV-C
+// for free.
+//
+// The pairwise Func is the reference implementation; the hot construction
+// loops score through the one-vs-many kernels of batch.go (BatchMetric),
+// which are property-tested bit-for-bit equal to it.
 package similarity
 
 import (
@@ -109,28 +114,14 @@ func (Cosine) Prepare(d *dataset.Dataset) Func {
 	}
 }
 
-// PrepareIncremental implements Incremental: the norm cache is grown and
-// patched per refreshed user, and profiles are re-read through d so
-// appends (which may reallocate d.Users) are observed.
+// PrepareIncremental implements Incremental: the norm cache is grown (in
+// a single step, even for ID jumps) and patched per refreshed user, and
+// profiles are re-read through d so appends (which may reallocate
+// d.Users) are observed. The state is shared with the batch kernels; see
+// cosineState in batch.go.
 func (Cosine) PrepareIncremental(d *dataset.Dataset) (Func, func(uint32)) {
-	norms := make([]float64, len(d.Users))
-	for i, u := range d.Users {
-		norms[i] = sparse.Norm(u)
-	}
-	fn := func(u, v uint32) float64 {
-		nu, nv := norms[u], norms[v]
-		if nu == 0 || nv == 0 {
-			return 0
-		}
-		return sparse.Dot(d.Users[u], d.Users[v]) / (nu * nv)
-	}
-	refresh := func(u uint32) {
-		for int(u) >= len(norms) {
-			norms = append(norms, 0)
-		}
-		norms[u] = sparse.Norm(d.Users[u])
-	}
-	return fn, refresh
+	st := newCosineState(d)
+	return st.pair, st.refresh
 }
 
 // Jaccard is Jaccard's coefficient |A∩B| / |A∪B| over the profile item

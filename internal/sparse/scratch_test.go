@@ -1,0 +1,130 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randScratchVector draws a sorted sparse vector over [0, domain) with
+// about n entries; weighted with probability ½ unless forceBinary.
+func randScratchVector(r *rand.Rand, domain, n int, forceBinary bool) Vector {
+	seen := map[uint32]bool{}
+	for i := 0; i < n; i++ {
+		seen[uint32(r.Intn(domain))] = true
+	}
+	m := map[uint32]float64{}
+	for id := range seen {
+		m[id] = float64(1 + r.Intn(9))
+	}
+	return FromMap(m, forceBinary || r.Intn(2) == 0)
+}
+
+// TestScratchGatherMatchesMerge: the scatter/gather primitives agree with
+// the pairwise merge kernels on random vectors, bit for bit, across
+// re-uses of the same scratch (epoch discipline) and across sparse and
+// dense ID domains.
+func TestScratchGatherMatchesMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var s Scratch
+	for trial := 0; trial < 500; trial++ {
+		domain := 1 + r.Intn(200)
+		if trial%7 == 0 {
+			domain = 1 + r.Intn(100_000) // |I| ≫ |profile| shapes
+		}
+		a := randScratchVector(r, domain, r.Intn(30), false)
+		b := randScratchVector(r, domain, r.Intn(30), false)
+
+		s.Stamp(Vector{IDs: a.IDs})
+		if got, want := s.CountCommon(b), CommonCount(a, b); got != want {
+			t.Fatalf("trial %d: CountCommon = %d, want %d", trial, got, want)
+		}
+
+		if a.IsBinary() {
+			s.StampOnes(a)
+		} else {
+			s.Stamp(a)
+		}
+		dot, common := s.DotCount(b)
+		if want := Dot(a, b); dot != want {
+			t.Fatalf("trial %d: DotCount dot = %v, want %v (bit-exact)", trial, dot, want)
+		}
+		if want := CommonCount(a, b); common != want {
+			t.Fatalf("trial %d: DotCount common = %d, want %d", trial, common, want)
+		}
+
+		// SumCommon with all-ones stamps is the common count again.
+		s.StampOnes(a)
+		sum, n := s.SumCommon(b)
+		if want := CommonCount(a, b); n != want || sum != float64(want) {
+			t.Fatalf("trial %d: SumCommon = (%v, %d), want (%v, %d)", trial, sum, n, float64(want), want)
+		}
+	}
+}
+
+// TestScratchEmptyAndDisjoint covers the degenerate shapes: empty pivot,
+// empty candidate, and candidates whose IDs lie wholly beyond the
+// stamped domain.
+func TestScratchEmptyAndDisjoint(t *testing.T) {
+	var s Scratch
+	s.Stamp(Vector{})
+	if got := s.CountCommon(Vector{IDs: []uint32{1, 2, 3}}); got != 0 {
+		t.Errorf("empty pivot: CountCommon = %d, want 0", got)
+	}
+	s.Stamp(Vector{IDs: []uint32{1, 2, 3}})
+	if got := s.CountCommon(Vector{}); got != 0 {
+		t.Errorf("empty candidate: CountCommon = %d, want 0", got)
+	}
+	// IDs beyond the stamped domain cannot match and must not panic.
+	if got := s.CountCommon(Vector{IDs: []uint32{100, 5000}}); got != 0 {
+		t.Errorf("out-of-domain candidate: CountCommon = %d, want 0", got)
+	}
+	if dot, n := s.SumCommon(Vector{IDs: []uint32{100}}); dot != 0 || n != 0 {
+		t.Errorf("out-of-domain SumCommon = (%v, %d), want (0, 0)", dot, n)
+	}
+}
+
+// TestScratchEpochWrap forces the uint32 epoch counter to wrap and checks
+// that stale stamps do not leak into the fresh epoch.
+func TestScratchEpochWrap(t *testing.T) {
+	var s Scratch
+	s.Stamp(Vector{IDs: []uint32{1, 2, 3}, Weights: []float64{5, 6, 7}})
+	s.forceWrap()
+	s.Stamp(Vector{IDs: []uint32{9}})
+	if got := s.CountCommon(Vector{IDs: []uint32{1, 2, 3}}); got != 0 {
+		t.Fatalf("stale stamps visible after epoch wrap: CountCommon = %d, want 0", got)
+	}
+	if got := s.CountCommon(Vector{IDs: []uint32{9}}); got != 1 {
+		t.Fatalf("fresh stamp lost after epoch wrap: CountCommon = %d, want 1", got)
+	}
+}
+
+// TestScratchDomainGrowth: the domain grows monotonically with the
+// largest stamped ID and gathers stay correct across growth.
+func TestScratchDomainGrowth(t *testing.T) {
+	var s Scratch
+	s.Stamp(Vector{IDs: []uint32{3}})
+	if s.Domain() != 4 {
+		t.Fatalf("Domain = %d, want 4", s.Domain())
+	}
+	s.Stamp(Vector{IDs: []uint32{3, 4095}})
+	if s.Domain() != 4096 {
+		t.Fatalf("Domain = %d, want 4096", s.Domain())
+	}
+	if got := s.CountCommon(Vector{IDs: []uint32{3, 4095}}); got != 2 {
+		t.Fatalf("post-growth CountCommon = %d, want 2", got)
+	}
+	// Shrinking pivots keep the larger domain (no reallocation churn).
+	s.Stamp(Vector{IDs: []uint32{1}})
+	if s.Domain() != 4096 {
+		t.Fatalf("Domain shrank to %d", s.Domain())
+	}
+	// Creeping max IDs grow geometrically: one step past the domain must
+	// at least double it rather than realloc per pivot.
+	s.Stamp(Vector{IDs: []uint32{4096}})
+	if s.Domain() < 2*4096 {
+		t.Fatalf("creeping growth not geometric: Domain = %d, want ≥ %d", s.Domain(), 2*4096)
+	}
+	if got := s.CountCommon(Vector{IDs: []uint32{4096}}); got != 1 {
+		t.Fatalf("post-geometric-growth CountCommon = %d, want 1", got)
+	}
+}

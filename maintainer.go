@@ -52,14 +52,23 @@ type Maintainer struct {
 	// its precomputed state per mutated user when the metric supports
 	// incremental preparation (similarity.Incremental), in which case
 	// mutations cost O(changed profile) instead of a full O(|U|)
-	// re-preparation.
+	// re-preparation. batch is the one-vs-many counterpart
+	// (similarity.IncrementalBatch shares refresh's state with it);
+	// kernel is the lazily minted single-writer scoring kernel.
 	sim     similarity.Func
+	batch   similarity.BatchFactory
+	kernel  similarity.Batcher
 	refresh func(uint32)
 	simOK   bool
 	evals   atomic.Int64
 	run     runstats.Run
 	dirty   map[uint32]struct{}
 	scratch []uint32
+	scores  []float64
+
+	inserts      int64
+	rebuilds     int64
+	rebuiltUsers int64
 
 	// snap is the serving-side publication point: an immutable view
 	// replaced wholesale by the writer, loaded lock-free by readers.
@@ -114,12 +123,7 @@ func NewMaintainer(d *Dataset, opts Options) (*Maintainer, error) {
 			K:         eo.K,
 		},
 	}
-	if inc, ok := eo.Metric.(similarity.Incremental); ok {
-		fn, refresh := inc.PrepareIncremental(d)
-		m.sim = similarity.Counted(fn, &m.evals)
-		m.refresh = refresh
-		m.simOK = true
-	}
+	m.bindMetric()
 	m.publish()
 	return m, nil
 }
@@ -193,12 +197,7 @@ func NewMaintainerFromGraph(d *Dataset, g *Graph, opts Options) (*Maintainer, er
 			K:         eo.K,
 		},
 	}
-	if inc, ok := eo.Metric.(similarity.Incremental); ok {
-		fn, refresh := inc.PrepareIncremental(d)
-		m.sim = similarity.Counted(fn, &m.evals)
-		m.refresh = refresh
-		m.simOK = true
-	}
+	m.bindMetric()
 	m.publish()
 	return m, nil
 }
@@ -222,6 +221,28 @@ func (m *Maintainer) rcsOpts() rcs.BuildOptions {
 	return rcs.BuildOptions{MinRating: m.opts.MinRating}
 }
 
+// bindMetric establishes the incremental similarity binding when the
+// metric supports one: IncrementalBatch metrics bind the pairwise
+// function and the one-vs-many factory over shared refreshable state;
+// plain Incremental metrics bind the pairwise side only. Metrics with
+// neither (Adamic–Adar) stay unbound and are fully re-prepared by
+// simFunc after each mutation batch.
+func (m *Maintainer) bindMetric() {
+	switch inc := m.opts.Metric.(type) {
+	case similarity.IncrementalBatch:
+		fn, batch, refresh := inc.PrepareIncrementalBatch(m.d)
+		m.sim = similarity.Counted(fn, &m.evals)
+		m.batch = similarity.CountedBatch(batch, &m.evals)
+		m.refresh = refresh
+		m.simOK = true
+	case similarity.Incremental:
+		fn, refresh := inc.PrepareIncremental(m.d)
+		m.sim = similarity.Counted(fn, &m.evals)
+		m.refresh = refresh
+		m.simOK = true
+	}
+}
+
 // simFunc returns the prepared, evaluation-counted similarity function.
 // Incremental metrics were bound once at construction and are patched
 // per mutation via refresh; for the rest (Adamic–Adar), a mutation marks
@@ -230,9 +251,26 @@ func (m *Maintainer) rcsOpts() rcs.BuildOptions {
 func (m *Maintainer) simFunc() similarity.Func {
 	if !m.simOK {
 		m.sim = similarity.Counted(m.opts.Metric.Prepare(m.d), &m.evals)
+		if bm, ok := m.opts.Metric.(similarity.BatchMetric); ok {
+			m.batch = similarity.CountedBatch(bm.PrepareBatch(m.d), &m.evals)
+			m.kernel = nil // minted over the stale binding; remint lazily
+		}
 		m.simOK = true
 	}
 	return m.sim
+}
+
+// batcher returns the single-writer one-vs-many kernel over the current
+// binding, minting it lazily (and re-minting after full re-preparations).
+func (m *Maintainer) batcher() similarity.Batcher {
+	m.simFunc()
+	if m.batch == nil {
+		return similarity.PairwiseBatcher(m.sim)
+	}
+	if m.kernel == nil {
+		m.kernel = m.batch()
+	}
+	return m.kernel
 }
 
 // noteMutation updates the similarity binding after user u's profile
@@ -258,6 +296,7 @@ func (m *Maintainer) Insert(p Profile) (uint32, error) {
 	m.sets.PatchUser(m.d, id, m.rcsOpts())
 	m.noteMutation(id)
 	m.refineUser(id)
+	m.inserts++
 	m.run.NumUsers = m.d.NumUsers()
 	m.run.WallTime += time.Since(start)
 	m.publish()
@@ -288,6 +327,7 @@ func (m *Maintainer) InsertBatch(ps []Profile) ([]uint32, error) {
 		m.sets.PatchUser(m.d, id, m.rcsOpts())
 		m.noteMutation(id)
 		m.refineUser(id)
+		m.inserts++
 		ids = append(ids, id)
 	}
 	m.run.NumUsers = m.d.NumUsers()
@@ -365,28 +405,35 @@ func (m *Maintainer) Rebuild(dirty []uint32) error {
 		m.refineUser(u)
 		delete(m.dirty, u)
 	}
+	m.rebuilds++
+	m.rebuiltUsers += int64(len(targets))
 	m.run.WallTime += time.Since(start)
 	m.publish()
 	return nil
 }
 
 // refineUser runs KIFF's refinement loop for a single user: pop the top γ
-// untried candidates, evaluate, update both endpoints' heaps; stop on
-// exhaustion or — in approximate mode — when a full chunk changes
+// untried candidates, score the whole chunk with the one-vs-many kernel
+// (u's profile scattered once per chunk), update both endpoints' heaps;
+// stop on exhaustion or — in approximate mode — when a full chunk changes
 // nothing (the per-user analogue of the β threshold: ranked order means
 // later candidates are ever less likely to displace anything).
 func (m *Maintainer) refineUser(u uint32) {
-	sim := m.simFunc()
+	kernel := m.batcher()
 	for iter := 0; ; iter++ {
 		cs := m.sets.TopPop(u, m.opts.Gamma)
 		if len(cs) == 0 {
 			break
 		}
+		if cap(m.scores) < len(cs) {
+			m.scores = make([]float64, len(cs))
+		}
+		scores := m.scores[:len(cs)]
+		kernel.ScoreInto(scores, u, cs)
 		var changes int64
-		for _, v := range cs {
-			s := sim(u, v)
-			changes += int64(m.heaps.Update(u, v, s))
-			changes += int64(m.heaps.Update(v, u, s))
+		for i, v := range cs {
+			changes += int64(m.heaps.Update(u, v, scores[i]))
+			changes += int64(m.heaps.Update(v, u, scores[i]))
 		}
 		// Only aggregate counters: a long-lived maintainer must not grow
 		// per-chunk traces (UpdatesPerIter etc.) without bound.
@@ -412,4 +459,31 @@ func (m *Maintainer) Stats() Run {
 	r := m.run
 	r.SimEvals = m.evals.Load()
 	return r
+}
+
+// Counters are the cumulative maintenance counters since the Maintainer
+// was created — the serving-time cost observables: how many users were
+// spliced in, how many rebuild passes ran (and over how many users), and
+// the similarity evaluations all of it spent.
+type Counters struct {
+	// SimEvals counts every similarity evaluation performed by
+	// maintenance operations (the §IV-C cost metric, served cumulatively).
+	SimEvals int64
+	// Inserts counts users added via Insert/InsertBatch.
+	Inserts int64
+	// Rebuilds counts Rebuild passes that refreshed at least one user.
+	Rebuilds int64
+	// RebuiltUsers counts users refreshed across all Rebuild passes.
+	RebuiltUsers int64
+}
+
+// Counters returns the cumulative maintenance counters. Like Stats, it
+// must be called from the writer side (or after mutations quiesce).
+func (m *Maintainer) Counters() Counters {
+	return Counters{
+		SimEvals:     m.evals.Load(),
+		Inserts:      m.inserts,
+		Rebuilds:     m.rebuilds,
+		RebuiltUsers: m.rebuiltUsers,
+	}
 }
