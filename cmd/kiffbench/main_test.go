@@ -128,3 +128,34 @@ func TestCompareRequiresBenchOut(t *testing.T) {
 		t.Error("-bench-names without -bench-out must fail")
 	}
 }
+
+// TestComparePerBenchTolerance: a baseline bench's own tolerance
+// overrides the global flag in both directions — a tight bound on a
+// stable bench fails inside the global slack, and a loose bound on a
+// noisy bench passes beyond it.
+func TestComparePerBenchTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(`{"schema":"kiff/bench/v1","benches":[
+		{"name":"stable","ns_per_op":100,"tolerance":1.2},
+		{"name":"noisy","ns_per_op":100,"tolerance":3.0},
+		{"name":"global","ns_per_op":100}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report := benchReport{Benches: []benchResult{
+		{Name: "stable", NsPerOp: 150}, // 1.5x: within the 1.6 global, beyond its own 1.2
+		{Name: "noisy", NsPerOp: 250},  // 2.5x: beyond the global, within its own 3.0
+		{Name: "global", NsPerOp: 150}, // 1.5x: no per-bench bound, global 1.6 applies
+	}}
+	var errOut bytes.Buffer
+	err := compareAgainst(base, report, 1.6, &errOut)
+	if err == nil {
+		t.Fatal("stable bench beyond its per-bench tolerance must regress")
+	}
+	if !strings.Contains(err.Error(), "stable") {
+		t.Errorf("regression list %v must name the stable bench", err)
+	}
+	if strings.Contains(err.Error(), "noisy") || strings.Contains(err.Error(), "global") {
+		t.Errorf("regression list %v must flag only the stable bench", err)
+	}
+}

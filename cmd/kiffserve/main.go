@@ -14,6 +14,16 @@
 // endpoints return 403), and a cold build straight from an edge list
 // (-in ratings.tsv) for small datasets and smoke tests.
 //
+// Sharded serving: -shards N partitions the dataset across N independent
+// maintainers behind the same HTTP API (inserts and rebuilds parallelize
+// across shards; /stats reports per-shard counters). -save-pool DIR
+// checkpoints the pool (per-shard graph.i.kfg/data.i.kfd plus a
+// manifest) after construction, and -pool DIR restarts from such a
+// checkpoint without rebuilding:
+//
+//	kiffserve -data data.kfd -shards 4 -save-pool pool/ -addr :8080
+//	kiffserve -pool pool/ -addr :8080
+//
 //	curl localhost:8080/neighbors/42
 //	curl -X POST localhost:8080/query -d '{"profile":{"7":3,"42":5},"k":10}'
 //	curl -X POST localhost:8080/users -d '{"profile":{"42":5}}'
@@ -67,11 +77,27 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		queue    = fs.Int("queue", 256, "mutation queue depth (full queue = backpressure)")
 		batch    = fs.Int("batch", 64, "max mutations applied per writer batch")
 		workers  = fs.Int("workers", 0, "cold-build worker goroutines (0 = all CPUs)")
+		shards   = fs.Int("shards", 0, "partition users across this many maintainers (0 = unsharded)")
+		pool     = fs.String("pool", "", "sharded checkpoint directory to restart from (see -save-pool)")
+		savePool = fs.String("save-pool", "", "checkpoint the sharded pool to this directory after construction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := kiff.Options{K: *k, Metric: *metric, Workers: *workers}
+
+	// --- Sharded modes ---------------------------------------------------
+	sharded := *pool != "" || *shards > 1
+	if sharded {
+		if *readonly {
+			return fmt.Errorf("-readonly is not supported in sharded mode (a pool always carries its maintainers)")
+		}
+		if *graph != "" {
+			return fmt.Errorf("-graph is not used in sharded mode: the pool builds per-shard graphs (restart from -pool instead)")
+		}
+	} else if *savePool != "" {
+		return fmt.Errorf("-save-pool requires -shards or -pool")
+	}
 
 	// --- Assemble the dataset -------------------------------------------
 	var (
@@ -79,6 +105,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		err error
 	)
 	switch {
+	case *pool != "":
+		// The sharded checkpoint carries its own per-shard datasets.
 	case *data != "" && *useMmap:
 		md, merr := kiff.LoadDatasetMapped(*data)
 		if merr != nil {
@@ -112,6 +140,38 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},
 	}
+	if sharded {
+		var p *kiff.ShardedMaintainer
+		if *pool != "" {
+			popts := kiff.Options{Metric: *metric, Workers: *workers}
+			if *useMmap {
+				p, err = kiff.LoadShardedMaintainerMapped(*pool, popts)
+			} else {
+				p, err = kiff.LoadShardedMaintainer(*pool, popts)
+			}
+			if err != nil {
+				return fmt.Errorf("load pool: %w", err)
+			}
+			fmt.Fprintf(stderr, "kiffserve: pool %s loaded: %d shards, %d users, k=%d (mmap=%v, construction skipped)\n",
+				*pool, p.NumShards(), p.NumUsers(), p.K(), *useMmap)
+		} else {
+			start := time.Now()
+			if p, err = kiff.NewShardedMaintainer(ds, *shards, opts); err != nil {
+				return fmt.Errorf("sharded cold build: %w", err)
+			}
+			fmt.Fprintf(stderr, "kiffserve: cold-built %d-shard pool over %d users (k=%d) in %v\n",
+				p.NumShards(), p.NumUsers(), p.K(), time.Since(start))
+		}
+		if *savePool != "" {
+			if err := p.Save(*savePool); err != nil {
+				return fmt.Errorf("save pool: %w", err)
+			}
+			fmt.Fprintf(stderr, "kiffserve: pool checkpointed to %s\n", *savePool)
+		}
+		cfg.Pool = p
+		return serve(ctx, cfg, *addr, stderr, ready)
+	}
+
 	var g *kiff.Graph
 	if *graph != "" {
 		if *useMmap {
@@ -166,13 +226,19 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		fmt.Fprintf(stderr, "kiffserve: cold-built and wrapped k=%d graph in %v\n", *k, time.Since(start))
 	}
 
+	return serve(ctx, cfg, *addr, stderr, ready)
+}
+
+// serve runs the HTTP front-end over the assembled serving source until
+// ctx is canceled or the listener fails.
+func serve(ctx context.Context, cfg server.Config, addr string, stderr io.Writer, ready chan<- string) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
 
 	// --- Serve ----------------------------------------------------------
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}

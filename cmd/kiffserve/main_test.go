@@ -164,3 +164,107 @@ func TestServeFlagValidation(t *testing.T) {
 		t.Fatal("missing checkpoint accepted")
 	}
 }
+
+// TestServeShardedLifecycle covers the -shards cold build, -save-pool
+// checkpointing, and the -pool restart path, asserting the sharded
+// server answers /query identically to the unsharded one over the same
+// data and that /stats carries per-shard counters.
+func TestServeShardedLifecycle(t *testing.T) {
+	edges := writeEdgeList(t)
+	poolDir := filepath.Join(t.TempDir(), "pool")
+
+	single, shutdownSingle := boot(t, "-in", edges, "-k", "5")
+	sharded, shutdownSharded := boot(t, "-in", edges, "-k", "5", "-shards", "4", "-save-pool", poolDir)
+
+	q := `{"profile":{"3":2,"8":1},"k":4}`
+	queryBody := func(url string) string {
+		t.Helper()
+		resp, err := http.Post(url+"/query", "application/json", strings.NewReader(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %s: %d: %s", url, resp.StatusCode, body)
+		}
+		var out struct {
+			Results json.RawMessage `json:"results"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return string(out.Results)
+	}
+	if got, want := queryBody(sharded), queryBody(single); got != want {
+		t.Fatalf("sharded /query diverged\n got: %s\nwant: %s", got, want)
+	}
+
+	var stats struct {
+		Shards []struct {
+			Users int `json:"users"`
+		} `json:"shards"`
+	}
+	resp, err := http.Get(sharded + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(stats.Shards) != 4 {
+		t.Fatalf("/stats shards = %d entries, want 4", len(stats.Shards))
+	}
+	total := 0
+	for _, sh := range stats.Shards {
+		total += sh.Users
+	}
+	if total != 30 {
+		t.Fatalf("per-shard users sum to %d, want 30", total)
+	}
+
+	if err := shutdownSharded(); err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdownSingle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from the saved pool checkpoint: same answers, still mutable.
+	restarted, shutdownRestarted := boot(t, "-pool", poolDir)
+	single2, shutdownSingle2 := boot(t, "-in", edges, "-k", "5")
+	if got, want := queryBody(restarted), queryBody(single2); got != want {
+		t.Fatalf("restarted pool /query diverged\n got: %s\nwant: %s", got, want)
+	}
+	resp, err = http.Post(restarted+"/users", "application/json", strings.NewReader(`{"profile":{"1":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("insert into restarted pool: %d: %s", resp.StatusCode, body)
+	}
+	if err := shutdownRestarted(); err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdownSingle2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeShardedFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	cases := [][]string{
+		{"-shards", "4", "-graph", "/x.kfg", "-data", "/x.kfd"}, // -graph unused in sharded mode
+		{"-shards", "4", "-readonly", "-data", "/x.kfd"},        // no static pool mode
+		{"-save-pool", "/tmp/p"},                                // requires sharded mode
+		{"-pool", "/does/not/exist"},                            // missing manifest
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &stderr, nil); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

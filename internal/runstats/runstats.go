@@ -91,6 +91,34 @@ type Run struct {
 	RecallAtIter []float64
 }
 
+// Counters are the cumulative maintenance counters of a maintained
+// graph — the serving-time cost observables: how many users were spliced
+// in, how many rebuild passes ran (and over how many users), and the
+// similarity evaluations all of it spent. They are defined here (rather
+// than next to the maintainer) so that aggregation layers — the shard
+// pool, the HTTP server's /stats — can consume them without importing
+// the facade.
+type Counters struct {
+	// SimEvals counts every similarity evaluation performed by
+	// maintenance operations (the §IV-C cost metric, served cumulatively).
+	SimEvals int64
+	// Inserts counts users added via Insert/InsertBatch.
+	Inserts int64
+	// Rebuilds counts Rebuild passes that refreshed at least one user.
+	Rebuilds int64
+	// RebuiltUsers counts users refreshed across all Rebuild passes.
+	RebuiltUsers int64
+}
+
+// Add accumulates another counter record — the shard pool's aggregate
+// view sums its per-shard counters with it.
+func (c *Counters) Add(o Counters) {
+	c.SimEvals += o.SimEvals
+	c.Inserts += o.Inserts
+	c.Rebuilds += o.Rebuilds
+	c.RebuiltUsers += o.RebuiltUsers
+}
+
 // ScanRate is the paper's normalized similarity-evaluation count:
 // #evals / (|U|·(|U|−1)/2).
 func (r *Run) ScanRate() float64 {

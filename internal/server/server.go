@@ -23,6 +23,12 @@
 // A server constructed from a static Snapshot (no Maintainer) is
 // read-only: mutation endpoints return 403 and everything else works
 // unchanged — the zero-copy "map a checkpoint and serve" mode.
+//
+// A server over a ShardedMaintainer pool serves the same API: reads pin
+// a scatter-gather view per request (Neighbors routes to the owning
+// shard, Query fans out and splices), and the writer goroutine's batches
+// flow through the pool, which parallelizes them across shards. /stats
+// additionally reports per-shard counters.
 package server
 
 import (
@@ -36,17 +42,21 @@ import (
 	"sync/atomic"
 
 	"kiff"
+	"kiff/internal/shard"
 )
 
-// Config assembles a Server. Exactly one of Maintainer (mutable serving)
-// or Static (read-only serving) must be set.
+// Config assembles a Server. Exactly one of Maintainer or Pool (mutable
+// serving) or Static (read-only serving) must be set.
 type Config struct {
 	// Maintainer is the single-writer maintained graph. The Server owns
 	// the write side: no other goroutine may mutate it while the Server
 	// is running.
 	Maintainer *kiff.Maintainer
-	// Static serves a fixed snapshot when Maintainer is nil; mutation
-	// endpoints are disabled.
+	// Pool is the sharded maintainer pool. As with Maintainer, the
+	// Server owns the write side while running.
+	Pool *kiff.ShardedMaintainer
+	// Static serves a fixed snapshot when Maintainer and Pool are nil;
+	// mutation endpoints are disabled.
 	Static *kiff.Snapshot
 	// QueryBudget bounds similarity evaluations per query when the
 	// request does not set its own; ≤ 0 means exhaustive (exact) queries.
@@ -66,12 +76,68 @@ type Config struct {
 // server shuts down.
 var ErrClosed = errors.New("server: closed")
 
+// source is one request's pinned, immutable read view: loaded once per
+// request so routing, fan-out and the reported version are consistent.
+// *shard.View implements it directly; single snapshots are adapted by
+// snapSource.
+type source interface {
+	Version() uint64
+	NumUsers() int
+	K() int
+	Neighbors(u uint32) ([]kiff.Neighbor, error)
+	Query(profile kiff.Profile, k, budget int) ([]kiff.Neighbor, error)
+	Profile(u uint32) (kiff.Profile, bool)
+}
+
+// snapSource adapts a kiff.Snapshot to the source interface.
+type snapSource struct{ s *kiff.Snapshot }
+
+func (v snapSource) Version() uint64 { return v.s.Version() }
+func (v snapSource) NumUsers() int   { return v.s.NumUsers() }
+func (v snapSource) K() int          { return v.s.K() }
+func (v snapSource) Neighbors(u uint32) ([]kiff.Neighbor, error) {
+	return v.s.Neighbors(u), nil
+}
+func (v snapSource) Query(p kiff.Profile, k, budget int) ([]kiff.Neighbor, error) {
+	return v.s.Query(p, k, budget)
+}
+func (v snapSource) Profile(u uint32) (kiff.Profile, bool) {
+	ds := v.s.Dataset()
+	if int(u) >= ds.NumUsers() {
+		return kiff.Profile{}, false
+	}
+	return ds.Users[u], true
+}
+
+// mutable is the write backend the writer goroutine drives: a
+// *kiff.Maintainer (adapted) or the sharded pool.
+type mutable interface {
+	InsertBatch(ps []kiff.Profile) ([]uint32, error)
+	AddRating(u uint32, item uint32, rating float64) error
+	Rebuild(dirty []uint32) error
+	// NumUsers is the live writer-side population, for pre-validating
+	// rating batches.
+	NumUsers() int
+	// Version is the current publication version, reported to mutation
+	// clients.
+	Version() uint64
+	Counters() kiff.Counters
+}
+
+// maintainerBackend adapts *kiff.Maintainer to mutable.
+type maintainerBackend struct{ *kiff.Maintainer }
+
+func (b maintainerBackend) NumUsers() int   { return b.Dataset().NumUsers() }
+func (b maintainerBackend) Version() uint64 { return b.Snapshot().Version() }
+
 // Server routes HTTP requests onto a snapshot source and, when mutable,
 // runs the writer goroutine. Create with New, serve via Handler, stop
 // with Close (after the HTTP listener has drained).
 type Server struct {
 	cfg    Config
 	m      *kiff.Maintainer
+	pool   *kiff.ShardedMaintainer
+	w      mutable // nil = read-only
 	static *kiff.Snapshot
 	mux    *http.ServeMux
 
@@ -125,8 +191,14 @@ type opResult struct {
 // New validates the configuration and starts the writer goroutine (when
 // mutable). The returned Server is ready to serve.
 func New(cfg Config) (*Server, error) {
-	if (cfg.Maintainer == nil) == (cfg.Static == nil) {
-		return nil, errors.New("server: exactly one of Maintainer or Static must be set")
+	set := 0
+	for _, ok := range []bool{cfg.Maintainer != nil, cfg.Pool != nil, cfg.Static != nil} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, errors.New("server: exactly one of Maintainer, Pool or Static must be set")
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
@@ -140,10 +212,17 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:    cfg,
 		m:      cfg.Maintainer,
+		pool:   cfg.Pool,
 		static: cfg.Static,
 		ops:    make(chan op, cfg.QueueDepth),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+	switch {
+	case s.m != nil:
+		s.w = maintainerBackend{s.m}
+	case s.pool != nil:
+		s.w = s.pool
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -152,10 +231,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /users", s.handleInsert)
 	s.mux.HandleFunc("POST /ratings", s.handleRatings)
-	if s.m != nil {
-		run := s.m.Stats()
-		s.maintainStats.Store(&run)
-		counters := s.m.Counters()
+	if s.w != nil {
+		if s.m != nil {
+			run := s.m.Stats()
+			s.maintainStats.Store(&run)
+		}
+		counters := s.w.Counters()
 		s.maintainCounters.Store(&counters)
 		go s.writer()
 	} else {
@@ -177,17 +258,21 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// snapshot loads the current serving snapshot — the only coupling between
-// the read path and the writer.
-func (s *Server) snapshot() *kiff.Snapshot {
-	if s.m != nil {
-		return s.m.Snapshot()
+// source pins the current serving view — the only coupling between the
+// read path and the writer.
+func (s *Server) source() source {
+	switch {
+	case s.pool != nil:
+		return s.pool.View()
+	case s.m != nil:
+		return snapSource{s.m.Snapshot()}
+	default:
+		return snapSource{s.static}
 	}
-	return s.static
 }
 
 // readOnly reports whether mutation endpoints are disabled.
-func (s *Server) readOnly() bool { return s.m == nil }
+func (s *Server) readOnly() bool { return s.w == nil }
 
 // --- Writer side --------------------------------------------------------
 
@@ -249,8 +334,8 @@ func (s *Server) apply(batch []op) {
 			for k := i; k < j; k++ {
 				profiles[k-i] = batch[k].profile
 			}
-			ids, err := s.m.InsertBatch(profiles)
-			version := s.m.Snapshot().Version()
+			ids, err := s.w.InsertBatch(profiles)
+			version := s.w.Version()
 			for k := i; k < j; k++ {
 				if k-i < len(ids) {
 					batch[k].reply <- opResult{id: ids[k-i], version: version}
@@ -266,7 +351,7 @@ func (s *Server) apply(batch []op) {
 			// half-applied (AddRating's only failure mode is an
 			// out-of-range user).
 			var err error
-			n := uint32(s.m.Dataset().NumUsers())
+			n := uint32(s.w.NumUsers())
 			for _, rt := range batch[i].ratings {
 				if rt.User >= n {
 					err = fmt.Errorf("user %d out of range (have %d users)", rt.User, n)
@@ -275,7 +360,7 @@ func (s *Server) apply(batch []op) {
 			}
 			if err == nil {
 				for _, rt := range batch[i].ratings {
-					if err = s.m.AddRating(rt.User, rt.Item, rt.Rating); err != nil {
+					if err = s.w.AddRating(rt.User, rt.Item, rt.Rating); err != nil {
 						break
 					}
 					applied++
@@ -292,18 +377,20 @@ func (s *Server) apply(batch []op) {
 		}
 	}
 	if len(pendingRatings) > 0 {
-		err := s.m.Rebuild(nil)
-		version := s.m.Snapshot().Version()
+		err := s.w.Rebuild(nil)
+		version := s.w.Version()
 		for _, o := range pendingRatings {
 			o.reply <- opResult{version: version, err: err}
 		}
 	}
-	run := s.m.Stats()
-	s.maintainStats.Store(&run)
-	counters := s.m.Counters()
+	if s.m != nil {
+		run := s.m.Stats()
+		s.maintainStats.Store(&run)
+	}
+	counters := s.w.Counters()
 	s.maintainCounters.Store(&counters)
 	s.cfg.Logf("server: applied batch of %d ops (%d mutations), version %d",
-		len(batch), applied, s.m.Snapshot().Version())
+		len(batch), applied, s.w.Version())
 }
 
 // enqueue funnels one mutation to the writer, blocking while the queue is
@@ -345,20 +432,20 @@ var (
 // --- Read handlers ------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshot()
+	src := s.source()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"version": snap.Version(),
-		"users":   snap.NumUsers(),
+		"version": src.Version(),
+		"users":   src.NumUsers(),
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshot()
+	src := s.source()
 	resp := map[string]any{
-		"version":           snap.Version(),
-		"users":             snap.NumUsers(),
-		"k":                 snap.K(),
+		"version":           src.Version(),
+		"users":             src.NumUsers(),
+		"k":                 src.K(),
 		"read_only":         s.readOnly(),
 		"queue_depth":       len(s.ops),
 		"queue_capacity":    cap(s.ops),
@@ -368,23 +455,59 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"ratings":           s.ratings.Load(),
 		"rejected":          s.rejected.Load(),
 	}
+	if s.pool != nil {
+		resp["shards"] = shardStatsJSON(s.pool.ShardStats())
+	}
+	maintain := map[string]any{}
 	if run := s.maintainStats.Load(); run != nil {
-		maintain := map[string]any{
-			"sim_evals":  run.SimEvals,
-			"iterations": run.Iterations,
-			"wall_ns":    run.WallTime.Nanoseconds(),
+		maintain["sim_evals"] = run.SimEvals
+		maintain["iterations"] = run.Iterations
+		maintain["wall_ns"] = run.WallTime.Nanoseconds()
+	}
+	// Cumulative maintenance counters: what serving-time freshness has
+	// cost so far — inserted users, rebuild passes, users refreshed by
+	// them. In pool mode these aggregate the per-shard counters (and
+	// sim_evals comes from the same aggregate; there is no pool-wide wall
+	// clock, the shards mutate in parallel).
+	if c := s.maintainCounters.Load(); c != nil {
+		if s.pool != nil {
+			maintain["sim_evals"] = c.SimEvals
 		}
-		// Cumulative maintenance counters: what serving-time freshness has
-		// cost so far — inserted users, rebuild passes, users refreshed by
-		// them (sim_evals above is the matching evaluation total).
-		if c := s.maintainCounters.Load(); c != nil {
-			maintain["inserts"] = c.Inserts
-			maintain["rebuilds"] = c.Rebuilds
-			maintain["rebuilt_users"] = c.RebuiltUsers
-		}
+		maintain["inserts"] = c.Inserts
+		maintain["rebuilds"] = c.Rebuilds
+		maintain["rebuilt_users"] = c.RebuiltUsers
+	}
+	if len(maintain) > 0 {
 		resp["maintain"] = maintain
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardStat is one shard's row of the /stats "shards" list.
+type shardStat struct {
+	Shard        int    `json:"shard"`
+	Users        int    `json:"users"`
+	Version      uint64 `json:"version"`
+	SimEvals     int64  `json:"sim_evals"`
+	Inserts      int64  `json:"inserts"`
+	Rebuilds     int64  `json:"rebuilds"`
+	RebuiltUsers int64  `json:"rebuilt_users"`
+}
+
+func shardStatsJSON(stats []shard.Stats) []shardStat {
+	out := make([]shardStat, len(stats))
+	for i, st := range stats {
+		out[i] = shardStat{
+			Shard:        st.Shard,
+			Users:        st.Users,
+			Version:      st.Version,
+			SimEvals:     st.Counters.SimEvals,
+			Inserts:      st.Counters.Inserts,
+			Rebuilds:     st.Counters.Rebuilds,
+			RebuiltUsers: st.Counters.RebuiltUsers,
+		}
+	}
+	return out
 }
 
 type neighborJSON struct {
@@ -394,24 +517,30 @@ type neighborJSON struct {
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	s.neighborGets.Add(1)
-	snap := s.snapshot()
+	src := s.source()
 	u, err := strconv.ParseUint(r.PathValue("user"), 10, 32)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad user id: %w", err))
 		return
 	}
-	if u >= uint64(snap.NumUsers()) {
-		httpError(w, http.StatusNotFound, fmt.Errorf("user %d not in snapshot (have %d users)", u, snap.NumUsers()))
+	if u >= uint64(src.NumUsers()) {
+		httpError(w, http.StatusNotFound, fmt.Errorf("user %d not in snapshot (have %d users)", u, src.NumUsers()))
 		return
 	}
-	nbs := snap.Neighbors(uint32(u))
+	nbs, err := src.Neighbors(uint32(u))
+	if err != nil {
+		// Pool mode: an accepted-but-unpublished user (mid-insert) is a
+		// retryable miss, not a client error.
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
 	out := make([]neighborJSON, len(nbs))
 	for i, nb := range nbs {
 		out[i] = neighborJSON{ID: nb.ID, Sim: nb.Sim}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"user":      u,
-		"version":   snap.Version(),
+		"version":   src.Version(),
 		"neighbors": out,
 	})
 }
@@ -437,10 +566,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	snap := s.snapshot()
+	src := s.source()
 	k := req.K
 	if k <= 0 {
-		k = snap.K()
+		k = src.K()
 	}
 	budget := s.cfg.QueryBudget
 	if req.Budget != nil {
@@ -452,7 +581,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	profile := kiff.ProfileFromMap(req.Profile, req.Binary)
 	switch req.Want {
 	case "", "users":
-		res, err := snap.Query(profile, k, budget)
+		res, err := src.Query(profile, k, budget)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -462,7 +591,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			out[i] = neighborJSON{ID: nb.ID, Sim: nb.Sim}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"version": snap.Version(),
+			"version": src.Version(),
 			"k":       k,
 			"results": out,
 		})
@@ -470,15 +599,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// Two-stage recommendation: KNN over users, then score the
 		// neighbors' items (similarity-weighted ratings) excluding what
 		// the query profile already holds.
-		nbs, err := snap.Query(profile, snap.K(), budget)
+		nbs, err := src.Query(profile, src.K(), budget)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"version": snap.Version(),
+			"version": src.Version(),
 			"k":       k,
-			"results": recommendItems(snap, profile, nbs, k),
+			"results": recommendItems(src, profile, nbs, k),
 		})
 	default:
 		httpError(w, http.StatusBadRequest, fmt.Errorf("want = %q, expected \"users\" or \"items\"", req.Want))
@@ -494,7 +623,7 @@ type scoredItem struct {
 // score(i) = Σ over neighbors holding i of sim(neighbor) · rating — the
 // classic user-based collaborative filtering step on top of the KNN
 // result, restricted to items the query profile does not already hold.
-func recommendItems(snap *kiff.Snapshot, profile kiff.Profile, nbs []kiff.Neighbor, k int) []scoredItem {
+func recommendItems(src source, profile kiff.Profile, nbs []kiff.Neighbor, k int) []scoredItem {
 	have := make(map[uint32]bool, profile.Len())
 	for _, it := range profile.IDs {
 		have[it] = true
@@ -504,7 +633,10 @@ func recommendItems(snap *kiff.Snapshot, profile kiff.Profile, nbs []kiff.Neighb
 		if nb.Sim <= 0 {
 			continue
 		}
-		p := snap.Dataset().Users[nb.ID]
+		p, ok := src.Profile(nb.ID)
+		if !ok {
+			continue
+		}
 		for i, it := range p.IDs {
 			if !have[it] {
 				scores[it] += nb.Sim * p.Weight(i)

@@ -474,3 +474,193 @@ func TestServerEmptyRatingsBatch(t *testing.T) {
 		t.Fatalf("empty ratings: status %d, want 400", status)
 	}
 }
+
+// TestServerShardedPool serves a ShardedMaintainer pool behind the same
+// API: concurrent reads and mutations stream through while /stats
+// reports per-shard counters, and — the acceptance pin — /query answers
+// must be identical to an unsharded server over the same dataset.
+func TestServerShardedPool(t *testing.T) {
+	const k = 8
+	d, err := kiff.GeneratePreset("wikipedia", 0.02, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := kiff.NewMaintainer(d, kiff.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := kiff.NewShardedMaintainer(d, 4, kiff.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ssrv, err := New(Config{Maintainer: single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts := httptest.NewServer(ssrv.Handler())
+	defer sts.Close()
+	defer ssrv.Close()
+
+	srv, err := New(Config{Pool: pool, MaxBatch: 8, QueueDepth: 32, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	var health struct {
+		Status string `json:"status"`
+		Users  int    `json:"users"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "ok" || health.Users != d.NumUsers() {
+		t.Fatalf("healthz = %+v, want %d users", health, d.NumUsers())
+	}
+	users0 := health.Users
+
+	// Pinned equality at the HTTP layer: the sharded and unsharded
+	// servers must answer /query with byte-identical result lists
+	// (exact queries; the server maps budget ≤ 0 to exhaustive).
+	for i := 0; i < 10; i++ {
+		q := map[string]any{
+			"profile": map[string]float64{fmt.Sprint(i): 2, fmt.Sprint(3 * i): 1, "7": 1},
+			"k":       5,
+		}
+		st1, want := postJSON(t, sts.URL+"/query", q)
+		st2, got := postJSON(t, ts.URL+"/query", q)
+		if st1 != http.StatusOK || st2 != http.StatusOK {
+			t.Fatalf("query %d: statuses %d/%d", i, st1, st2)
+		}
+		if fmt.Sprint(got["results"]) != fmt.Sprint(want["results"]) {
+			t.Fatalf("query %d diverged\n sharded: %v\n single:  %v", i, got["results"], want["results"])
+		}
+	}
+
+	// Concurrent load against the pool-backed server.
+	const (
+		readers        = 4
+		writerInserts  = 12
+		writerRatings  = 12
+		readsPerWorker = 25
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < readsPerWorker; i++ {
+				u := (seed*readsPerWorker + i) % users0
+				var nb map[string]any
+				getJSON(t, fmt.Sprintf("%s/neighbors/%d", ts.URL, u), &nb)
+				status, out := postJSON(t, ts.URL+"/query", map[string]any{
+					"profile": map[string]float64{"0": 1, "3": 2, "7": 1},
+					"k":       5,
+				})
+				if status != http.StatusOK {
+					t.Errorf("query: %d: %v", status, out)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerInserts; i++ {
+			status, out := postJSON(t, ts.URL+"/users", map[string]any{
+				"profile": map[string]float64{"1": 1, "5": 3, fmt.Sprint(10 + i): 2},
+			})
+			if status != http.StatusCreated {
+				t.Errorf("insert: %d: %v", status, out)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerRatings; i++ {
+			status, out := postJSON(t, ts.URL+"/ratings", map[string]any{
+				"user": i % users0, "item": (i * 3) % 40, "rating": float64(1 + i%5),
+			})
+			if status != http.StatusOK {
+				t.Errorf("rating: %d: %v", status, out)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Users != users0+writerInserts {
+		t.Fatalf("after inserts: %d users, want %d", health.Users, users0+writerInserts)
+	}
+	var stats struct {
+		ReadOnly bool `json:"read_only"`
+		Shards   []struct {
+			Shard    int    `json:"shard"`
+			Users    int    `json:"users"`
+			Version  uint64 `json:"version"`
+			SimEvals int64  `json:"sim_evals"`
+			Inserts  int64  `json:"inserts"`
+		} `json:"shards"`
+		Maintain *struct {
+			SimEvals     int64 `json:"sim_evals"`
+			Inserts      int64 `json:"inserts"`
+			Rebuilds     int64 `json:"rebuilds"`
+			RebuiltUsers int64 `json:"rebuilt_users"`
+		} `json:"maintain"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.ReadOnly {
+		t.Fatal("pool server reported read-only")
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("/stats shards = %d entries, want 4", len(stats.Shards))
+	}
+	shardUsers, shardInserts := 0, int64(0)
+	for i, sh := range stats.Shards {
+		if sh.Shard != i || sh.Version == 0 {
+			t.Fatalf("shard row %d = %+v", i, sh)
+		}
+		shardUsers += sh.Users
+		shardInserts += sh.Inserts
+	}
+	if shardUsers != users0+writerInserts {
+		t.Fatalf("per-shard users sum to %d, want %d", shardUsers, users0+writerInserts)
+	}
+	if shardInserts != writerInserts {
+		t.Fatalf("per-shard inserts sum to %d, want %d", shardInserts, writerInserts)
+	}
+	if stats.Maintain == nil || stats.Maintain.Inserts != writerInserts || stats.Maintain.SimEvals == 0 {
+		t.Fatalf("maintain = %+v", stats.Maintain)
+	}
+	if stats.Maintain.Rebuilds == 0 || stats.Maintain.RebuiltUsers < stats.Maintain.Rebuilds {
+		t.Fatalf("maintain rebuild counters = %+v", stats.Maintain)
+	}
+}
+
+// TestServerConfigExclusive: the three serving sources are mutually
+// exclusive.
+func TestServerConfigExclusive(t *testing.T) {
+	d, err := kiff.GeneratePreset("wikipedia", 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kiff.NewMaintainer(d, kiff.Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := kiff.NewShardedMaintainer(d, 2, kiff.Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Maintainer: m, Pool: pool}); err == nil {
+		t.Error("Maintainer+Pool must be rejected")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config must be rejected")
+	}
+}

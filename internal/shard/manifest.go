@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kiff/internal/dataset"
+)
+
+// ManifestSchema identifies the sharded-checkpoint manifest format.
+const ManifestSchema = "kiff/shard-manifest/v1"
+
+// ManifestFile is the manifest's file name inside a checkpoint
+// directory.
+const ManifestFile = "manifest.json"
+
+// GraphFile names shard i's graph checkpoint inside the directory.
+func GraphFile(i int) string { return fmt.Sprintf("graph.%d.kfg", i) }
+
+// DataFile names shard i's dataset checkpoint inside the directory.
+func DataFile(i int) string { return fmt.Sprintf("data.%d.kfd", i) }
+
+// Manifest describes a sharded checkpoint directory: N per-shard graph +
+// dataset files plus the few numbers needed to re-derive the user→shard
+// mapping (the assignment itself is a pure function of Users, Shards and
+// the pinned Hash scheme, so it is never serialized).
+type Manifest struct {
+	// Schema is ManifestSchema.
+	Schema string `json:"schema"`
+	// Shards is the shard count N; shard i's files are GraphFile(i) and
+	// DataFile(i).
+	Shards int `json:"shards"`
+	// Users is the total number of global user IDs at save time.
+	Users int `json:"users"`
+	// K is the per-shard neighborhood size.
+	K int `json:"k"`
+	// Hash names the Owner scheme the assignment was derived with.
+	Hash string `json:"hash"`
+	// ShardUsers records each shard's population — redundant with
+	// (Users, Shards, Hash), kept as a cheap integrity cross-check
+	// against mismatched or truncated per-shard files.
+	ShardUsers []int `json:"shard_users"`
+}
+
+// Save checkpoints the pool into dir (created if missing): one graph and
+// one dataset file per shard plus ManifestFile, written last and moved
+// into place atomically — a directory containing a readable manifest is
+// a complete checkpoint. When dir already holds a checkpoint, its
+// manifest is removed before any shard file is touched, so a crash
+// mid-save leaves a directory that fails to load (no manifest) rather
+// than an old manifest silently validating mixed-generation shard
+// files; keep generations in separate directories if rollback matters.
+// Save holds the assignment lock for the duration, so the manifest's
+// population counts are consistent across shards; concurrent reads keep
+// serving, concurrent mutations block.
+func (p *Pool) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	if err := os.Remove(filepath.Join(dir, ManifestFile)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := p.mapping.Load()
+	man := Manifest{
+		Schema:     ManifestSchema,
+		Shards:     len(p.shards),
+		Users:      len(m.owner),
+		K:          p.k,
+		Hash:       hashScheme,
+		ShardUsers: make([]int, len(p.shards)),
+	}
+	for i := range p.shards {
+		man.ShardUsers[i] = len(m.global[i])
+	}
+	for i, sl := range p.shards {
+		if err := p.saveShard(dir, i, sl); err != nil {
+			return fmt.Errorf("shard: save shard %d: %w", i, err)
+		}
+	}
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	raw = append(raw, '\n')
+	tmp := filepath.Join(dir, ManifestFile+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestFile)); err != nil {
+		return fmt.Errorf("shard: save: %w", err)
+	}
+	return nil
+}
+
+// saveShard writes one shard's graph and dataset under its shard lock.
+func (p *Pool) saveShard(dir string, i int, sl *slot) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if err := writeFileWith(filepath.Join(dir, GraphFile(i)), func(f *os.File) error {
+		_, err := sl.m.Graph().WriteTo(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	return writeFileWith(filepath.Join(dir, DataFile(i)), func(f *os.File) error {
+		return dataset.WriteBinary(f, sl.m.Dataset())
+	})
+}
+
+// writeFileWith creates path, runs the writer, and closes — propagating
+// the first error, including Close's (the buffered write may fail late).
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest loads and validates a checkpoint directory's manifest.
+// Callers (kiff.LoadShardedMaintainer) load the per-shard files it
+// names and hand the rebuilt maintainers to NewPool, which re-derives
+// and re-verifies the user→shard assignment.
+func ReadManifest(dir string) (Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("shard: manifest: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return Manifest{}, fmt.Errorf("shard: manifest: %w", err)
+	}
+	if man.Schema != ManifestSchema {
+		return Manifest{}, fmt.Errorf("shard: manifest: schema %q, want %q", man.Schema, ManifestSchema)
+	}
+	if man.Hash != hashScheme {
+		return Manifest{}, fmt.Errorf("shard: manifest: hash scheme %q, want %q", man.Hash, hashScheme)
+	}
+	if man.Shards < 1 || man.Shards > MaxShards {
+		return Manifest{}, fmt.Errorf("shard: manifest: shard count %d outside 1..%d", man.Shards, MaxShards)
+	}
+	if man.Users < 0 {
+		return Manifest{}, fmt.Errorf("shard: manifest: negative user count %d", man.Users)
+	}
+	if len(man.ShardUsers) != man.Shards {
+		return Manifest{}, fmt.Errorf("shard: manifest: %d shard_users entries for %d shards", len(man.ShardUsers), man.Shards)
+	}
+	counts := make([]int, man.Shards)
+	for g := 0; g < man.Users; g++ {
+		counts[Owner(uint32(g), man.Shards)]++
+	}
+	for i, want := range counts {
+		if man.ShardUsers[i] != want {
+			return Manifest{}, fmt.Errorf("shard: manifest: shard %d records %d users, the %d-user/%d-shard partition owns %d",
+				i, man.ShardUsers[i], man.Users, man.Shards, want)
+		}
+	}
+	return man, nil
+}

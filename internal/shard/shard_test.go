@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+
+	"kiff/internal/knngraph"
+)
+
+// TestOwnerPinned pins the hash scheme: these values are what every
+// saved manifest's assignment was derived with, so a change here is a
+// checkpoint-format break and must come with a new hashScheme name.
+func TestOwnerPinned(t *testing.T) {
+	cases := []struct {
+		g    uint32
+		n    int
+		want int
+	}{
+		{0, 2, 1}, {1, 2, 1}, {2, 2, 0}, {3, 2, 1}, {42, 2, 1}, {1000000, 2, 1},
+		{0, 4, 3}, {1, 4, 1}, {2, 4, 2}, {3, 4, 1}, {42, 4, 1}, {1000000, 4, 3},
+		{0, 7, 2}, {1, 7, 2}, {2, 7, 4}, {3, 7, 2}, {42, 7, 5}, {1000000, 7, 4},
+	}
+	for _, c := range cases {
+		if got := Owner(c.g, c.n); got != c.want {
+			t.Errorf("Owner(%d, %d) = %d, want %d (hash scheme changed — bump hashScheme and the manifest schema)",
+				c.g, c.n, got, c.want)
+		}
+	}
+}
+
+// TestOwnerBalance sanity-checks the partition quality the pool's
+// scaling story rests on: no shard should end up grossly over-loaded.
+func TestOwnerBalance(t *testing.T) {
+	const users = 100000
+	for _, n := range []int{2, 4, 16} {
+		counts := make([]int, n)
+		for g := 0; g < users; g++ {
+			counts[Owner(uint32(g), n)]++
+		}
+		want := users / n
+		for s, c := range counts {
+			if c < want*8/10 || c > want*12/10 {
+				t.Errorf("shards=%d: shard %d owns %d users, expected within 20%% of %d", n, s, c, want)
+			}
+		}
+	}
+}
+
+func TestMergeTopKAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		nLists := 1 + rng.Intn(6)
+		lists := make([][]knngraph.Neighbor, nLists)
+		var all []knngraph.Neighbor
+		id := uint32(0)
+		for i := range lists {
+			n := rng.Intn(8)
+			for j := 0; j < n; j++ {
+				// Coarse similarities force ties across lists.
+				lists[i] = append(lists[i], knngraph.Neighbor{ID: id, Sim: float64(rng.Intn(4))})
+				id++
+			}
+			knngraph.SortNeighbors(lists[i])
+			all = append(all, lists[i]...)
+		}
+		knngraph.SortNeighbors(all)
+		k := 1 + rng.Intn(10)
+		got := MergeTopK(lists, k)
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("round %d: MergeTopK(k=%d) = %v, want %v", round, k, got, want)
+		}
+	}
+}
+
+// TestMergeTopKHugeK: k comes straight from query requests, so an
+// absurd value must not drive the output allocation (regression: the
+// capacity hint used k before clamping to the lists' total length).
+func TestMergeTopKHugeK(t *testing.T) {
+	lists := [][]knngraph.Neighbor{{{ID: 1, Sim: 0.5}}, {{ID: 2, Sim: 0.25}}}
+	got := MergeTopK(lists, 1<<60)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("MergeTopK(huge k) = %v", got)
+	}
+}
+
+func TestMergeTopKEmpty(t *testing.T) {
+	if got := MergeTopK(nil, 5); len(got) != 0 {
+		t.Errorf("MergeTopK(nil) = %v, want empty", got)
+	}
+	if got := MergeTopK([][]knngraph.Neighbor{nil, {}}, 5); len(got) != 0 {
+		t.Errorf("MergeTopK(empty lists) = %v, want empty", got)
+	}
+}
+
+// writeManifest drops a manifest JSON into dir for the validation tests.
+func writeManifest(t *testing.T, dir string, m Manifest) {
+	t.Helper()
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// validManifest returns a manifest whose counts agree with Owner.
+func validManifest(shards, users int) Manifest {
+	m := Manifest{
+		Schema:     ManifestSchema,
+		Shards:     shards,
+		Users:      users,
+		K:          5,
+		Hash:       hashScheme,
+		ShardUsers: make([]int, shards),
+	}
+	for g := 0; g < users; g++ {
+		m.ShardUsers[Owner(uint32(g), shards)]++
+	}
+	return m
+}
+
+func TestReadManifestValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Manifest)
+		wantErr string
+	}{
+		{"ok", func(m *Manifest) {}, ""},
+		{"bad schema", func(m *Manifest) { m.Schema = "kiff/other/v9" }, "schema"},
+		{"bad hash", func(m *Manifest) { m.Hash = "fnv/v1" }, "hash scheme"},
+		{"zero shards", func(m *Manifest) { m.Shards = 0; m.ShardUsers = nil }, "shard count"},
+		{"too many shards", func(m *Manifest) { m.Shards = MaxShards + 1 }, "shard count"},
+		{"negative users", func(m *Manifest) { m.Users = -1 }, "negative user count"},
+		{"count list mismatch", func(m *Manifest) { m.ShardUsers = m.ShardUsers[:2] }, "shard_users"},
+		{"count drift", func(m *Manifest) { m.ShardUsers[0]++ }, "partition owns"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			m := validManifest(4, 100)
+			c.mutate(&m)
+			writeManifest(t, dir, m)
+			_, err := ReadManifest(dir)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ReadManifest: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("ReadManifest error = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestReadManifestMissing(t *testing.T) {
+	if _, err := ReadManifest(t.TempDir()); err == nil {
+		t.Fatal("ReadManifest on an empty dir must fail")
+	}
+}

@@ -41,6 +41,15 @@
 // reconstruction. Insert adds a user and splices it into the graph by
 // evaluating only its ranked candidates; AddRating plus Rebuild refresh
 // the neighborhoods invalidated by profile updates. See NewMaintainer.
+//
+// # Sharding
+//
+// When one writer is not enough, NewShardedMaintainer hash-partitions
+// the population across N independent Maintainers: writes route by
+// owner and run in parallel per shard, exact profile queries scatter to
+// every shard and gather into the same top-k a single Maintainer would
+// return, and the whole pool persists as per-shard checkpoints plus a
+// manifest. See ShardedMaintainer.
 package kiff
 
 import (

@@ -464,18 +464,10 @@ func (m *Maintainer) Stats() Run {
 // Counters are the cumulative maintenance counters since the Maintainer
 // was created — the serving-time cost observables: how many users were
 // spliced in, how many rebuild passes ran (and over how many users), and
-// the similarity evaluations all of it spent.
-type Counters struct {
-	// SimEvals counts every similarity evaluation performed by
-	// maintenance operations (the §IV-C cost metric, served cumulatively).
-	SimEvals int64
-	// Inserts counts users added via Insert/InsertBatch.
-	Inserts int64
-	// Rebuilds counts Rebuild passes that refreshed at least one user.
-	Rebuilds int64
-	// RebuiltUsers counts users refreshed across all Rebuild passes.
-	RebuiltUsers int64
-}
+// the similarity evaluations all of it spent. The type lives in
+// internal/runstats so aggregation layers (the shard pool, /stats) can
+// share it; see runstats.Counters for the field documentation.
+type Counters = runstats.Counters
 
 // Counters returns the cumulative maintenance counters. Like Stats, it
 // must be called from the writer side (or after mutations quiesce).

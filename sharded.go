@@ -1,0 +1,157 @@
+package kiff
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"kiff/internal/dataset"
+	"kiff/internal/parallel"
+	"kiff/internal/shard"
+)
+
+// ShardedMaintainer hash-partitions the user population across N
+// independent Maintainers and serves scatter-gather reads over their
+// snapshots — the single-process sharding layer (see internal/shard for
+// the full concurrency and consistency contract).
+//
+// Reads are lock-free against the shards' published snapshots:
+// View().Neighbors routes to the owning shard, View().Query fans out to
+// every shard and splices the per-shard top-k with a merge heap — for
+// exact (unbudgeted) queries the spliced answer is identical, entry for
+// entry, to the single-Maintainer answer over the same data under the
+// profile-local metrics (cosine, jaccard, dice, overlap). Writes route
+// by owner and run in parallel across shards, so insert- and
+// rebuild-heavy workloads scale with the shard count instead of
+// serializing through one writer. Save/LoadShardedMaintainer persist and
+// recover the pool as per-shard checkpoints plus a manifest.
+type ShardedMaintainer = shard.Pool
+
+// maintainerShard adapts *Maintainer to the pool's per-shard interface;
+// the only non-promoted method is Reader (Snapshot returns the concrete
+// type).
+type maintainerShard struct{ *Maintainer }
+
+func (s maintainerShard) Reader() shard.Reader { return s.Snapshot() }
+
+// NewShardedMaintainer partitions the dataset's users across shards
+// independent Maintainers (stable hash of the user ID; see shard.Owner)
+// and cold-builds each shard's KIFF graph in parallel. Options applies
+// to every shard as in NewMaintainer. The input dataset is not retained:
+// each shard compacts its partition onto its own arenas, so d remains
+// usable (read-only) by the caller.
+//
+// Global user IDs are the dataset's user IDs; IDs assigned by later
+// Insert/InsertBatch calls continue the same sequence.
+func NewShardedMaintainer(d *Dataset, shards int, opts Options) (*ShardedMaintainer, error) {
+	if shards < 1 || shards > shard.MaxShards {
+		return nil, fmt.Errorf("kiff: sharded maintainer needs 1..%d shards, got %d", shard.MaxShards, shards)
+	}
+	profiles := make([][]Profile, shards)
+	for g, p := range d.Users {
+		s := shard.Owner(uint32(g), shards)
+		profiles[s] = append(profiles[s], p)
+	}
+	ms := make([]shard.Maintainer, shards)
+	errs := make([]error, shards)
+	parallel.For(shards, shards, func(_, s int) {
+		sd, err := dataset.New(shardName(d.Name, s, shards), profiles[s], d.NumItems())
+		if err != nil {
+			errs[s] = err
+			return
+		}
+		sd.EnsureItemProfiles()
+		m, err := NewMaintainer(sd, opts)
+		if err != nil {
+			errs[s] = err
+			return
+		}
+		ms[s] = maintainerShard{m}
+	})
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("kiff: sharded maintainer: shard %d: %w", s, err)
+		}
+	}
+	return shard.NewPool(ms, d.NumUsers())
+}
+
+// LoadShardedMaintainer recovers a pool from a checkpoint directory
+// written by ShardedMaintainer.Save: the manifest is validated, every
+// shard's graph and dataset are heap-loaded, and each shard is seeded
+// with NewMaintainerFromGraph (no reconstruction). Options applies per
+// shard as in NewMaintainerFromGraph — in particular K = 0 adopts the
+// checkpoint's k, and Metric must match the metric the graphs were
+// maintained under for the resumed similarities to stay meaningful.
+func LoadShardedMaintainer(dir string, opts Options) (*ShardedMaintainer, error) {
+	return loadSharded(dir, opts, func(gpath, dpath string, opts Options) (*Maintainer, error) {
+		g, err := LoadGraph(gpath)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := LoadDataset(dpath)
+		if err != nil {
+			return nil, err
+		}
+		return NewMaintainerFromGraph(ds, g, opts)
+	})
+}
+
+// LoadShardedMaintainerMapped is LoadShardedMaintainer over the
+// zero-copy load path: every shard's graph and dataset are memory-mapped
+// (LoadGraphMapped, LoadDatasetMapped). The graph mappings are closed
+// once their heaps are seeded; the dataset mappings back the live
+// datasets and stay mapped for the life of the process — the cold-start
+// mode of a long-lived sharded server (kiffserve -pool honors -mmap
+// through this).
+func LoadShardedMaintainerMapped(dir string, opts Options) (*ShardedMaintainer, error) {
+	return loadSharded(dir, opts, func(gpath, dpath string, opts Options) (*Maintainer, error) {
+		mg, err := LoadGraphMapped(gpath)
+		if err != nil {
+			return nil, err
+		}
+		md, err := LoadDatasetMapped(dpath)
+		if err != nil {
+			mg.Close()
+			return nil, err
+		}
+		m, err := NewMaintainerFromGraph(md.Dataset(), mg.Graph(), opts)
+		// Seeding reads the graph once; its mapping can go. The dataset
+		// mapping must outlive the maintainer and is intentionally left
+		// open (reclaimed at process exit).
+		if cerr := mg.Close(); err == nil && cerr != nil {
+			return nil, cerr
+		}
+		return m, err
+	})
+}
+
+// loadSharded is the shared recovery skeleton: manifest validation,
+// parallel per-shard loading via loadShard, pool assembly (which
+// re-derives and cross-checks the user→shard assignment).
+func loadSharded(dir string, opts Options, loadShard func(gpath, dpath string, opts Options) (*Maintainer, error)) (*ShardedMaintainer, error) {
+	man, err := shard.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]shard.Maintainer, man.Shards)
+	errs := make([]error, man.Shards)
+	parallel.For(man.Shards, man.Shards, func(_, s int) {
+		m, err := loadShard(filepath.Join(dir, shard.GraphFile(s)), filepath.Join(dir, shard.DataFile(s)), opts)
+		if err != nil {
+			errs[s] = err
+			return
+		}
+		ms[s] = maintainerShard{m}
+	})
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("kiff: load sharded maintainer: shard %d: %w", s, err)
+		}
+	}
+	return shard.NewPool(ms, man.Users)
+}
+
+// shardName labels shard s's dataset partition.
+func shardName(name string, s, shards int) string {
+	return fmt.Sprintf("%s#shard%d/%d", name, s, shards)
+}
