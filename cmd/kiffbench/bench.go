@@ -21,6 +21,7 @@ import (
 	"kiff"
 	"kiff/internal/core"
 	"kiff/internal/dataset"
+	"kiff/internal/knngraph"
 	"kiff/internal/rcs"
 )
 
@@ -36,6 +37,11 @@ type benchResult struct {
 	// ones) carry a looser bound so they cannot mask real regressions in
 	// the stable ones, which keep a tight one.
 	Tolerance float64 `json:"tolerance,omitempty"`
+	// PagesCopiedPerOp / PagesSharedPerOp record the copy-on-write chunk
+	// accounting for publication benches: how many graph+view header pages
+	// each publish rebuilt versus aliased from the previous snapshot.
+	PagesCopiedPerOp float64 `json:"pages_copied_per_op,omitempty"`
+	PagesSharedPerOp float64 `json:"pages_shared_per_op,omitempty"`
 }
 
 // benchTolerances annotates each emitted bench with its baseline
@@ -44,22 +50,24 @@ type benchResult struct {
 // benches (sharded inserts/rebuilds, snapshot publication) get a looser
 // one, because CI runners vary wildly in core count.
 var benchTolerances = map[string]float64{
-	"rcs-build":           1.6,
-	"kiff-build":          1.6,
-	"graph-encode":        1.5,
-	"graph-decode":        1.5,
-	"dataset-encode":      1.5,
-	"dataset-decode":      1.5,
-	"graph-load-heap":     1.6,
-	"graph-load-mapped":   1.6,
-	"dataset-load-heap":   1.6,
-	"dataset-load-mapped": 1.6,
-	"snapshot-publish":    2.5,
-	"snapshot-query":      2.0,
-	"insert-single":       2.0,
-	"insert-sharded":      2.5,
-	"rebuild-single":      2.0,
-	"rebuild-sharded":     2.5,
+	"rcs-build":                    1.6,
+	"kiff-build":                   1.6,
+	"graph-encode":                 1.5,
+	"graph-decode":                 1.5,
+	"dataset-encode":               1.5,
+	"dataset-decode":               1.5,
+	"graph-load-heap":              1.6,
+	"graph-load-mapped":            1.6,
+	"dataset-load-heap":            1.6,
+	"dataset-load-mapped":          1.6,
+	"snapshot-publish":             2.5,
+	"snapshot-publish-full":        2.0,
+	"snapshot-publish-incremental": 3.0,
+	"snapshot-query":               2.0,
+	"insert-single":                2.0,
+	"insert-sharded":               2.5,
+	"rebuild-single":               2.0,
+	"rebuild-sharded":              2.5,
 }
 
 // benchReport is the top-level JSON record.
@@ -176,7 +184,7 @@ func runBenchOut(path string, opts benchOptions, stderr io.Writer) error {
 		Schema:  "kiff/bench/v1",
 		Go:      runtime.Version(),
 		Arch:    runtime.GOOS + "/" + runtime.GOARCH,
-		Dataset: fmt.Sprintf("wikipedia scale=0.05 seed=3 k=%d", k),
+		Dataset: fmt.Sprintf("wikipedia scale=0.05 seed=3 k=%d (publish benches: scale=0.2)", k),
 	}
 	filter := parseBenchFilter(opts.Names)
 	add := func(name string, fn func(b *testing.B)) {
@@ -327,6 +335,43 @@ func runBenchOut(path string, opts benchOptions, stderr io.Writer) error {
 		}
 	})
 
+	// Copy-on-write publication cost at 4x population (wikipedia scale
+	// 0.2): "full" is the from-scratch flat export of the whole graph —
+	// what every publication cost before page-level COW, and what the
+	// first publication still costs — while "incremental" is the amortized
+	// publish() after a single-user Insert. The incremental number is read
+	// from the maintainer's publication counters rather than wall-clocked
+	// around Insert, because Insert folds the KNN refinement in with the
+	// publish and would drown the quantity under test.
+	if filter.selects("snapshot-publish-full") || filter.selects("snapshot-publish-incremental") {
+		d4, err := dataset.Wikipedia.Generate(0.2, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "kiffbench: publish fixture %s\n", d4.Stats())
+		m4, err := kiff.NewMaintainer(d4, kiff.Options{K: k})
+		if err != nil {
+			return err
+		}
+		add("snapshot-publish-full", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = m4.Graph() // flat CSR export of every page
+			}
+		})
+		if filter.selects("snapshot-publish-incremental") {
+			res, err := measureIncrementalPublish(m4, d4, k)
+			if err != nil {
+				return err
+			}
+			report.Benches = append(report.Benches, res)
+		}
+		if full, incr := findBench(report, "snapshot-publish-full"), findBench(report, "snapshot-publish-incremental"); full != nil && incr != nil && incr.NsPerOp > 0 {
+			fmt.Fprintf(stderr, "kiffbench: incremental publish %.0f ns/op vs full export %.0f ns/op (%.1fx cheaper, %.1f pages copied / %.1f shared per publish)\n",
+				incr.NsPerOp, full.NsPerOp, full.NsPerOp/incr.NsPerOp, incr.PagesCopiedPerOp, incr.PagesSharedPerOp)
+		}
+	}
+
 	// Sharded-vs-single maintenance throughput: the same workload driven
 	// through one Maintainer and through a 4-shard pool. Inserts arrive
 	// as 64-profile batches (the pool fans a batch out across its shards
@@ -450,6 +495,57 @@ func runBenchOut(path string, opts benchOptions, stderr io.Writer) error {
 	// Compare after writing, so the fresh record survives a failed gate.
 	if opts.Compare != "" {
 		return compareAgainst(opts.Compare, report, opts.Tolerance, stderr)
+	}
+	return nil
+}
+
+// measureIncrementalPublish drives single-user Inserts through the
+// maintainer and reports the amortized publish() cost from the
+// publication counters: ns_per_op is ΔPublishNs/ΔPublishes, the page
+// stats are the per-publish copy-on-write accounting, and bytes_per_op
+// is the record bytes those copied pages amount to at full occupancy
+// (PageUsers rows × k neighbors × 16 bytes per record) — an upper bound
+// on the graph data rebuilt per publish. allocs_per_op is not measurable
+// through counters and stays 0.
+func measureIncrementalPublish(m *kiff.Maintainer, d *kiff.Dataset, k int) (benchResult, error) {
+	const name = "snapshot-publish-incremental"
+	const ops = 256
+	// Warm-up inserts move the maintainer past the first (full)
+	// publication's neighborhood churn so the measured window reflects
+	// steady-state incremental publishing.
+	for i := 0; i < 16; i++ {
+		if _, err := m.Insert(d.Users[i%d.NumUsers()].Clone()); err != nil {
+			return benchResult{}, err
+		}
+	}
+	before := m.Counters()
+	for i := 0; i < ops; i++ {
+		if _, err := m.Insert(d.Users[(i*7)%d.NumUsers()].Clone()); err != nil {
+			return benchResult{}, err
+		}
+	}
+	after := m.Counters()
+	pubs := after.Publishes - before.Publishes
+	if pubs <= 0 {
+		return benchResult{}, fmt.Errorf("kiffbench: %s: no publications recorded over %d inserts", name, ops)
+	}
+	copiedPerOp := float64(after.PagesCopied-before.PagesCopied) / float64(pubs)
+	return benchResult{
+		Name:             name,
+		NsPerOp:          float64(after.PublishNs-before.PublishNs) / float64(pubs),
+		BytesPerOp:       int64(copiedPerOp * float64(knngraph.PageUsers*k*16)),
+		Tolerance:        benchTolerances[name],
+		PagesCopiedPerOp: copiedPerOp,
+		PagesSharedPerOp: float64(after.PagesShared-before.PagesShared) / float64(pubs),
+	}, nil
+}
+
+// findBench returns the named result from the report, or nil.
+func findBench(report benchReport, name string) *benchResult {
+	for i := range report.Benches {
+		if report.Benches[i].Name == name {
+			return &report.Benches[i]
+		}
 	}
 	return nil
 }

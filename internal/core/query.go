@@ -30,19 +30,41 @@ import (
 // not mutated underneath it (hand the Index a frozen dataset.View when
 // the writer keeps going).
 type Index struct {
-	d      *dataset.Dataset
+	d      profileSource
 	metric similarity.Metric
 }
 
-// NewIndex builds a query index over the dataset. metric nil selects
+// profileSource is the read surface Query needs: user profiles and the
+// item-profile inverted index. Both *dataset.Dataset and *dataset.View
+// satisfy it, so an Index is O(1) to construct over a freshly published
+// view — nothing is copied or prepared per publication.
+type profileSource interface {
+	NumItems() int
+	User(u uint32) sparse.Vector
+	Item(i uint32) []uint32
+}
+
+// NewIndex builds a query index over the live dataset. metric nil selects
 // cosine. The dataset's item profiles are built if missing; construction
-// is O(|E|).
+// is O(|E|) the first time and O(1) after.
 func NewIndex(d *dataset.Dataset, metric similarity.Metric) *Index {
-	if metric == nil {
-		metric = similarity.Cosine{}
-	}
 	d.EnsureItemProfiles()
-	return &Index{d: d, metric: metric}
+	return &Index{d: d, metric: defaultMetric(metric)}
+}
+
+// NewViewIndex builds a query index over a frozen dataset view — the
+// snapshot-publication path. Views always carry item profiles, so
+// construction is O(1): the per-publication cost of refreshing the query
+// index is a single struct allocation.
+func NewViewIndex(v *dataset.View, metric similarity.Metric) *Index {
+	return &Index{d: v, metric: defaultMetric(metric)}
+}
+
+func defaultMetric(m similarity.Metric) similarity.Metric {
+	if m == nil {
+		return similarity.Cosine{}
+	}
+	return m
 }
 
 // Query returns the k nearest users to the given profile. budget bounds
@@ -65,7 +87,7 @@ func (ix *Index) Query(profile sparse.Vector, k, budget int) ([]knngraph.Neighbo
 		if int(it) >= ix.d.NumItems() {
 			continue
 		}
-		for _, v := range ix.d.Items[it] {
+		for _, v := range ix.d.Item(it) {
 			counts[v]++
 		}
 	}
@@ -101,7 +123,7 @@ func (ix *Index) Query(profile sparse.Vector, k, budget int) ([]knngraph.Neighbo
 // terms, so they can be computed without registering the query profile in
 // the dataset.
 func (ix *Index) evalAgainst(profile sparse.Vector, v uint32) float64 {
-	other := ix.d.Users[v]
+	other := ix.d.User(v)
 	switch ix.metric.(type) {
 	case similarity.Cosine:
 		nu, nv := sparse.Norm(profile), sparse.Norm(other)
@@ -138,14 +160,14 @@ func (ix *Index) evalViaTempUser(profile sparse.Vector, v uint32) float64 {
 	// Adamic-Adar needs |IPi| of the *indexed* dataset, so reuse its item
 	// profiles for the weights.
 	var s float64
-	other := ix.d.Users[v]
+	other := ix.d.User(v)
 	i, j := 0, 0
 	for i < len(profile.IDs) && j < len(other.IDs) {
 		a, b := profile.IDs[i], other.IDs[j]
 		switch {
 		case a == b:
-			if int(a) < len(ix.d.Items) && len(ix.d.Items[a]) >= 2 {
-				s += 1 / logFloat(len(ix.d.Items[a]))
+			if int(a) < ix.d.NumItems() && len(ix.d.Item(a)) >= 2 {
+				s += 1 / logFloat(len(ix.d.Item(a)))
 			}
 			i++
 			j++

@@ -45,6 +45,10 @@ type Dataset struct {
 	Items [][]uint32
 
 	numItems int
+
+	// vc remembers the last published View and the rows dirtied since, so
+	// the next View() can share clean header pages with it (view.go).
+	vc viewCache
 }
 
 // New creates a dataset from user profiles. numItems must be at least one
@@ -66,22 +70,9 @@ func New(name string, users []sparse.Vector, numItems int) (*Dataset, error) {
 // across the heap. Single-writer, like every mutator.
 func (d *Dataset) Compact() {
 	d.Users = sparse.Compact(d.Users)
-}
-
-// View returns a frozen shallow snapshot of the dataset: fresh Users and
-// Items header arrays (so subsequent appends or row replacements in the
-// original are invisible), sharing row storage with the original (safe
-// under the copy-on-write mutation discipline). The view must be treated
-// as immutable; it is what a kiff.Snapshot hands to concurrent readers.
-// The item-profile index is built first if missing, so views are always
-// query-ready.
-func (d *Dataset) View() *Dataset {
-	d.EnsureItemProfiles()
-	users := make([]sparse.Vector, len(d.Users))
-	copy(users, d.Users)
-	items := make([][]uint32, len(d.Items))
-	copy(items, d.Items)
-	return &Dataset{Name: d.Name, Users: users, Items: items, numItems: d.numItems}
+	// Every row header just moved onto new arenas; pages shared from the
+	// previous view no longer describe the live rows.
+	d.invalidateView()
 }
 
 // NumUsers returns |U|.
@@ -89,6 +80,15 @@ func (d *Dataset) NumUsers() int { return len(d.Users) }
 
 // NumItems returns |I|.
 func (d *Dataset) NumItems() int { return d.numItems }
+
+// User returns user u's current profile (do not mutate). Together with
+// Item and NumItems it gives the live dataset the same read surface as a
+// frozen View, so query evaluation can run over either.
+func (d *Dataset) User(u uint32) sparse.Vector { return d.Users[u] }
+
+// Item returns item i's inverted-index row (do not mutate). The index
+// must have been built (EnsureItemProfiles).
+func (d *Dataset) Item(i uint32) []uint32 { return d.Items[i] }
 
 // NumRatings returns |E|, the number of user→item edges.
 func (d *Dataset) NumRatings() int {
@@ -147,6 +147,8 @@ func (d *Dataset) EnsureItemProfiles() {
 		return
 	}
 	d.Items = BuildItemProfiles(d.Users, d.numItems)
+	// Building the index rewrites every item row wholesale.
+	d.invalidateView()
 }
 
 // BuildItemProfiles computes the inverted index for the given profiles
@@ -192,9 +194,11 @@ func (d *Dataset) AddUser(p sparse.Vector) (uint32, error) {
 	}
 	id := uint32(len(d.Users))
 	d.Users = append(d.Users, p)
+	d.markUser(id)
 	if d.Items != nil {
 		for _, it := range p.IDs {
 			d.Items[it] = append(d.Items[it], id)
+			d.markItem(it)
 		}
 	}
 	return id, nil
@@ -236,6 +240,7 @@ func (d *Dataset) AddRating(u uint32, item uint32, rating float64) error {
 		}
 		weights[pos] = rating
 		d.Users[u] = sparse.Vector{IDs: p.IDs, Weights: weights}
+		d.markUser(u)
 		return nil
 	}
 	ids := make([]uint32, p.Len()+1)
@@ -254,6 +259,7 @@ func (d *Dataset) AddRating(u uint32, item uint32, rating float64) error {
 		}
 	}
 	d.Users[u] = sparse.Vector{IDs: ids, Weights: weights}
+	d.markUser(u)
 	if d.Items != nil {
 		ip := d.Items[item]
 		ipos := sort.Search(len(ip), func(i int) bool { return ip[i] >= u })
@@ -262,6 +268,7 @@ func (d *Dataset) AddRating(u uint32, item uint32, rating float64) error {
 		nip[ipos] = u
 		copy(nip[ipos+1:], ip[ipos:])
 		d.Items[item] = nip
+		d.markItem(item)
 	}
 	return nil
 }

@@ -1,0 +1,220 @@
+package dataset
+
+// Copy-on-write view publication. A View is the frozen dataset half of a
+// kiff.Snapshot: the writer keeps mutating the live Dataset while any
+// number of readers serve from Views published earlier. Row storage was
+// always safe to share (mutations replace whole rows or append past
+// published lengths — see the Dataset doc); what used to cost O(|U|+|I|)
+// per publication was copying the header arrays. Views therefore chunk
+// the headers into fixed-size pages, and the Dataset remembers the last
+// View it produced plus the rows dirtied since: the next View() copies
+// only the pages containing dirty rows and shares every other page with
+// its predecessor, making dataset publication O(dirty pages).
+
+import (
+	"errors"
+	"fmt"
+
+	"kiff/internal/sparse"
+)
+
+const (
+	// viewPageShift sets the header page granularity (users or items per
+	// page), matching knngraph's page size so the publication stats count
+	// in one unit.
+	viewPageShift = 6
+	// ViewPageRows is the number of row headers per view page.
+	ViewPageRows = 1 << viewPageShift
+)
+
+// View is an immutable, page-shared snapshot of a Dataset: the user and
+// item row headers frozen at one publication point, with row storage
+// shared with the live dataset (safe under its copy-on-write mutation
+// discipline). Obtain one from Dataset.View; treat it as strictly
+// read-only. All methods are safe for any number of concurrent readers.
+type View struct {
+	name     string
+	numUsers int
+	numItems int
+	users    [][]sparse.Vector
+	items    [][][]uint32
+}
+
+// Name returns the dataset name the view was published from.
+func (v *View) Name() string { return v.name }
+
+// NumUsers returns |U| at the publication point.
+func (v *View) NumUsers() int { return v.numUsers }
+
+// NumItems returns |I| at the publication point.
+func (v *View) NumItems() int { return v.numItems }
+
+// User returns user u's frozen profile (do not mutate).
+func (v *View) User(u uint32) sparse.Vector {
+	return v.users[u>>viewPageShift][u&(ViewPageRows-1)]
+}
+
+// Item returns item i's frozen inverted-index row, the users that rated
+// i in ascending order (do not mutate).
+func (v *View) Item(i uint32) []uint32 {
+	return v.items[i>>viewPageShift][i&(ViewPageRows-1)]
+}
+
+// NumRatings returns |E| at the publication point.
+func (v *View) NumRatings() int {
+	n := 0
+	for _, pg := range v.users {
+		for _, u := range pg {
+			n += u.Len()
+		}
+	}
+	return n
+}
+
+// Validate checks the frozen structural invariants — the same checks
+// Dataset.Validate runs, over the paged headers.
+func (v *View) Validate() error {
+	if v.numItems < 0 {
+		return errors.New("dataset: negative item count")
+	}
+	for uid := 0; uid < v.numUsers; uid++ {
+		u := v.User(uint32(uid))
+		if err := u.Validate(); err != nil {
+			return fmt.Errorf("dataset: user %d: %w", uid, err)
+		}
+		if u.Len() > 0 && int(u.IDs[u.Len()-1]) >= v.numItems {
+			return fmt.Errorf("dataset: user %d references item %d ≥ numItems %d",
+				uid, u.IDs[u.Len()-1], v.numItems)
+		}
+	}
+	n := 0
+	for i := 0; i < v.numItems; i++ {
+		ip := v.Item(uint32(i))
+		for j, uid := range ip {
+			if int(uid) >= v.numUsers {
+				return fmt.Errorf("dataset: item %d references user %d out of range", i, uid)
+			}
+			if j > 0 && ip[j-1] >= uid {
+				return fmt.Errorf("dataset: item %d profile not strictly ascending", i)
+			}
+		}
+		n += len(ip)
+	}
+	if n != v.NumRatings() {
+		return fmt.Errorf("dataset: inverted index has %d edges, profiles have %d", n, v.NumRatings())
+	}
+	return nil
+}
+
+// viewCache is the Dataset's publication memory: the last View handed
+// out, the rows dirtied since, and the page accounting of the most
+// recent View() call.
+type viewCache struct {
+	last       *View
+	dirtyUsers map[uint32]struct{}
+	dirtyItems map[uint32]struct{}
+	copied     int
+	shared     int
+}
+
+// markUser records that user u's row header changed (row replaced or
+// appended) since the last published view.
+func (d *Dataset) markUser(u uint32) {
+	if d.vc.last == nil {
+		return // nothing to patch against; the next view is a full build
+	}
+	if d.vc.dirtyUsers == nil {
+		d.vc.dirtyUsers = make(map[uint32]struct{})
+	}
+	d.vc.dirtyUsers[u] = struct{}{}
+}
+
+// markItem records that item i's inverted-index row header changed.
+func (d *Dataset) markItem(i uint32) {
+	if d.vc.last == nil {
+		return
+	}
+	if d.vc.dirtyItems == nil {
+		d.vc.dirtyItems = make(map[uint32]struct{})
+	}
+	d.vc.dirtyItems[i] = struct{}{}
+}
+
+// invalidateView drops the publication memory: the next View() is a full
+// header copy. Called by whole-dataset rewrites (Compact, building the
+// item index).
+func (d *Dataset) invalidateView() {
+	d.vc = viewCache{}
+}
+
+// LastViewStats reports the page accounting of the most recent View()
+// call: how many header pages it copied versus shared with its
+// predecessor. Writer-side observability (read it right after View).
+func (d *Dataset) LastViewStats() (copied, shared int) {
+	return d.vc.copied, d.vc.shared
+}
+
+// viewPages returns the page count covering n rows.
+func viewPages(n int) int { return (n + ViewPageRows - 1) >> viewPageShift }
+
+// dirtyPageSet folds a dirty-row set into its covering page set.
+func dirtyPageSet(rows map[uint32]struct{}) map[int]struct{} {
+	if len(rows) == 0 {
+		return nil
+	}
+	pages := make(map[int]struct{}, len(rows))
+	for r := range rows {
+		pages[int(r)>>viewPageShift] = struct{}{}
+	}
+	return pages
+}
+
+// View returns a frozen snapshot of the dataset (see View's doc). The
+// item-profile index is built first if missing, so views are always
+// query-ready. Publication is copy-on-write at page granularity: pages
+// without a dirty row are shared with the previously returned View, so
+// after the first call the cost is O(dirty pages), not O(|U| + |I|).
+// View is writer-side (it must not race mutations), like every mutator.
+func (d *Dataset) View() *View {
+	d.EnsureItemProfiles()
+	nU, nI := len(d.Users), len(d.Items)
+	v := &View{
+		name:     d.Name,
+		numUsers: nU,
+		numItems: d.numItems,
+		users:    make([][]sparse.Vector, viewPages(nU)),
+		items:    make([][][]uint32, viewPages(nI)),
+	}
+	last := d.vc.last
+	copied, shared := 0, 0
+	dirtyU := dirtyPageSet(d.vc.dirtyUsers)
+	for p := range v.users {
+		lo, hi := p<<viewPageShift, min((p+1)<<viewPageShift, nU)
+		_, dirty := dirtyU[p]
+		if !dirty && last != nil && p < len(last.users) && len(last.users[p]) == hi-lo {
+			v.users[p] = last.users[p]
+			shared++
+			continue
+		}
+		pg := make([]sparse.Vector, hi-lo)
+		copy(pg, d.Users[lo:hi])
+		v.users[p] = pg
+		copied++
+	}
+	dirtyI := dirtyPageSet(d.vc.dirtyItems)
+	for p := range v.items {
+		lo, hi := p<<viewPageShift, min((p+1)<<viewPageShift, nI)
+		_, dirty := dirtyI[p]
+		if !dirty && last != nil && p < len(last.items) && len(last.items[p]) == hi-lo {
+			v.items[p] = last.items[p]
+			shared++
+			continue
+		}
+		pg := make([][]uint32, hi-lo)
+		copy(pg, d.Items[lo:hi])
+		v.items[p] = pg
+		copied++
+	}
+	d.vc = viewCache{last: v, copied: copied, shared: shared}
+	return v
+}

@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"testing"
+
+	"kiff/internal/sparse"
+)
+
+// viewFixture builds a dataset big enough to span several header pages.
+func viewFixture(t *testing.T, users int) *Dataset {
+	t.Helper()
+	profiles := make([]sparse.Vector, users)
+	for u := range profiles {
+		profiles[u] = sparse.Vector{IDs: []uint32{uint32(u % 50), uint32(50 + u%30)}}
+	}
+	d, err := New("viewfix", profiles, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.EnsureItemProfiles()
+	return d
+}
+
+func requireViewMatchesLive(t *testing.T, v *View, d *Dataset) {
+	t.Helper()
+	if v.NumUsers() != d.NumUsers() || v.NumItems() != d.NumItems() {
+		t.Fatalf("view %d users / %d items, live %d / %d", v.NumUsers(), v.NumItems(), d.NumUsers(), d.NumItems())
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		a, b := v.User(uint32(u)), d.Users[u]
+		if a.Len() != b.Len() {
+			t.Fatalf("user %d: view has %d items, live %d", u, a.Len(), b.Len())
+		}
+		for i := range a.IDs {
+			if a.IDs[i] != b.IDs[i] || a.Weight(i) != b.Weight(i) {
+				t.Fatalf("user %d entry %d diverges", u, i)
+			}
+		}
+	}
+	for i := 0; i < d.NumItems(); i++ {
+		a, b := v.Item(uint32(i)), d.Items[i]
+		if len(a) != len(b) {
+			t.Fatalf("item %d: view has %d users, live %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("item %d entry %d diverges", i, j)
+			}
+		}
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewMatchesLiveAcrossSizes(t *testing.T) {
+	for _, users := range []int{1, 63, 64, 65, 150} {
+		d := viewFixture(t, users)
+		requireViewMatchesLive(t, d.View(), d)
+	}
+}
+
+func TestViewSharesCleanPages(t *testing.T) {
+	d := viewFixture(t, 150) // user pages: 3, item pages: 2
+	d.View()
+	copied, shared := d.LastViewStats()
+	if shared != 0 || copied != 5 {
+		t.Fatalf("first view: copied %d, shared %d; want 5 copied", copied, shared)
+	}
+
+	// A clean republication shares every page.
+	d.View()
+	if copied, shared = d.LastViewStats(); copied != 0 || shared != 5 {
+		t.Fatalf("clean view: copied %d, shared %d; want 5 shared", copied, shared)
+	}
+
+	// One rating on user 70 (page 1) touching item 10 (page 0): exactly
+	// those two pages are rebuilt. (Item 10 gains user 70 — an insert into
+	// the inverted index — because user 70's profile holds 70%50=20 and
+	// 50+70%30=60, not 10.)
+	if err := d.AddRating(70, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	v := d.View()
+	if copied, shared = d.LastViewStats(); copied != 2 || shared != 3 {
+		t.Fatalf("after one rating: copied %d, shared %d; want 2 copied, 3 shared", copied, shared)
+	}
+	requireViewMatchesLive(t, v, d)
+}
+
+func TestViewImmutableUnderMutation(t *testing.T) {
+	d := viewFixture(t, 100)
+	v := d.View()
+	before := v.User(5)
+	beforeLen := before.Len()
+	beforeItem := append([]uint32(nil), v.Item(5)...)
+
+	if err := d.AddRating(5, 5, 1); err != nil { // user 5 gains item 5
+		t.Fatal(err)
+	}
+	if _, err := d.AddUser(sparse.Vector{IDs: []uint32{5}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if v.NumUsers() != 100 {
+		t.Fatalf("old view now covers %d users", v.NumUsers())
+	}
+	if got := v.User(5); got.Len() != beforeLen {
+		t.Fatalf("old view's user 5 grew: %d -> %d items", beforeLen, got.Len())
+	}
+	got := v.Item(5)
+	if len(got) != len(beforeItem) {
+		t.Fatalf("old view's item 5 grew: %d -> %d users", len(beforeItem), len(got))
+	}
+	for i := range got {
+		if got[i] != beforeItem[i] {
+			t.Fatalf("old view's item 5 changed at %d", i)
+		}
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next view picks up both mutations and still matches live.
+	requireViewMatchesLive(t, d.View(), d)
+}
+
+func TestViewGrowthRebuildsTailPages(t *testing.T) {
+	d := viewFixture(t, 70) // partial tail user page [64..69]
+	d.View()
+	if _, err := d.AddUser(sparse.Vector{IDs: []uint32{0}}); err != nil {
+		t.Fatal(err)
+	}
+	v := d.View()
+	// User page 0 may be shared; the tail page grew and must be rebuilt
+	// (plus the item page of item 0).
+	copied, shared := d.LastViewStats()
+	if copied == 0 || shared == 0 {
+		t.Fatalf("growth view: copied %d, shared %d; want a mix", copied, shared)
+	}
+	requireViewMatchesLive(t, v, d)
+}
+
+func TestCompactInvalidatesViewCache(t *testing.T) {
+	d := viewFixture(t, 100)
+	d.View()
+	d.Compact()
+	v := d.View()
+	copied, shared := d.LastViewStats()
+	if shared != 0 {
+		t.Fatalf("view after Compact shared %d pages with a pre-Compact view", shared)
+	}
+	if copied == 0 {
+		t.Fatal("view after Compact copied nothing")
+	}
+	requireViewMatchesLive(t, v, d)
+}

@@ -63,14 +63,15 @@ func (g *Graph) Degrees() DegreeStats {
 // proxy for graph quality when ground truth is unavailable.
 func (g *Graph) MeanSimilarity() float64 {
 	var sum float64
-	n := len(g.entries)
-	for _, nb := range g.entries {
-		sum += nb.Sim
+	for p := range g.pages {
+		for _, nb := range g.pages[p].entries {
+			sum += nb.Sim
+		}
 	}
-	if n == 0 {
+	if g.numEdges == 0 {
 		return 0
 	}
-	return sum / float64(n)
+	return sum / float64(g.numEdges)
 }
 
 // Agreement returns the mean per-user Jaccard overlap between the
@@ -116,9 +117,11 @@ func jaccardIDs(a, b []Neighbor) float64 {
 // InDegreeCCDFInput returns the per-user in-degrees (for CCDF plotting).
 func (g *Graph) InDegreeCCDFInput() []int {
 	in := make([]int, g.NumUsers())
-	for _, nb := range g.entries {
-		if int(nb.ID) < len(in) {
-			in[nb.ID]++
+	for p := range g.pages {
+		for _, nb := range g.pages[p].entries {
+			if int(nb.ID) < len(in) {
+				in[nb.ID]++
+			}
 		}
 	}
 	return in

@@ -66,25 +66,40 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	aw := arena.NewWriter(w, graphMagic, graphVersion)
 	aw.Uvarint(uint64(g.k))
 	aw.Uvarint(uint64(g.NumUsers()))
-	aw.Uvarint(uint64(len(g.entries)))
+	aw.Uvarint(uint64(g.numEdges))
 	aw.Align(8)
-	offsets := g.offsets
-	if len(offsets) == 0 {
-		// The zero-value Graph has no offsets array; the format always
-		// carries numUsers+1 of them.
-		offsets = []int64{0}
-	}
-	aw.Int64s(offsets)
-	var rec [256 * neighborRecSize]byte
-	for lo := 0; lo < len(g.entries); lo += 256 {
-		hi := min(lo+256, len(g.entries))
-		for j, e := range g.entries[lo:hi] {
-			off := j * neighborRecSize
-			binary.LittleEndian.PutUint32(rec[off:], e.ID)
-			binary.LittleEndian.PutUint32(rec[off+4:], 0)
-			binary.LittleEndian.PutUint64(rec[off+8:], math.Float64bits(e.Sim))
+	// The on-disk offsets section is one flat (numUsers+1)-long array of
+	// arena-global row boundaries. Pages store boundaries rebased to
+	// their own entry slices, so globalize them back while streaming:
+	// arena.Int64s writes raw little-endian words with no framing, which
+	// makes the chunked writes concatenate byte-identically to a flat
+	// write — a patched graph serializes exactly like its flat-CSR
+	// equivalent (the round-trip fuzzer pins this).
+	aw.Int64s([]int64{0})
+	var offs [PageUsers]int64
+	var base int64
+	for p := range g.pages {
+		pg := &g.pages[p]
+		pbase := pg.offsets[0]
+		for i := 1; i < len(pg.offsets); i++ {
+			offs[i-1] = base + (pg.offsets[i] - pbase)
 		}
-		aw.Raw(rec[:(hi-lo)*neighborRecSize])
+		base += int64(len(pg.entries))
+		aw.Int64s(offs[:len(pg.offsets)-1])
+	}
+	var rec [256 * neighborRecSize]byte
+	for p := range g.pages {
+		entries := g.pages[p].entries
+		for lo := 0; lo < len(entries); lo += 256 {
+			hi := min(lo+256, len(entries))
+			for j, e := range entries[lo:hi] {
+				off := j * neighborRecSize
+				binary.LittleEndian.PutUint32(rec[off:], e.ID)
+				binary.LittleEndian.PutUint32(rec[off+4:], 0)
+				binary.LittleEndian.PutUint64(rec[off+8:], math.Float64bits(e.Sim))
+			}
+			aw.Raw(rec[:(hi-lo)*neighborRecSize])
+		}
 	}
 	err := aw.Close()
 	return aw.Count(), err

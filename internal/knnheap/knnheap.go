@@ -45,9 +45,66 @@ type Heap struct {
 }
 
 // Set is the collection of one heap per user, all bounded by the same k.
+//
+// A Set optionally tracks which users' heaps changed (TrackDirty): the
+// copy-on-write snapshot publication path drains that dirty set at export
+// time to clone only the graph pages containing changed users. Tracking
+// is opt-in because the parallel cold build mutates heaps from many
+// goroutines; the maintenance layer enables it once construction is done
+// and it holds the single-writer contract from then on.
 type Set struct {
 	k     int
 	heaps []Heap
+
+	// Dirty tracking (TrackDirty/DrainDirty). stamp[u] == epoch means u
+	// is already recorded in dirty for the current drain interval, so a
+	// user mutated many times between two publications is listed once.
+	// Only the single writer touches these; concurrent readers (Export,
+	// Neighbors) never do.
+	track bool
+	epoch uint32
+	stamp []uint32
+	dirty []uint32
+}
+
+// TrackDirty starts recording which users' heaps change. Call it right
+// after the state being tracked against was exported in full (the first
+// snapshot publication): from then on, every Update/Remove/Clear that
+// changes a heap — and every user added by Grow — lands in the dirty set
+// until DrainDirty collects it. Tracking requires the single-writer
+// contract: no concurrent mutations after TrackDirty.
+func (s *Set) TrackDirty() {
+	s.track = true
+	s.epoch = 1
+	s.stamp = make([]uint32, len(s.heaps))
+	s.dirty = s.dirty[:0]
+}
+
+// DrainDirty appends the users whose heaps changed since the previous
+// drain (or since TrackDirty) to dst and resets the dirty set — the
+// publication-time harvest. Order is first-touch order; IDs are unique.
+func (s *Set) DrainDirty(dst []uint32) []uint32 {
+	dst = append(dst, s.dirty...)
+	s.dirty = s.dirty[:0]
+	s.epoch++
+	if s.epoch == 0 {
+		// The epoch counter wrapped: old stamps would alias the new
+		// interval, so reset them all and restart at 1.
+		clear(s.stamp)
+		s.epoch = 1
+	}
+	return dst
+}
+
+// markDirty records a change to u's heap. Writer-side only (guarded by
+// the TrackDirty contract), so the Set-level dirty list needs no lock
+// even though callers hold only the per-heap lock.
+func (s *Set) markDirty(u uint32) {
+	if !s.track || s.stamp[u] == s.epoch {
+		return
+	}
+	s.stamp[u] = s.epoch
+	s.dirty = append(s.dirty, u)
 }
 
 // NewSet creates n empty heaps of capacity k.
@@ -73,9 +130,18 @@ func (s *Set) Grow(extra int) {
 		panic("knnheap: Grow requires extra ≥ 0")
 	}
 	backing := make([]Entry, extra*s.k)
+	base := len(s.heaps)
 	for i := 0; i < extra; i++ {
 		lo := i * s.k
 		s.heaps = append(s.heaps, Heap{entries: backing[lo : lo : lo+s.k]})
+	}
+	if s.track {
+		s.stamp = append(s.stamp, make([]uint32, extra)...)
+		for i := 0; i < extra; i++ {
+			// A new user has no previously published page; its page must
+			// be (re)built at the next publication.
+			s.markDirty(uint32(base + i))
+		}
 	}
 }
 
@@ -113,11 +179,13 @@ func (s *Set) update(u uint32, e Entry) int {
 	if len(h.entries) < s.k {
 		h.entries = append(h.entries, e)
 		h.siftUp(len(h.entries) - 1)
+		s.markDirty(u)
 		return 1
 	}
 	if !worse(e, h.entries[0]) {
 		h.entries[0] = e
 		h.siftDown(0)
+		s.markDirty(u)
 		return 1
 	}
 	return 0
@@ -142,6 +210,7 @@ func (s *Set) Remove(u uint32, id uint32) bool {
 			h.siftDown(i)
 			h.siftUp(i)
 		}
+		s.markDirty(u)
 		return true
 	}
 	return false
@@ -153,6 +222,9 @@ func (s *Set) Clear(u uint32) {
 	h := &s.heaps[u]
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if len(h.entries) > 0 {
+		s.markDirty(u)
+	}
 	h.entries = h.entries[:0]
 }
 
@@ -197,8 +269,16 @@ func (s *Set) Neighbors(dst []Entry, u uint32) []Entry {
 // while another goroutine still updates the set, and each row is then
 // internally consistent even if the set as a whole keeps moving.
 func (s *Set) Export(offsets []int64, entries []Entry) ([]int64, []Entry) {
+	return s.ExportRange(offsets, entries, 0, len(s.heaps))
+}
+
+// ExportRange is Export restricted to the users in [lo, hi): the page
+// export primitive of copy-on-write snapshot publication, which rebuilds
+// only the pages containing dirty users. The appended offsets are
+// relative to the entries slice passed in, exactly as in Export.
+func (s *Set) ExportRange(offsets []int64, entries []Entry, lo, hi int) ([]int64, []Entry) {
 	offsets = append(offsets, int64(len(entries)))
-	for i := range s.heaps {
+	for i := lo; i < hi; i++ {
 		h := &s.heaps[i]
 		h.mu.Lock()
 		entries = append(entries, h.entries...)

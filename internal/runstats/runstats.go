@@ -108,15 +108,40 @@ type Counters struct {
 	Rebuilds int64
 	// RebuiltUsers counts users refreshed across all Rebuild passes.
 	RebuiltUsers int64
+
+	// Publishes counts snapshot publications (the copy-on-write exports
+	// that make mutations visible to readers).
+	Publishes int64
+	// PagesCopied and PagesShared count, across all publications, the
+	// graph and dataset-header pages that were rebuilt because they
+	// contained dirty rows versus shared intact with the previous
+	// snapshot. Their ratio is the direct observable of O(dirty pages)
+	// publication: steady-state incremental publishes should be almost
+	// all shared.
+	PagesCopied int64
+	PagesShared int64
+	// PublishNs is the cumulative wall time spent publishing, in
+	// nanoseconds; PublishNs/Publishes is the mean publication cost.
+	PublishNs int64
+	// LastPublishNs is the duration of the most recent publication (the
+	// worst shard's, after aggregation).
+	LastPublishNs int64
 }
 
 // Add accumulates another counter record — the shard pool's aggregate
-// view sums its per-shard counters with it.
+// view sums its per-shard counters with it. LastPublishNs takes the max
+// rather than the sum: the aggregate's "last publish" is the slowest
+// member, not a fictitious total.
 func (c *Counters) Add(o Counters) {
 	c.SimEvals += o.SimEvals
 	c.Inserts += o.Inserts
 	c.Rebuilds += o.Rebuilds
 	c.RebuiltUsers += o.RebuiltUsers
+	c.Publishes += o.Publishes
+	c.PagesCopied += o.PagesCopied
+	c.PagesShared += o.PagesShared
+	c.PublishNs += o.PublishNs
+	c.LastPublishNs = max(c.LastPublishNs, o.LastPublishNs)
 }
 
 // ScanRate is the paper's normalized similarity-evaluation count:

@@ -5,7 +5,7 @@
 // kiff.Snapshot from the atomic publication pointer and serves neighbor
 // lists and profile queries from it. Writes are funneled to the single
 // writer the Maintainer requires through a bounded channel: one writer
-// goroutine drains the queue in batches (amortizing snapshot publication
+// goroutine drains the queue in batches (one copy-on-write publication
 // across the batch, via InsertBatch and one Rebuild per batch), and a
 // full queue pushes back on producers — a mutation request blocks until
 // the writer catches up or the client gives up, which is the server's
@@ -102,11 +102,7 @@ func (v snapSource) Query(p kiff.Profile, k, budget int) ([]kiff.Neighbor, error
 	return v.s.Query(p, k, budget)
 }
 func (v snapSource) Profile(u uint32) (kiff.Profile, bool) {
-	ds := v.s.Dataset()
-	if int(u) >= ds.NumUsers() {
-		return kiff.Profile{}, false
-	}
-	return ds.Users[u], true
+	return v.s.Profile(u)
 }
 
 // mutable is the write backend the writer goroutine drives: a
@@ -476,6 +472,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		maintain["inserts"] = c.Inserts
 		maintain["rebuilds"] = c.Rebuilds
 		maintain["rebuilt_users"] = c.RebuiltUsers
+		// Publication cost: how many snapshots the writer published and
+		// the copy-on-write page accounting — pages rebuilt because they
+		// held dirty rows versus pages shared with the previous snapshot.
+		// A healthy incremental workload is dominated by shared pages. In
+		// pool mode the pages and publications sum over shards and
+		// last_publish_ns is the slowest shard's most recent publish.
+		resp["publish"] = map[string]any{
+			"publications":    c.Publishes,
+			"pages_copied":    c.PagesCopied,
+			"pages_shared":    c.PagesShared,
+			"publish_ns":      c.PublishNs,
+			"last_publish_ns": c.LastPublishNs,
+		}
 	}
 	if len(maintain) > 0 {
 		resp["maintain"] = maintain
@@ -492,6 +501,9 @@ type shardStat struct {
 	Inserts      int64  `json:"inserts"`
 	Rebuilds     int64  `json:"rebuilds"`
 	RebuiltUsers int64  `json:"rebuilt_users"`
+	Publishes    int64  `json:"publications"`
+	PagesCopied  int64  `json:"pages_copied"`
+	PagesShared  int64  `json:"pages_shared"`
 }
 
 func shardStatsJSON(stats []shard.Stats) []shardStat {
@@ -505,6 +517,9 @@ func shardStatsJSON(stats []shard.Stats) []shardStat {
 			Inserts:      st.Counters.Inserts,
 			Rebuilds:     st.Counters.Rebuilds,
 			RebuiltUsers: st.Counters.RebuiltUsers,
+			Publishes:    st.Counters.Publishes,
+			PagesCopied:  st.Counters.PagesCopied,
+			PagesShared:  st.Counters.PagesShared,
 		}
 	}
 	return out

@@ -407,7 +407,7 @@ func TestServerRatingsValidation(t *testing.T) {
 	defer ts.Close()
 
 	version0 := m.Snapshot().Version()
-	user5Len := len(m.Snapshot().Dataset().Users[5].IDs)
+	user5Len := len(m.Snapshot().Dataset().User(5).IDs)
 
 	// An empty object must not silently upsert rating 0 on user 0/item 0.
 	if status, out := postJSON(t, ts.URL+"/ratings", map[string]any{}); status != http.StatusBadRequest {
@@ -442,7 +442,7 @@ func TestServerRatingsValidation(t *testing.T) {
 	if snap.Version() != version0 {
 		t.Fatalf("rejected requests published a snapshot: version %d -> %d", version0, snap.Version())
 	}
-	if got := len(snap.Dataset().Users[5].IDs); got != user5Len {
+	if got := len(snap.Dataset().User(5).IDs); got != user5Len {
 		t.Fatalf("rejected batch mutated user 5: %d -> %d profile entries", user5Len, got)
 	}
 }

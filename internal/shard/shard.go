@@ -76,8 +76,11 @@ type Reader interface {
 	// Query returns the k most similar local users to an external
 	// profile; budget bounds similarity evaluations (negative = exact).
 	Query(profile sparse.Vector, k, budget int) ([]knngraph.Neighbor, error)
-	// Dataset is the frozen dataset the view was published against.
-	Dataset() *dataset.Dataset
+	// Profile returns local user u's frozen profile and whether u exists
+	// in the view. (The scatter-gather layer needs per-user reads only,
+	// so readers expose profiles rather than a whole frozen dataset —
+	// which also keeps the interface satisfiable by page-shared views.)
+	Profile(u uint32) (sparse.Vector, bool)
 }
 
 // Maintainer is the per-shard write interface: the method subset of

@@ -87,13 +87,13 @@ func (v *View) Neighbors(g uint32) ([]knngraph.Neighbor, error) {
 }
 
 // Profile returns global user g's item profile from its owning shard's
-// frozen dataset (treat as read-only), or false for unknown/pending IDs.
+// frozen view (treat as read-only), or false for unknown/pending IDs.
 func (v *View) Profile(g uint32) (sparse.Vector, bool) {
 	s, local, err := v.route(g)
 	if err != nil {
 		return sparse.Vector{}, false
 	}
-	return v.snaps[s].Dataset().Users[local], true
+	return v.snaps[s].Profile(local)
 }
 
 // Query fans the profile out to every shard's snapshot concurrently,

@@ -77,6 +77,12 @@ import (
 // them with a Maintainer to keep a constructed graph fresh.
 type Dataset = dataset.Dataset
 
+// DatasetView is a frozen, page-shared snapshot of a Dataset — what
+// Snapshot.Dataset returns. Views share unchanged header pages with the
+// previous publication (copy-on-write), so publishing one after a small
+// mutation batch is O(dirty pages); treat them as strictly read-only.
+type DatasetView = dataset.View
+
 // LoadOptions controls edge-list parsing.
 type LoadOptions = dataset.LoadOptions
 
@@ -365,6 +371,22 @@ func NewIndex(d *Dataset, opts Options) (*Index, error) {
 		return nil, err
 	}
 	return core.NewIndex(d, metric), nil
+}
+
+// NewViewIndex builds a query index over a frozen dataset view (see
+// Snapshot.Dataset). Views always carry item profiles, so construction
+// is O(1); the index answers exactly like NewIndex over the dataset the
+// view was published from.
+func NewViewIndex(v *DatasetView, opts Options) (*Index, error) {
+	metricName := opts.Metric
+	if metricName == "" {
+		metricName = "cosine"
+	}
+	metric, err := similarity.ByName(metricName)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewViewIndex(v, metric), nil
 }
 
 // Metrics lists the supported similarity metric names.

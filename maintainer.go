@@ -70,6 +70,15 @@ type Maintainer struct {
 	rebuilds     int64
 	rebuiltUsers int64
 
+	// Publication cost counters (see runstats.Counters): page accounting
+	// covers both the graph pages and the dataset header pages of each
+	// copy-on-write publication.
+	publishes     int64
+	pagesCopied   int64
+	pagesShared   int64
+	publishNs     int64
+	lastPublishNs int64
+
 	// snap is the serving-side publication point: an immutable view
 	// replaced wholesale by the writer, loaded lock-free by readers.
 	snap    atomic.Pointer[Snapshot]
@@ -203,11 +212,38 @@ func NewMaintainerFromGraph(d *Dataset, g *Graph, opts Options) (*Maintainer, er
 }
 
 // publish freezes the current graph and dataset into a new Snapshot and
-// swaps it in atomically. Writer-only; see newSnapshot for the cost
-// model.
+// swaps it in atomically. Writer-only.
+//
+// The first publication exports the full graph (FromSet) and arms the
+// heap set's dirty tracking; every later publication drains the dirty
+// user set and patches the previous snapshot's graph page-by-page
+// (knngraph.PatchFrom), while the dataset view likewise shares clean
+// header pages with its predecessor — O(dirty pages) instead of
+// O(|U|·k + |I|). Patching always starts from the previously published
+// (heap-built) graph, never from a mapped one, so published pages never
+// alias file-backed memory.
 func (m *Maintainer) publish() {
+	start := time.Now()
 	m.version++
-	m.snap.Store(newSnapshot(m.version, knngraph.FromSet(m.heaps), m.d.View(), m.opts.Metric))
+	var g *knngraph.Graph
+	var st knngraph.PatchStats
+	if prev := m.snap.Load(); prev != nil {
+		m.scratch = m.heaps.DrainDirty(m.scratch[:0])
+		g, st = knngraph.PatchFrom(prev.graph, m.heaps, m.scratch)
+	} else {
+		g = knngraph.FromSet(m.heaps)
+		st = knngraph.PatchStats{PagesCopied: g.NumPages(), EntriesCopied: g.NumEdges()}
+		m.heaps.TrackDirty()
+	}
+	view := m.d.View()
+	vc, vs := m.d.LastViewStats()
+	m.snap.Store(newSnapshot(m.version, g, view, m.opts.Metric))
+	ns := time.Since(start).Nanoseconds()
+	m.publishes++
+	m.pagesCopied += int64(st.PagesCopied + vc)
+	m.pagesShared += int64(st.PagesShared + vs)
+	m.publishNs += ns
+	m.lastPublishNs = ns
 }
 
 // Snapshot returns the most recently published immutable view. It is
@@ -304,10 +340,11 @@ func (m *Maintainer) Insert(p Profile) (uint32, error) {
 }
 
 // InsertBatch inserts a batch of users, growing the neighborhood heaps
-// once and publishing a single snapshot at the end — amortizing both the
-// per-user arena growth and the O(|U|·k + |I|) publication cost over the
-// whole batch. Profiles are validated up front; on a validation error
-// nothing is mutated.
+// once and publishing a single snapshot at the end. Publication costs
+// O(dirty pages) — the pages holding the batch's users and the
+// neighborhoods it displaced — so batching amortizes the per-user arena
+// growth and folds the batch's page overlap into one publish. Profiles
+// are validated up front; on a validation error nothing is mutated.
 func (m *Maintainer) InsertBatch(ps []Profile) ([]uint32, error) {
 	start := time.Now()
 	for i := range ps {
@@ -473,9 +510,14 @@ type Counters = runstats.Counters
 // must be called from the writer side (or after mutations quiesce).
 func (m *Maintainer) Counters() Counters {
 	return Counters{
-		SimEvals:     m.evals.Load(),
-		Inserts:      m.inserts,
-		Rebuilds:     m.rebuilds,
-		RebuiltUsers: m.rebuiltUsers,
+		SimEvals:      m.evals.Load(),
+		Inserts:       m.inserts,
+		Rebuilds:      m.rebuilds,
+		RebuiltUsers:  m.rebuiltUsers,
+		Publishes:     m.publishes,
+		PagesCopied:   m.pagesCopied,
+		PagesShared:   m.pagesShared,
+		PublishNs:     m.publishNs,
+		LastPublishNs: m.lastPublishNs,
 	}
 }

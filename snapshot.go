@@ -25,7 +25,7 @@ import (
 type Snapshot struct {
 	version uint64
 	graph   *Graph
-	data    *Dataset // frozen dataset.View; never mutated
+	data    *DatasetView
 	index   *Index
 }
 
@@ -43,9 +43,18 @@ func (s *Snapshot) K() int { return s.graph.K() }
 // Graph returns the immutable KNN graph of the snapshot.
 func (s *Snapshot) Graph() *Graph { return s.graph }
 
-// Dataset returns the frozen dataset the snapshot was published against.
-// Treat it as read-only: mutate only through the Maintainer.
-func (s *Snapshot) Dataset() *Dataset { return s.data }
+// Dataset returns the frozen dataset view the snapshot was published
+// against. Treat it as read-only: mutate only through the Maintainer.
+func (s *Snapshot) Dataset() *DatasetView { return s.data }
+
+// Profile returns user u's frozen profile (do not mutate) and whether u
+// exists in the snapshot. Safe for any number of concurrent callers.
+func (s *Snapshot) Profile(u uint32) (Profile, bool) {
+	if int(u) >= s.data.NumUsers() {
+		return Profile{}, false
+	}
+	return s.data.User(u), true
+}
 
 // Neighbors returns user u's neighbor list in the snapshot graph (do not
 // mutate). Safe for any number of concurrent callers.
@@ -91,15 +100,18 @@ func NewSnapshot(g *Graph, d *Dataset, opts Options) (*Snapshot, error) {
 	return newSnapshot(1, g, d.View(), metric), nil
 }
 
-// newSnapshot freezes the current maintainer state. Called by the writer
-// only; cost is O(|U|·k) for the graph export plus O(|U| + |I|) for the
-// dataset header copies — batch mutations (InsertBatch, Rebuild) to
-// amortize it.
-func newSnapshot(version uint64, g *knngraph.Graph, view *dataset.Dataset, metric similarity.Metric) *Snapshot {
+// newSnapshot assembles a Snapshot from an already-exported graph and
+// dataset view. Called by the writer only. Publication is copy-on-write
+// end to end: the graph is patched page-by-page from its predecessor
+// (knngraph.PatchFrom), the view shares clean header pages with the
+// previous view, and the query index is an O(1) wrapper over the view —
+// so the cost is O(dirty pages), not O(|U|·k + |I|). The first
+// publication (no predecessor) is a full export.
+func newSnapshot(version uint64, g *knngraph.Graph, view *dataset.View, metric similarity.Metric) *Snapshot {
 	return &Snapshot{
 		version: version,
 		graph:   g,
 		data:    view,
-		index:   core.NewIndex(view, metric),
+		index:   core.NewViewIndex(view, metric),
 	}
 }

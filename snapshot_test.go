@@ -134,7 +134,7 @@ func TestSnapshotQueryMatchesIndex(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ix, err := NewIndex(s.Dataset(), Options{K: 5})
+		ix, err := NewViewIndex(s.Dataset(), Options{K: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
