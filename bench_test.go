@@ -405,6 +405,58 @@ func BenchmarkKIFFEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationBucketed sweeps the bucketed engine's recall-vs-cost
+// knob against standard KIFF on the same fixture: more hash bands and
+// refinement sweeps buy recall with extra similarity evaluations. The
+// sim-evals and recall metrics are deterministic per config; ns/op is
+// what varies run to run.
+func BenchmarkAblationBucketed(b *testing.B) {
+	d := ablationDataset(b)
+	exact, err := Build(d, Options{K: 10, Seed: 3, Algorithm: BruteForce})
+	benchErr(b, err)
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"kiff-standard", Options{K: 10, Seed: 3}},
+		{"bucketed-lean/b5-s96-w1", Options{K: 10, Seed: 3, Algorithm: Bucketed, Bands: 5, BucketSize: 96, Sweeps: 1}},
+		{"bucketed-default/b4-s192-w2", Options{K: 10, Seed: 3, Algorithm: Bucketed}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res, err = Build(d, cfg.opts)
+				benchErr(b, err)
+			}
+			b.ReportMetric(float64(res.Run.SimEvals), "sim-evals")
+			b.ReportMetric(graphRecall(exact.Graph, res.Graph), "recall")
+		})
+	}
+}
+
+// graphRecall is the fraction of exact k-NN edges present in got.
+func graphRecall(exact, got *Graph) float64 {
+	var hit, total int
+	for u := 0; u < exact.NumUsers(); u++ {
+		in := make(map[uint32]bool)
+		for _, e := range got.Neighbors(uint32(u)) {
+			in[e.ID] = true
+		}
+		for _, e := range exact.Neighbors(uint32(u)) {
+			total++
+			if in[e.ID] {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}
+
 func BenchmarkGraphBinaryEncode(b *testing.B) {
 	d := ablationDataset(b)
 	res, err := core.Build(d, core.DefaultConfig(10))

@@ -42,6 +42,15 @@ type benchResult struct {
 	// each publish rebuilt versus aliased from the previous snapshot.
 	PagesCopiedPerOp float64 `json:"pages_copied_per_op,omitempty"`
 	PagesSharedPerOp float64 `json:"pages_shared_per_op,omitempty"`
+	// Recall / SimEvalsPerOp annotate construction benches with the §IV-C
+	// quality/cost observables: exact recall against brute-force ground
+	// truth, and the (deterministic) similarity-evaluation count of one
+	// build. SimEvalsRatio additionally relates an approximate builder's
+	// SimEvals to the standard KIFF build on the same fixture — the
+	// headline statistic of the bucketed engine.
+	Recall        float64 `json:"recall,omitempty"`
+	SimEvalsPerOp float64 `json:"sim_evals_per_op,omitempty"`
+	SimEvalsRatio float64 `json:"sim_evals_ratio,omitempty"`
 }
 
 // benchTolerances annotates each emitted bench with its baseline
@@ -52,6 +61,8 @@ type benchResult struct {
 var benchTolerances = map[string]float64{
 	"rcs-build":                    1.6,
 	"kiff-build":                   1.6,
+	"kiff-build-wiki05":            1.6,
+	"kiff-build-bucketed":          1.6,
 	"graph-encode":                 1.5,
 	"graph-decode":                 1.5,
 	"dataset-encode":               1.5,
@@ -90,21 +101,59 @@ func measure(name string, fn func(b *testing.B)) benchResult {
 	}
 }
 
+// validBenchNames lists every bench runBenchOut can emit, in emission
+// order — the vocabulary -bench-names is validated against.
+var validBenchNames = []string{
+	"rcs-build",
+	"kiff-build",
+	"kiff-build-wiki05",
+	"kiff-build-bucketed",
+	"graph-encode",
+	"graph-decode",
+	"dataset-encode",
+	"dataset-decode",
+	"graph-load-heap",
+	"graph-load-mapped",
+	"dataset-load-heap",
+	"dataset-load-mapped",
+	"snapshot-publish",
+	"snapshot-publish-full",
+	"snapshot-publish-incremental",
+	"insert-single",
+	"insert-sharded",
+	"rebuild-single",
+	"rebuild-sharded",
+	"snapshot-query",
+}
+
 // benchFilter selects a subset of the named benches: nil/empty selects
 // everything.
 type benchFilter map[string]bool
 
-func parseBenchFilter(names string) benchFilter {
+// parseBenchFilter parses a comma-separated bench-name list. A name
+// outside validBenchNames is an error (→ nonzero exit) rather than a
+// silently empty selection — a typo in a CI bench list must fail the
+// step, not skip the gate.
+func parseBenchFilter(names string) (benchFilter, error) {
 	if names == "" {
-		return nil
+		return nil, nil
+	}
+	valid := make(map[string]bool, len(validBenchNames))
+	for _, n := range validBenchNames {
+		valid[n] = true
 	}
 	f := benchFilter{}
 	for _, n := range strings.Split(names, ",") {
-		if n = strings.TrimSpace(n); n != "" {
-			f[n] = true
+		if n = strings.TrimSpace(n); n == "" {
+			continue
 		}
+		if !valid[n] {
+			return nil, fmt.Errorf("unknown bench name %q; valid names: %s",
+				n, strings.Join(validBenchNames, ", "))
+		}
+		f[n] = true
 	}
-	return f
+	return f, nil
 }
 
 func (f benchFilter) selects(name string) bool { return f == nil || f[name] }
@@ -167,6 +216,10 @@ type benchOptions struct {
 	// Tolerance is the allowed ns/op growth ratio for -compare (e.g. 1.5
 	// = fail past +50%).
 	Tolerance float64
+	// RecallFloor, when > 0, fails the run unless the bucketed builder's
+	// recall on the scale-0.5 fixture reaches RecallFloor × standard
+	// KIFF's recall (the CI recall smoke gate).
+	RecallFloor float64
 }
 
 // runBenchOut measures the build/persist/serve hot paths on the Wikipedia
@@ -184,9 +237,12 @@ func runBenchOut(path string, opts benchOptions, stderr io.Writer) error {
 		Schema:  "kiff/bench/v1",
 		Go:      runtime.Version(),
 		Arch:    runtime.GOOS + "/" + runtime.GOARCH,
-		Dataset: fmt.Sprintf("wikipedia scale=0.05 seed=3 k=%d (publish benches: scale=0.2)", k),
+		Dataset: fmt.Sprintf("wikipedia scale=0.05 seed=3 k=%d (publish benches: scale=0.2; construction benches: scale=0.5)", k),
 	}
-	filter := parseBenchFilter(opts.Names)
+	filter, err := parseBenchFilter(opts.Names)
+	if err != nil {
+		return err
+	}
 	add := func(name string, fn func(b *testing.B)) {
 		if filter.selects(name) {
 			report.Benches = append(report.Benches, measure(name, fn))
@@ -213,6 +269,73 @@ func runBenchOut(path string, opts benchOptions, stderr io.Writer) error {
 	})
 	if built, err = kiff.Build(d, kiff.Options{K: k}); err != nil {
 		return err
+	}
+
+	// Construction cost-curve benches at 10× the fixture population
+	// (wikipedia scale 0.5): the standard KIFF baseline and the bucketed
+	// divide-and-conquer builder at its benchmark operating point (5 bands
+	// × 96-user buckets × 1 sweep). Both rows carry the §IV-C quality/cost
+	// observables — exact recall and the deterministic SimEvals count —
+	// and the bucketed row records its SimEvals as a ratio of the standard
+	// build's, the headline of the sub-quadratic trade.
+	var floorErr error
+	if filter.selects("kiff-build-wiki05") || filter.selects("kiff-build-bucketed") || opts.RecallFloor > 0 {
+		d05, err := dataset.Wikipedia.Generate(0.5, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "kiffbench: construction fixture %s\n", d05.Stats())
+		stdOpts := kiff.Options{K: k, Seed: 3}
+		bucketedOpts := kiff.Options{K: k, Seed: 3, Algorithm: kiff.Bucketed,
+			Bands: 5, BucketSize: 96, Sweeps: 1}
+		stdRes, err := kiff.Build(d05, stdOpts)
+		if err != nil {
+			return err
+		}
+		stdRecall, err := kiff.Recall(d05, stdRes.Graph, stdOpts, 0)
+		if err != nil {
+			return err
+		}
+		bucketedRes, err := kiff.Build(d05, bucketedOpts)
+		if err != nil {
+			return err
+		}
+		bucketedRecall, err := kiff.Recall(d05, bucketedRes.Graph, bucketedOpts, 0)
+		if err != nil {
+			return err
+		}
+		add("kiff-build-wiki05", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kiff.Build(d05, stdOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if r := findBench(report, "kiff-build-wiki05"); r != nil {
+			r.Recall = stdRecall
+			r.SimEvalsPerOp = float64(stdRes.Run.SimEvals)
+		}
+		add("kiff-build-bucketed", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kiff.Build(d05, bucketedOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ratio := float64(bucketedRes.Run.SimEvals) / float64(stdRes.Run.SimEvals)
+		if r := findBench(report, "kiff-build-bucketed"); r != nil {
+			r.Recall = bucketedRecall
+			r.SimEvalsPerOp = float64(bucketedRes.Run.SimEvals)
+			r.SimEvalsRatio = ratio
+		}
+		fmt.Fprintf(stderr, "kiffbench: bucketed recall %.4f (kiff %.4f), SimEvals %d vs %d (%.2fx)\n",
+			bucketedRecall, stdRecall, bucketedRes.Run.SimEvals, stdRes.Run.SimEvals, ratio)
+		if opts.RecallFloor > 0 && bucketedRecall < opts.RecallFloor*stdRecall {
+			floorErr = fmt.Errorf("recall floor: bucketed recall %.4f < %.2f × kiff recall %.4f",
+				bucketedRecall, opts.RecallFloor, stdRecall)
+		}
 	}
 
 	var encoded bytes.Buffer
@@ -492,7 +615,10 @@ func runBenchOut(path string, opts benchOptions, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "kiffbench: wrote %s (%d benches)\n", path, len(report.Benches))
 	}
-	// Compare after writing, so the fresh record survives a failed gate.
+	// Gates run after writing, so the fresh record survives a failure.
+	if floorErr != nil {
+		return floorErr
+	}
 	if opts.Compare != "" {
 		return compareAgainst(opts.Compare, report, opts.Tolerance, stderr)
 	}

@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		benchNames   = fs.String("bench-names", "", "with -bench-out: comma-separated bench names to run (empty = all)")
 		compare      = fs.String("compare", "", "with -bench-out: baseline BENCH json to compare against; exits nonzero when a bench regresses beyond -compare-tolerance")
 		compareTol   = fs.Float64("compare-tolerance", 1.5, "allowed ns/op growth ratio for -compare (1.5 = fail past +50%)")
+		recallFloor  = fs.Float64("recall-floor", 0, "with -bench-out: minimum bucketed-builder recall as a fraction of standard KIFF's; exits nonzero below it (0 = no check)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,13 +59,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *benchOut != "" {
 		return runBenchOut(*benchOut, benchOptions{
-			Names:     *benchNames,
-			Compare:   *compare,
-			Tolerance: *compareTol,
+			Names:       *benchNames,
+			Compare:     *compare,
+			Tolerance:   *compareTol,
+			RecallFloor: *recallFloor,
 		}, stderr)
 	}
-	if *compare != "" || *benchNames != "" {
-		return fmt.Errorf("-compare and -bench-names require -bench-out")
+	if *compare != "" || *benchNames != "" || *recallFloor != 0 {
+		return fmt.Errorf("-compare, -bench-names and -recall-floor require -bench-out")
 	}
 
 	h := experiments.New(experiments.Options{

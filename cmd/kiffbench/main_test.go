@@ -127,6 +127,32 @@ func TestCompareRequiresBenchOut(t *testing.T) {
 	if err := run([]string{"-bench-names", "rcs-build"}, &out, &errOut); err == nil {
 		t.Error("-bench-names without -bench-out must fail")
 	}
+	if err := run([]string{"-recall-floor", "0.9"}, &out, &errOut); err == nil {
+		t.Error("-recall-floor without -bench-out must fail")
+	}
+}
+
+// TestUnknownBenchName: a typo in -bench-names must fail the run (so CI
+// never silently measures nothing) and the error must list the valid
+// names so the fix is obvious from the failure output alone.
+func TestUnknownBenchName(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "out.json")
+	var out, errOut bytes.Buffer
+	err := run([]string{"-bench-out", outPath, "-bench-names", "rcs-build,kiff-biuld"}, &out, &errOut)
+	if err == nil {
+		t.Fatal("unknown bench name must fail")
+	}
+	if !strings.Contains(err.Error(), "kiff-biuld") {
+		t.Errorf("error %q must quote the offending name", err)
+	}
+	for _, name := range validBenchNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error must list valid name %q:\n%v", name, err)
+		}
+	}
+	if _, statErr := os.Stat(outPath); statErr == nil {
+		t.Error("no bench record must be written on a bad name")
+	}
 }
 
 // TestComparePerBenchTolerance: a baseline bench's own tolerance

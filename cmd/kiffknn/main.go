@@ -51,6 +51,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		gamma        = fs.Int("gamma", 0, "KIFF candidate budget per iteration (0 = 2k, negative = exhaustive/exact)")
 		beta         = fs.Float64("beta", 0, "termination threshold (0 = paper default 0.001, negative = run KIFF to candidate exhaustion/exact)")
 		minRating    = fs.Float64("min-rating", 0, "KIFF candidate filter: require ratings ≥ this on shared items")
+		bands        = fs.Int("bands", 0, "bucketed: number of minhash bucketings (0 = 4)")
+		bucketSize   = fs.Int("bucket-size", 0, "bucketed: maximum users per bucket (0 = 192)")
+		sweeps       = fs.Int("sweeps", 0, "bucketed: cross-bucket refinement passes (0 = 2, negative = none)")
 		workers      = fs.Int("workers", 0, "worker goroutines (0 = all CPUs)")
 		seed         = fs.Int64("seed", 42, "seed for randomized baselines")
 		recallSample = fs.Int("recall-sample", 0, "if > 0, report recall estimated on this many users (needs -in)")
@@ -84,14 +87,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 
 	opts := kiff.Options{
-		K:         *k,
-		Algorithm: kiff.Algorithm(*algo),
-		Metric:    *metric,
-		Gamma:     *gamma,
-		Beta:      *beta,
-		MinRating: *minRating,
-		Workers:   *workers,
-		Seed:      *seed,
+		K:          *k,
+		Algorithm:  kiff.Algorithm(*algo),
+		Metric:     *metric,
+		Gamma:      *gamma,
+		Beta:       *beta,
+		MinRating:  *minRating,
+		Workers:    *workers,
+		Seed:       *seed,
+		Bands:      *bands,
+		BucketSize: *bucketSize,
+		Sweeps:     *sweeps,
 	}
 
 	var g *kiff.Graph

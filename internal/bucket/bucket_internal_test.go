@@ -1,0 +1,102 @@
+package bucket
+
+import (
+	"testing"
+
+	"kiff/internal/dataset"
+	"kiff/internal/sparse"
+)
+
+func testData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.Wikipedia.Generate(0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSketchDeterministicAndSeedSensitive(t *testing.T) {
+	d := testData(t)
+	a := sketch(d, 3, 42, 1)
+	b := sketch(d, 3, 42, 4)
+	if len(a) != d.NumUsers()*3 {
+		t.Fatalf("signature length %d, want %d", len(a), d.NumUsers()*3)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("signature differs across worker counts at %d", i)
+		}
+	}
+	c := sketch(d, 3, 43, 1)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("changing the seed must change the sketch")
+	}
+}
+
+func TestSketchEmptyProfile(t *testing.T) {
+	d, err := dataset.New("empty", make([]sparse.Vector, 3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sketch(d, 2, 1, 1) {
+		if s != emptyKey {
+			t.Fatalf("empty profile hashed to %d, want emptyKey", s)
+		}
+	}
+}
+
+// TestBucketizeInvariants checks the partition contract per band: every
+// user lands in exactly one bucket, no bucket exceeds the size bound,
+// and members are listed in ascending order (the order the per-bucket
+// builds and the determinism guarantee rely on).
+func TestBucketizeInvariants(t *testing.T) {
+	d := testData(t)
+	n := d.NumUsers()
+	const bands = 4
+	sig := sketch(d, bands, 3, 0)
+	for _, maxSize := range []int{2, 16, 64, n + 10} {
+		for band := 0; band < bands; band++ {
+			buckets := bucketize(sig, bands, band, maxSize)
+			seen := make([]int, n)
+			for i := 0; i < buckets.NumRows(); i++ {
+				row := buckets.Row(i)
+				if len(row) == 0 {
+					t.Fatalf("maxSize=%d band=%d: empty bucket %d", maxSize, band, i)
+				}
+				if len(row) > maxSize {
+					t.Fatalf("maxSize=%d band=%d: bucket %d holds %d users", maxSize, band, i, len(row))
+				}
+				for j, u := range row {
+					seen[u]++
+					if j > 0 && row[j-1] >= u {
+						t.Fatalf("maxSize=%d band=%d: bucket %d not ascending", maxSize, band, i)
+					}
+				}
+			}
+			for u, c := range seen {
+				if c != 1 {
+					t.Fatalf("maxSize=%d band=%d: user %d in %d buckets", maxSize, band, u, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCoBucketed(t *testing.T) {
+	if coBucketed([]uint32{1, 2, 3}, []uint32{4, 5, 6}) {
+		t.Error("disjoint IDs must not be co-bucketed")
+	}
+	if !coBucketed([]uint32{1, 2, 3}, []uint32{4, 2, 6}) {
+		t.Error("matching band must be co-bucketed")
+	}
+	if coBucketed(nil, nil) {
+		t.Error("empty prefix must not be co-bucketed")
+	}
+}

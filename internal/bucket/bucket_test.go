@@ -1,0 +1,140 @@
+package bucket_test
+
+import (
+	"bytes"
+	"testing"
+
+	"kiff/internal/bruteforce"
+	"kiff/internal/dataset"
+	"kiff/internal/engine"
+	"kiff/internal/similarity"
+
+	"kiff/internal/bucket"
+)
+
+// buildBytes runs the bucketed builder and returns the serialized graph
+// plus the similarity-evaluation count.
+func buildBytes(t *testing.T, d *dataset.Dataset, o engine.Options) ([]byte, int64) {
+	t.Helper()
+	res, err := engine.Build(bucket.Name, d, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatalf("invalid graph: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := res.Graph.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res.Run.SimEvals
+}
+
+// TestBucketedDeterministicForFixedSeed pins the bit-reproducibility
+// contract: for a fixed seed the bucketed builder emits the identical
+// serialized graph and the identical SimEvals count regardless of the
+// worker count. The serialized form covers neighbor IDs, order, and
+// bit-exact similarity values.
+func TestBucketedDeterministicForFixedSeed(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engine.Options{K: 8, Seed: 11, Bands: 3, BucketSize: 48, Sweeps: 1}
+	ref, refEvals := buildBytes(t, d, opts)
+	for _, workers := range []int{1, 3, 0} {
+		o := opts
+		o.Workers = workers
+		got, evals := buildBytes(t, d, o)
+		if !bytes.Equal(ref, got) {
+			t.Errorf("workers=%d: serialized graph differs from reference", workers)
+		}
+		if evals != refEvals {
+			t.Errorf("workers=%d: SimEvals = %d, want %d", workers, evals, refEvals)
+		}
+	}
+
+	// A different seed must reshuffle the bucketing (and hence the graph).
+	o := opts
+	o.Seed = 12
+	if got, _ := buildBytes(t, d, o); bytes.Equal(ref, got) {
+		t.Error("changing the seed produced the identical graph bytes")
+	}
+}
+
+// TestBucketedRecallAndSavings checks the point of the divide-and-conquer
+// engine on a small replica: high overlap with the exact graph at a
+// fraction of the exact pairwise cost.
+func TestBucketedRecallAndSavings(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	res, err := engine.Build(bucket.Name, d, engine.Options{K: k, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := bruteforce.Graph(d, similarity.Cosine{}, k, 0)
+
+	var hit, total int
+	for u := 0; u < d.NumUsers(); u++ {
+		want := exact.Neighbors(uint32(u))
+		got := res.Graph.Neighbors(uint32(u))
+		in := make(map[uint32]bool, len(got))
+		for _, e := range got {
+			in[e.ID] = true
+		}
+		for _, e := range want {
+			total++
+			if in[e.ID] {
+				hit++
+			}
+		}
+	}
+	recall := float64(hit) / float64(total)
+	if recall < 0.85 {
+		t.Errorf("recall = %.3f vs exact graph, want ≥ 0.85", recall)
+	}
+
+	n := int64(d.NumUsers())
+	exhaustive := n * (n - 1) / 2
+	if res.Run.SimEvals >= exhaustive*3/4 {
+		t.Errorf("SimEvals = %d, want < 3/4 of exhaustive %d", res.Run.SimEvals, exhaustive)
+	}
+}
+
+func TestBucketedOptionValidation(t *testing.T) {
+	d, err := dataset.Wikipedia.Generate(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bads := []engine.Options{
+		{K: 2, Bands: -1},
+		{K: 2, BucketSize: 1},
+		{K: 2, BucketSize: -3},
+	}
+	for i, o := range bads {
+		if _, err := engine.Build(bucket.Name, d, o); err == nil {
+			t.Errorf("case %d: invalid options %+v accepted", i, o)
+		}
+	}
+	// Sweeps < 0 means "no refinement sweeps" and must be accepted.
+	if _, err := engine.Build(bucket.Name, d, engine.Options{K: 2, Sweeps: -1}); err != nil {
+		t.Errorf("Sweeps=-1 must disable sweeps, not error: %v", err)
+	}
+}
+
+func TestBucketedEmptyDataset(t *testing.T) {
+	d, err := dataset.New("empty", nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Build(bucket.Name, d, engine.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumUsers() != 0 {
+		t.Errorf("graph over empty dataset has %d users", res.Graph.NumUsers())
+	}
+}

@@ -1,0 +1,77 @@
+package bucket
+
+import (
+	"slices"
+	"sort"
+
+	"kiff/internal/arena"
+)
+
+// bucketize groups the band-b minhash keys into size-bounded buckets and
+// returns the member lists as one CSR arena (global user IDs, ascending
+// within each bucket).
+//
+// The grouping runs in three deterministic steps over the (key, user)
+// pairs sorted by key then user:
+//
+//   - cluster: a run of equal keys is one raw cluster — users whose
+//     band-b minhash collided, i.e. likely-similar users;
+//   - split: a cluster larger than maxSize is cut into near-equal chunks
+//     of at most maxSize (an oversized cluster would reintroduce the
+//     quadratic blow-up the bucketing exists to avoid);
+//   - merge: consecutive small clusters are greedily packed into one
+//     bucket while they fit within maxSize. Packing trades a little
+//     locality for load balance, and the random co-location it creates
+//     is itself useful — Cluster-and-Conquer style, arbitrary co-bucketed
+//     pairs seed edges the conquer sweeps then propagate.
+func bucketize(sig []uint64, bands, band, maxSize int) *arena.Rows[uint32] {
+	n := len(sig) / bands
+	order := make([]uint32, n)
+	for u := range order {
+		order[u] = uint32(u)
+	}
+	key := func(u uint32) uint64 { return sig[int(u)*bands+band] }
+	sort.Slice(order, func(i, j int) bool {
+		ki, kj := key(order[i]), key(order[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return order[i] < order[j]
+	})
+
+	out := arena.NewBuilder[uint32]((n+maxSize-1)/maxSize, n)
+	pack := make([]uint32, 0, maxSize)
+	flush := func() {
+		if len(pack) > 0 {
+			slices.Sort(pack)
+			out.AppendRow(pack)
+			pack = pack[:0]
+		}
+	}
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && key(order[hi]) == key(order[lo]) {
+			hi++
+		}
+		size := hi - lo
+		if size > maxSize {
+			// Split: near-equal chunks, each ≤ maxSize.
+			flush()
+			chunks := (size + maxSize - 1) / maxSize
+			for c := 0; c < chunks; c++ {
+				clo := lo + c*size/chunks
+				chi := lo + (c+1)*size/chunks
+				out.AppendRow(order[clo:chi])
+			}
+		} else {
+			// Merge: pack while the cluster still fits.
+			if len(pack)+size > maxSize {
+				flush()
+			}
+			pack = append(pack, order[lo:hi]...)
+		}
+		lo = hi
+	}
+	flush()
+	return out.Rows()
+}

@@ -1,0 +1,409 @@
+package bucket
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"kiff/internal/arena"
+	"kiff/internal/engine"
+	"kiff/internal/knngraph"
+	"kiff/internal/parallel"
+	"kiff/internal/runstats"
+	"kiff/internal/similarity"
+)
+
+// Name is the registry key of the locality-bucketed builder.
+const Name = "bucketed"
+
+func init() { engine.Register(builder{}) }
+
+const (
+	defaultBands      = 4
+	defaultBucketSize = 192
+	defaultSweeps     = 2
+)
+
+type builder struct{}
+
+func (builder) Name() string { return Name }
+
+// Normalize applies the bucketed defaults: 4 bands, buckets of at most
+// 192 users, 2 conquer sweeps. A negative Sweeps disables the conquer
+// stage entirely (the divide-only ablation).
+func (builder) Normalize(o *engine.Options) error {
+	if o.Bands == 0 {
+		o.Bands = defaultBands
+	}
+	if o.Bands < 0 {
+		return fmt.Errorf("kiff: bucketed: Bands must be ≥ 1, got %d", o.Bands)
+	}
+	if o.BucketSize == 0 {
+		o.BucketSize = defaultBucketSize
+	}
+	if o.BucketSize < 2 {
+		return fmt.Errorf("kiff: bucketed: BucketSize must be ≥ 2, got %d", o.BucketSize)
+	}
+	switch {
+	case o.Sweeps == 0:
+		o.Sweeps = defaultSweeps
+	case o.Sweeps < 0:
+		o.Sweeps = 0
+	}
+	return nil
+}
+
+// Refine runs divide → conquer: sketch and bucketize the population
+// (PhasePreprocess), solve every bucket of every band exactly with the
+// KIFF counting+scoring core (iteration 0), then repair across bucket
+// boundaries with bounded neighbor-of-neighbor sweeps (iterations 1..S).
+//
+// Every stage scores a pair set that is a pure function of (dataset,
+// options): per-bucket builds exhaust their bucket's co-rating pairs
+// rather than consulting shared-heap state, and sweeps generate
+// candidates from a frozen snapshot of the heaps, never the live ones.
+// Combined with knnheap's insertion-order independence, that makes the
+// output graph — and the SimEvals count — identical across runs and
+// worker counts for a fixed seed.
+func (b builder) Refine(s *engine.Session) error {
+	o := s.Opts
+	n := s.Dataset.NumUsers()
+	if n == 0 {
+		s.RecordIteration(0, 0)
+		return nil
+	}
+
+	t0 := time.Now()
+	sig := sketch(s.Dataset, o.Bands, o.Seed, o.Workers)
+	bandBuckets := make([]*arena.Rows[uint32], o.Bands)
+	// bid records every user's bucket ID per band (bands-major per user).
+	// Two users were co-bucketed in band b iff their band-b IDs match —
+	// the exact-duplicate test that lets later bands and the conquer
+	// sweeps skip pairs an earlier stage already scored, without changing
+	// the union of scored pairs (and hence without changing the output).
+	bid := make([]uint32, n*o.Bands)
+	for band := range bandBuckets {
+		buckets := bucketize(sig, o.Bands, band, o.BucketSize)
+		bandBuckets[band] = buckets
+		for i := 0; i < buckets.NumRows(); i++ {
+			for _, u := range buckets.Row(i) {
+				bid[int(u)*o.Bands+band] = uint32(i)
+			}
+		}
+	}
+	s.Wall.Add(runstats.PhasePreprocess, time.Since(t0))
+
+	// Divide: one task per bucket through the bounded work group — bucket
+	// sizes are uneven, so contiguous block sharding would load-balance
+	// poorly. Scratch states are handed out through a free list so at most
+	// `workers` exist, each confined to one task at a time.
+	workers := parallel.Workers(o.Workers)
+	free := make(chan *bucketWorker, workers)
+	for i := 0; i < workers; i++ {
+		free <- newBucketWorker(s)
+	}
+	var changes atomic.Int64
+	g := parallel.NewGroup(workers)
+	for band, buckets := range bandBuckets {
+		for i := 0; i < buckets.NumRows(); i++ {
+			members := buckets.Row(i)
+			if len(members) < 2 {
+				continue
+			}
+			g.Go(func() error {
+				w := <-free
+				changes.Add(w.build(s, members, bid, o.Bands, band))
+				free <- w
+				return nil
+			})
+		}
+	}
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	s.RecordIteration(0, changes.Load())
+
+	// Conquer: frozen-snapshot neighbor-of-neighbor sweeps until the
+	// budget is spent, the graph stops changing, or MaxIterations bites.
+	for sweep := 1; sweep <= o.Sweeps; sweep++ {
+		if o.MaxIterations > 0 && s.Run.Iterations >= o.MaxIterations {
+			break
+		}
+		ch := b.sweep(s, bid)
+		s.RecordIteration(sweep, ch)
+		if ch == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// bucketWorker is the per-goroutine scratch of the divide stage. One
+// build call solves one bucket: a local inverted index generates every
+// within-bucket co-rating pair exactly once (KIFF's counting phase at
+// bucket scope), then the batch kernel scores each member against its
+// candidates and offers both directions to the shared heaps.
+type bucketWorker struct {
+	kernel similarity.Batcher
+	// itemUsers is the bucket-local inverted index: item → local member
+	// indices seen so far. Entries are length-reset between buckets so
+	// their capacity is reused; touched lists the keys to reset.
+	itemUsers map[uint32][]uint32
+	touched   []uint32
+	// seen de-duplicates candidates per pivot member (epoch stamps over
+	// local indices).
+	seen  []uint32
+	epoch uint32
+	// offs/flat hold the per-member candidate lists (global IDs) between
+	// the counting and scoring passes, CSR-style.
+	offs   []int32
+	flat   []uint32
+	scores []float64
+}
+
+func newBucketWorker(s *engine.Session) *bucketWorker {
+	return &bucketWorker{kernel: s.Batcher(), itemUsers: make(map[uint32][]uint32)}
+}
+
+// build solves one bucket of one band and reports the number of heap
+// changes. The candidate pass mirrors rcs: member li's candidates are
+// the earlier members sharing at least one threshold-passing item, so
+// each pair is generated once (pivot = later member); a pair already
+// co-bucketed in an earlier band is skipped — band band−1 scored it.
+// The surviving pair set is exhausted — no γ budget or β test, whose
+// outcome would depend on what other buckets already wrote to the
+// shared heaps — which is what keeps the result scheduling-independent.
+func (w *bucketWorker) build(s *engine.Session, members []uint32, bid []uint32, bands, band int) int64 {
+	minRating := s.Opts.MinRating
+	m := len(members)
+	if cap(w.seen) < m {
+		w.seen = make([]uint32, m)
+		w.epoch = 0
+	}
+	seen := w.seen[:m]
+
+	t := time.Now()
+	w.offs = append(w.offs[:0], 0)
+	w.flat = w.flat[:0]
+	for li, u := range members {
+		p := s.Dataset.Users[u]
+		bu := bid[int(u)*bands : int(u)*bands+band]
+		w.epoch++
+		if w.epoch == 0 {
+			clear(w.seen)
+			w.epoch = 1
+		}
+		for i, id := range p.IDs {
+			if minRating > 0 && p.Weight(i) < minRating {
+				continue
+			}
+			for _, lj := range w.itemUsers[id] {
+				if seen[lj] != w.epoch {
+					seen[lj] = w.epoch
+					v := members[lj]
+					if !coBucketed(bu, bid[int(v)*bands:int(v)*bands+band]) {
+						w.flat = append(w.flat, v)
+					}
+				}
+			}
+			w.itemUsers[id] = append(w.itemUsers[id], uint32(li))
+			if len(w.itemUsers[id]) == 1 {
+				w.touched = append(w.touched, id)
+			}
+		}
+		w.offs = append(w.offs, int32(len(w.flat)))
+	}
+	for _, id := range w.touched {
+		w.itemUsers[id] = w.itemUsers[id][:0]
+	}
+	w.touched = w.touched[:0]
+	s.Work.Add(runstats.PhaseCandidates, time.Since(t))
+
+	t = time.Now()
+	var changes int64
+	for li, u := range members {
+		cands := w.flat[w.offs[li]:w.offs[li+1]]
+		if len(cands) == 0 {
+			continue
+		}
+		if cap(w.scores) < len(cands) {
+			w.scores = make([]float64, len(cands))
+		}
+		scores := w.scores[:len(cands)]
+		w.kernel.ScoreInto(scores, u, cands)
+		for i, v := range cands {
+			sc := scores[i]
+			changes += int64(s.Heaps.Update(u, v, sc) + s.Heaps.Update(v, u, sc))
+		}
+	}
+	s.Work.Add(runstats.PhaseSimilarity, time.Since(t))
+	return changes
+}
+
+// sweep runs one conquer pass over a frozen snapshot of the heaps.
+//
+// Two sub-steps, both free of any dependence on concurrent writes:
+//
+//  1. reverse offers — every frozen edge (v → u, sim) is offered to u's
+//     heap. The similarity is already on the edge, so this recovers the
+//     symmetric closure at zero SimEvals;
+//  2. bounded join — for each user u, candidates are the users at
+//     undirected distance exactly 2 in the frozen graph (neighbors of
+//     in- or out-neighbors, minus direct neighbors), capped at
+//     joinBudget·k per user in frozen-graph order; each surviving pair
+//     is batch-scored once (pivot = smaller ID) and offered both ways.
+func (builder) sweep(s *engine.Session, bid []uint32) int64 {
+	o := s.Opts
+	n := s.Dataset.NumUsers()
+
+	t := time.Now()
+	g := knngraph.FromSet(s.Heaps)
+	rev := reverseOf(g)
+	s.Wall.Add(runstats.PhaseCandidates, time.Since(t))
+
+	changes := parallel.SumInt64(n, o.Workers, func(_, lo, hi int) int64 {
+		var c int64
+		for u := lo; u < hi; u++ {
+			for _, e := range g.Neighbors(uint32(u)) {
+				c += int64(s.Heaps.Update(e.ID, uint32(u), e.Sim))
+			}
+		}
+		return c
+	})
+
+	t = time.Now()
+	changes += parallel.SumInt64(n, o.Workers, func(_, lo, hi int) int64 {
+		w := &sweepWorker{kernel: s.Batcher(), mark: make([]uint32, n)}
+		var c int64
+		for u := lo; u < hi; u++ {
+			c += w.join(s, g, rev, bid, o.Bands, uint32(u))
+		}
+		return c
+	})
+	s.Work.Add(runstats.PhaseSimilarity, time.Since(t))
+	return changes
+}
+
+// coBucketed reports whether two users shared a bucket in any of the
+// bands covered by the two ID slices (equal length; a prefix checks
+// only earlier bands).
+func coBucketed(a, b []uint32) bool {
+	for i := range a {
+		if a[i] == b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// joinBudget bounds a sweep's candidates per user at joinBudget·k —
+// what makes a sweep O(|U|·k) similarity evaluations instead of
+// O(|U|·k²). The frozen neighbor lists are similarity-sorted, so the
+// cap keeps the two-hop extensions of the strongest neighbors.
+const joinBudget = 4
+
+// reverseOf inverts a frozen graph's edges into a CSR of in-neighbor
+// IDs (ascending — rows are filled in source order).
+func reverseOf(g *knngraph.Graph) *arena.Rows[uint32] {
+	n := g.NumUsers()
+	counts := make([]int, n)
+	for u := 0; u < n; u++ {
+		for _, e := range g.Neighbors(uint32(u)) {
+			counts[e.ID]++
+		}
+	}
+	f := arena.NewFiller[uint32](counts)
+	for u := 0; u < n; u++ {
+		for _, e := range g.Neighbors(uint32(u)) {
+			f.Push(int(e.ID), uint32(u))
+		}
+	}
+	return f.Rows()
+}
+
+// sweepWorker is the per-goroutine scratch of the conquer stage.
+type sweepWorker struct {
+	kernel similarity.Batcher
+	mark   []uint32
+	epoch  uint32
+	cands  []uint32
+	scores []float64
+}
+
+// join gathers and scores u's bounded two-hop candidates against the
+// frozen graph. Direct neighbors (either direction) are excluded — their
+// pairs already carry a scored edge, re-delivered by the reverse-offer
+// step — as are pairs co-bucketed in any band, which the divide stage
+// scored; the u-side pivot rule (w > u) scores each cross pair once.
+func (w *sweepWorker) join(s *engine.Session, g *knngraph.Graph, rev *arena.Rows[uint32], bid []uint32, bands int, u uint32) int64 {
+	w.epoch++
+	if w.epoch == 0 {
+		clear(w.mark)
+		w.epoch = 1
+	}
+	mark := w.mark
+	mark[u] = w.epoch
+	bu := bid[int(u)*bands : (int(u)+1)*bands]
+	fwd := g.Neighbors(u)
+	ru := rev.Row(int(u))
+	for _, e := range fwd {
+		mark[e.ID] = w.epoch
+	}
+	for _, v := range ru {
+		mark[v] = w.epoch
+	}
+
+	budget := joinBudget * s.Opts.K
+	w.cands = w.cands[:0]
+	gather := func(v uint32) {
+		for _, e := range g.Neighbors(v) {
+			if len(w.cands) >= budget {
+				return
+			}
+			if wid := e.ID; wid > u && mark[wid] != w.epoch {
+				mark[wid] = w.epoch
+				if !coBucketed(bu, bid[int(wid)*bands:(int(wid)+1)*bands]) {
+					w.cands = append(w.cands, wid)
+				}
+			}
+		}
+		for _, wid := range rev.Row(int(v)) {
+			if len(w.cands) >= budget {
+				return
+			}
+			if wid > u && mark[wid] != w.epoch {
+				mark[wid] = w.epoch
+				if !coBucketed(bu, bid[int(wid)*bands:(int(wid)+1)*bands]) {
+					w.cands = append(w.cands, wid)
+				}
+			}
+		}
+	}
+	for _, e := range fwd {
+		if len(w.cands) >= budget {
+			break
+		}
+		gather(e.ID)
+	}
+	for _, v := range ru {
+		if len(w.cands) >= budget {
+			break
+		}
+		gather(v)
+	}
+	if len(w.cands) == 0 {
+		return 0
+	}
+
+	if cap(w.scores) < len(w.cands) {
+		w.scores = make([]float64, len(w.cands))
+	}
+	scores := w.scores[:len(w.cands)]
+	w.kernel.ScoreInto(scores, u, w.cands)
+	var c int64
+	for i, v := range w.cands {
+		sc := scores[i]
+		c += int64(s.Heaps.Update(u, v, sc) + s.Heaps.Update(v, u, sc))
+	}
+	return c
+}

@@ -86,6 +86,21 @@ type Options struct {
 	// RandomOrderRCS (KIFF) shuffles each candidate set instead of ranking
 	// it by shared-item count (ablation switch).
 	RandomOrderRCS bool
+
+	// Bands (bucketed) is the number of independent minhash bucketings the
+	// locality-bucketed builder runs; each band partitions the population
+	// once and builds per-bucket KNN within it. 0 selects 4. Together with
+	// Sweeps this is the recall-vs-SimEvals knob: more bands recover more
+	// true neighbors at proportionally more similarity evaluations.
+	Bands int
+	// BucketSize (bucketed) bounds the per-bucket population; buckets are
+	// what keeps per-band construction O(|U|·BucketSize) instead of
+	// O(candidate pairs). 0 selects 192.
+	BucketSize int
+	// Sweeps (bucketed) is the number of cross-bucket neighbor-of-neighbor
+	// refinement passes after the per-bucket builds (0 selects 2, negative
+	// disables refinement).
+	Sweeps int
 }
 
 // normalize applies the validation every builder shares. Algorithm

@@ -10,12 +10,13 @@ import (
 	"kiff/internal/engine"
 	"kiff/internal/similarity"
 
+	_ "kiff/internal/bucket"
 	_ "kiff/internal/hyrec"
 	_ "kiff/internal/nndescent"
 )
 
 func TestRegistryListsAllBuilders(t *testing.T) {
-	want := []string{"brute-force", "hyrec", "kiff", "nn-descent"}
+	want := []string{"brute-force", "bucketed", "hyrec", "kiff", "nn-descent"}
 	got := engine.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -33,6 +34,40 @@ func TestRegistryListsAllBuilders(t *testing.T) {
 		if b.Name() != name {
 			t.Errorf("Lookup(%q).Name() = %q", name, b.Name())
 		}
+	}
+}
+
+// stubBuilder exists to probe the registry's error paths.
+type stubBuilder struct{ name string }
+
+func (b stubBuilder) Name() string                  { return b.name }
+func (stubBuilder) Normalize(*engine.Options) error { return nil }
+func (stubBuilder) Refine(*engine.Session) error    { return nil }
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s must panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestRegisterRejectsDuplicateAndEmpty pins the registry's programming-
+// error paths: a second builder under an already-registered name and a
+// builder with an empty name both panic at init time instead of silently
+// shadowing (or hiding) an algorithm.
+func TestRegisterRejectsDuplicateAndEmpty(t *testing.T) {
+	mustPanic(t, "duplicate registration", func() {
+		engine.Register(stubBuilder{name: "kiff"})
+	})
+	mustPanic(t, "empty-name registration", func() {
+		engine.Register(stubBuilder{name: ""})
+	})
+	// The failed registrations must not have disturbed the registry.
+	if b, err := engine.Lookup("kiff"); err != nil || b.Name() != "kiff" {
+		t.Errorf("registry corrupted by rejected registration: %v, %v", b, err)
 	}
 }
 

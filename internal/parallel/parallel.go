@@ -60,6 +60,56 @@ func For(n, workers int, fn func(worker, i int)) {
 	})
 }
 
+// Group is a bounded work group: at most a fixed number of submitted
+// tasks run concurrently, and the first error any task returns is
+// captured for Wait. It covers the fan-out shape Blocks cannot — tasks
+// of uneven size arriving one by one (per-shard cold builds, per-bucket
+// KNN construction), where contiguous block sharding would load-balance
+// poorly and per-call goroutine bookkeeping gets duplicated at every
+// call site.
+//
+// Unlike errgroup-style cancelation, a captured error does not stop the
+// remaining tasks: producers here are all-or-nothing (a failed shard
+// build discards the whole pool), so the simpler drain-everything
+// semantics keeps shared state trivially valid at Wait.
+type Group struct {
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+	err  error
+}
+
+// NewGroup returns a Group running at most workers tasks concurrently
+// (< 1 = all CPUs, as in Workers).
+func NewGroup(workers int) *Group {
+	return &Group{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Go submits one task. It blocks while the group is at its concurrency
+// bound — submission backpressure, not unbounded goroutine pileup — and
+// returns once the task is scheduled.
+func (g *Group) Go(fn func() error) {
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			g.once.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every submitted task has finished and returns the
+// first error captured (first in completion order; nil if none failed).
+// The group must not be reused after Wait returns.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
 // SumInt64 runs fn on each block and sums the per-block results. It is the
 // reduction used to accumulate per-iteration change counters (variable c of
 // Algorithm 1) without atomic traffic in the hot loop.

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -90,6 +91,80 @@ func TestBlocksZero(t *testing.T) {
 	Blocks(0, 4, func(_, _, _ int) { called = true })
 	if called {
 		t.Error("Blocks(0) must not invoke fn")
+	}
+}
+
+func TestGroupRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		const tasks = 200
+		var ran int32
+		g := NewGroup(workers)
+		for i := 0; i < tasks; i++ {
+			g.Go(func() error {
+				atomic.AddInt32(&ran, 1)
+				return nil
+			})
+		}
+		if err := g.Wait(); err != nil {
+			t.Fatalf("workers=%d: Wait() = %v", workers, err)
+		}
+		if ran != tasks {
+			t.Errorf("workers=%d: ran %d of %d tasks", workers, ran, tasks)
+		}
+	}
+}
+
+func TestGroupBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak int32
+	g := NewGroup(workers)
+	for i := 0; i < 100; i++ {
+		g.Go(func() error {
+			cur := atomic.AddInt32(&inFlight, 1)
+			for {
+				old := atomic.LoadInt32(&peak)
+				if cur <= old || atomic.CompareAndSwapInt32(&peak, old, cur) {
+					break
+				}
+			}
+			atomic.AddInt32(&inFlight, -1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("observed %d concurrent tasks, bound is %d", peak, workers)
+	}
+}
+
+func TestGroupCapturesFirstErrorAndDrains(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	g := NewGroup(2)
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			atomic.AddInt32(&ran, 1)
+			if i == 7 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait() = %v, want %v", err, boom)
+	}
+	if ran != 50 {
+		t.Errorf("an error must not cancel the remaining tasks: ran %d of 50", ran)
+	}
+}
+
+func TestGroupNoError(t *testing.T) {
+	g := NewGroup(0) // all CPUs
+	g.Go(func() error { return nil })
+	if err := g.Wait(); err != nil {
+		t.Errorf("Wait() = %v, want nil", err)
 	}
 }
 

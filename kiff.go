@@ -67,6 +67,7 @@ import (
 	"kiff/internal/sparse"
 
 	// Registered engine builders that the facade does not otherwise use.
+	_ "kiff/internal/bucket"
 	_ "kiff/internal/hyrec"
 	_ "kiff/internal/nndescent"
 )
@@ -110,6 +111,10 @@ const (
 	HyRec Algorithm = "hyrec"
 	// BruteForce computes the exact graph in O(|U|²) similarity calls.
 	BruteForce Algorithm = "brute-force"
+	// Bucketed is the sub-quadratic divide-and-conquer builder: minhash
+	// bucketing, per-bucket KIFF, cross-bucket refinement sweeps. See
+	// Bands, BucketSize and Sweeps for its recall-vs-cost knobs.
+	Bucketed Algorithm = "bucketed"
 )
 
 // Algorithms lists the names of every registered construction algorithm,
@@ -141,6 +146,16 @@ type Options struct {
 	Seed int64
 	// MinRating enables KIFF's positive-rating candidate filter (§VII).
 	MinRating float64
+	// Bands is the bucketed builder's number of independent minhash
+	// bucketings (0 = 4). More bands recover more true neighbors at
+	// proportionally more similarity evaluations.
+	Bands int
+	// BucketSize bounds the bucketed builder's per-bucket population
+	// (0 = 192).
+	BucketSize int
+	// Sweeps is the bucketed builder's number of cross-bucket refinement
+	// passes (0 = 2, negative disables them).
+	Sweeps int
 }
 
 // engineOptions maps the facade options onto the engine's shared set.
@@ -155,13 +170,16 @@ func (o Options) engineOptions() (engine.Options, error) {
 		return engine.Options{}, err
 	}
 	return engine.Options{
-		K:         o.K,
-		Metric:    metric,
-		Gamma:     o.Gamma,
-		Beta:      o.Beta,
-		Workers:   o.Workers,
-		Seed:      o.Seed,
-		MinRating: o.MinRating,
+		K:          o.K,
+		Metric:     metric,
+		Gamma:      o.Gamma,
+		Beta:       o.Beta,
+		Workers:    o.Workers,
+		Seed:       o.Seed,
+		MinRating:  o.MinRating,
+		Bands:      o.Bands,
+		BucketSize: o.BucketSize,
+		Sweeps:     o.Sweeps,
 	}, nil
 }
 

@@ -23,7 +23,7 @@ func TestBuildValidatesOptions(t *testing.T) {
 
 func TestBuildToyAllAlgorithms(t *testing.T) {
 	d, users, _ := Toy()
-	for _, algo := range []Algorithm{KIFF, NNDescent, HyRec, BruteForce} {
+	for _, algo := range []Algorithm{KIFF, NNDescent, HyRec, BruteForce, Bucketed} {
 		res, err := Build(d, Options{K: 2, Algorithm: algo, Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
@@ -140,7 +140,7 @@ func TestNegativeBetaIsExactViaFacade(t *testing.T) {
 
 func TestAlgorithmsListsRegistry(t *testing.T) {
 	algos := Algorithms()
-	want := []string{string(BruteForce), string(HyRec), string(KIFF), string(NNDescent)}
+	want := []string{string(BruteForce), string(Bucketed), string(HyRec), string(KIFF), string(NNDescent)}
 	if len(algos) != len(want) {
 		t.Fatalf("Algorithms() = %v, want %v", algos, want)
 	}

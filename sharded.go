@@ -52,25 +52,24 @@ func NewShardedMaintainer(d *Dataset, shards int, opts Options) (*ShardedMaintai
 		profiles[s] = append(profiles[s], p)
 	}
 	ms := make([]shard.Maintainer, shards)
-	errs := make([]error, shards)
-	parallel.For(shards, shards, func(_, s int) {
-		sd, err := dataset.New(shardName(d.Name, s, shards), profiles[s], d.NumItems())
-		if err != nil {
-			errs[s] = err
-			return
-		}
-		sd.EnsureItemProfiles()
-		m, err := NewMaintainer(sd, opts)
-		if err != nil {
-			errs[s] = err
-			return
-		}
-		ms[s] = maintainerShard{m}
-	})
-	for s, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("kiff: sharded maintainer: shard %d: %w", s, err)
-		}
+	g := parallel.NewGroup(shards)
+	for s := 0; s < shards; s++ {
+		g.Go(func() error {
+			sd, err := dataset.New(shardName(d.Name, s, shards), profiles[s], d.NumItems())
+			if err != nil {
+				return fmt.Errorf("kiff: sharded maintainer: shard %d: %w", s, err)
+			}
+			sd.EnsureItemProfiles()
+			m, err := NewMaintainer(sd, opts)
+			if err != nil {
+				return fmt.Errorf("kiff: sharded maintainer: shard %d: %w", s, err)
+			}
+			ms[s] = maintainerShard{m}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return shard.NewPool(ms, d.NumUsers())
 }
@@ -134,19 +133,19 @@ func loadSharded(dir string, opts Options, loadShard func(gpath, dpath string, o
 		return nil, err
 	}
 	ms := make([]shard.Maintainer, man.Shards)
-	errs := make([]error, man.Shards)
-	parallel.For(man.Shards, man.Shards, func(_, s int) {
-		m, err := loadShard(filepath.Join(dir, shard.GraphFile(s)), filepath.Join(dir, shard.DataFile(s)), opts)
-		if err != nil {
-			errs[s] = err
-			return
-		}
-		ms[s] = maintainerShard{m}
-	})
-	for s, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("kiff: load sharded maintainer: shard %d: %w", s, err)
-		}
+	g := parallel.NewGroup(man.Shards)
+	for s := 0; s < man.Shards; s++ {
+		g.Go(func() error {
+			m, err := loadShard(filepath.Join(dir, shard.GraphFile(s)), filepath.Join(dir, shard.DataFile(s)), opts)
+			if err != nil {
+				return fmt.Errorf("kiff: load sharded maintainer: shard %d: %w", s, err)
+			}
+			ms[s] = maintainerShard{m}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return shard.NewPool(ms, man.Users)
 }
