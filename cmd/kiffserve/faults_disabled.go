@@ -1,0 +1,15 @@
+//go:build !faultinject
+
+package main
+
+import (
+	"io"
+
+	"kiff/internal/server"
+)
+
+// faultsFromEnv is compiled out of release binaries: without the
+// faultinject build tag there is no fault-injection surface and no
+// /faults endpoint, whatever the environment says. The chaos harness
+// builds kiffserve with -tags faultinject to get the real one.
+func faultsFromEnv(io.Writer) *server.Faults { return nil }

@@ -1,0 +1,70 @@
+//go:build faultinject
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"kiff/internal/server"
+)
+
+// faultsFromEnv wires the fault-injection surface into a binary built
+// with the faultinject tag — and only when KIFFSERVE_FAULTS is also set,
+// so even a test build serves clean unless the harness asks. Accepted
+// values:
+//
+//	KIFFSERVE_FAULTS=1                                knobs off, /faults endpoint live
+//	KIFFSERVE_FAULTS=hold=1,batch_delay=5ms,publish_stall=2ms
+//
+// Durations use time.ParseDuration syntax; hold takes 0/1/true/false.
+// A malformed spec is fatal at startup rather than silently ignored —
+// a chaos run with a typo'd fault plan must not pass vacuously.
+func faultsFromEnv(stderr io.Writer) *server.Faults {
+	spec := os.Getenv("KIFFSERVE_FAULTS")
+	if spec == "" {
+		return nil
+	}
+	f := &server.Faults{}
+	if spec != "1" {
+		for _, kv := range strings.Split(spec, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				fatalFaultSpec(stderr, kv, "expected key=value")
+			}
+			switch key {
+			case "hold":
+				b, err := strconv.ParseBool(val)
+				if err != nil {
+					fatalFaultSpec(stderr, kv, err.Error())
+				}
+				f.SetHold(b)
+			case "batch_delay":
+				f.SetBatchDelay(parseFaultDuration(stderr, kv, val))
+			case "publish_stall":
+				f.SetPublishStall(parseFaultDuration(stderr, kv, val))
+			default:
+				fatalFaultSpec(stderr, kv, "unknown knob")
+			}
+		}
+	}
+	fmt.Fprintf(stderr, "kiffserve: fault injection enabled (KIFFSERVE_FAULTS=%s)\n", spec)
+	return f
+}
+
+func parseFaultDuration(stderr io.Writer, kv, val string) time.Duration {
+	d, err := time.ParseDuration(val)
+	if err != nil || d < 0 {
+		fatalFaultSpec(stderr, kv, "expected a non-negative duration")
+	}
+	return d
+}
+
+func fatalFaultSpec(stderr io.Writer, kv, why string) {
+	fmt.Fprintf(stderr, "kiffserve: bad KIFFSERVE_FAULTS entry %q: %s\n", kv, why)
+	os.Exit(2)
+}

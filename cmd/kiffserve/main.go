@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -76,6 +77,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		budget   = fs.Int("budget", 0, "default similarity-eval budget per query (0 = exact)")
 		queue    = fs.Int("queue", 256, "mutation queue depth (full queue = backpressure)")
 		batch    = fs.Int("batch", 64, "max mutations applied per writer batch")
+		ckptDir  = fs.String("checkpoint", "", "enable POST /checkpoint into fresh subdirectories of this directory; a graceful shutdown saves a final checkpoint under <dir>/final")
 		workers  = fs.Int("workers", 0, "cold-build worker goroutines (0 = all CPUs)")
 		shards   = fs.Int("shards", 0, "partition users across this many maintainers (0 = unsharded)")
 		pool     = fs.String("pool", "", "sharded checkpoint directory to restart from (see -save-pool)")
@@ -133,12 +135,17 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 
 	// --- Assemble the graph + serving source ----------------------------
 	cfg := server.Config{
-		QueryBudget: *budget,
-		QueueDepth:  *queue,
-		MaxBatch:    *batch,
+		QueryBudget:   *budget,
+		QueueDepth:    *queue,
+		MaxBatch:      *batch,
+		CheckpointDir: *ckptDir,
+		Faults:        faultsFromEnv(stderr),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},
+	}
+	if *readonly && *ckptDir != "" {
+		return fmt.Errorf("-checkpoint requires a mutable server (drop -readonly)")
 	}
 	if sharded {
 		var p *kiff.ShardedMaintainer
@@ -264,6 +271,19 @@ func serve(ctx context.Context, cfg server.Config, addr string, stderr io.Writer
 	}
 	if cerr := srv.Close(); err == nil {
 		err = cerr
+	}
+	// Close flushed every accepted mutation, so this final checkpoint
+	// contains everything the server acknowledged — the reason a SIGTERM
+	// never loses writes when -checkpoint is set.
+	if cfg.CheckpointDir != "" && cfg.Static == nil {
+		final := filepath.Join(cfg.CheckpointDir, "final")
+		if serr := srv.SaveFinal(final); serr != nil {
+			if err == nil {
+				err = fmt.Errorf("final checkpoint: %w", serr)
+			}
+		} else {
+			fmt.Fprintf(stderr, "kiffserve: final checkpoint saved to %s\n", final)
+		}
 	}
 	fmt.Fprintf(stderr, "kiffserve: shut down\n")
 	return err

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"kiff"
+)
+
+// Checkpoint file names inside a maintainer-mode checkpoint directory.
+// (Pool-mode checkpoints are laid out by shard.Pool.Save: per-shard
+// graph.i.kfg/data.i.kfd plus a manifest.) A restarting kiffserve
+// consumes the pair via -graph/-data, or the whole directory via -pool.
+const (
+	GraphCheckpointFile = "graph.kfg"
+	DataCheckpointFile  = "data.kfd"
+)
+
+// handleCheckpoint runs a checkpoint through the writer queue: the save
+// executes on the writer goroutine between batches, so it observes a
+// quiesced maintainer that includes every mutation acknowledged before
+// it — the on-demand durability point the chaos harness restarts from.
+// Only routed when Config.CheckpointDir is set; read-only servers
+// return 403 like any other mutation.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	res := s.enqueue(r, op{kind: opCheckpoint})
+	if res.err != nil {
+		httpError(w, mutationStatus(res.err), res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dir":     res.dir,
+		"version": res.version,
+	})
+}
+
+// checkpoint saves the current writer state into a fresh subdirectory
+// of Config.CheckpointDir and returns it. Writer-only. The directory
+// name includes the process ID so generations of a restarting server
+// never write into a directory an earlier generation handed out (a
+// restarted process may still be serving mmap-backed files from it).
+func (s *Server) checkpoint() (string, error) {
+	s.ckptSeq++
+	dir := filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("ckpt-%d-%d", os.Getpid(), s.ckptSeq))
+	return dir, s.saveTo(dir)
+}
+
+// SaveFinal checkpoints the writer state into dir after the server has
+// been closed — the graceful-shutdown save kiffserve runs so a SIGTERM
+// never discards acknowledged mutations (Close flushed the queue, so
+// "acknowledged" and "applied" coincide by the time this runs). It must
+// only be called once Close has returned; while the writer is live, use
+// POST /checkpoint instead.
+func (s *Server) SaveFinal(dir string) error {
+	if s.w == nil {
+		return errReadOnly
+	}
+	select {
+	case <-s.done:
+	default:
+		return errors.New("server: SaveFinal requires Close first (the writer still owns the state)")
+	}
+	return s.saveTo(dir)
+}
+
+// saveTo writes a checkpoint of the mutable backend into dir (created
+// if missing). Pool mode delegates to shard.Pool.Save (per-shard files
+// + manifest, manifest renamed last). Maintainer mode writes the
+// graph/dataset pair, each through a temp file renamed into place, so a
+// crash mid-save never leaves a truncated file under a final name and
+// an overwrite never truncates an inode a reader may have mmapped.
+func (s *Server) saveTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: checkpoint: %w", err)
+	}
+	if s.pool != nil {
+		return s.pool.Save(dir)
+	}
+	if err := saveAtomic(filepath.Join(dir, GraphCheckpointFile), func(path string) error {
+		return kiff.SaveGraph(path, s.m.Graph())
+	}); err != nil {
+		return fmt.Errorf("server: checkpoint graph: %w", err)
+	}
+	if err := saveAtomic(filepath.Join(dir, DataCheckpointFile), func(path string) error {
+		return kiff.SaveDataset(path, s.m.Dataset())
+	}); err != nil {
+		return fmt.Errorf("server: checkpoint dataset: %w", err)
+	}
+	return nil
+}
+
+// saveAtomic writes path via write(path+".tmp") then renames into
+// place.
+func saveAtomic(path string, write func(string) error) error {
+	tmp := path + ".tmp"
+	if err := write(tmp); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Faults is the server's fault-injection surface: a small set of knobs
+// the chaos harness turns to provoke the hard serving paths — writer
+// stalls, queue saturation, delayed publication — on demand instead of
+// by luck. A Server without Config.Faults (the production default) has
+// no injection points: the writer never consults a nil Faults, and the
+// /faults endpoint is not registered. kiffserve only wires one up when
+// built with the `faultinject` tag AND the KIFFSERVE_FAULTS environment
+// variable is set, so release binaries cannot be degraded remotely.
+//
+// All knobs are atomically settable from any goroutine (the harness
+// flips them over HTTP while the writer runs) and default to off.
+type Faults struct {
+	batchDelay   atomic.Int64 // ns slept before the writer applies a batch
+	publishStall atomic.Int64 // ns slept after applying, before acknowledging
+	hold         atomic.Bool  // writer stops picking up batches entirely
+}
+
+// SetBatchDelay makes the writer sleep d before applying each batch —
+// a slow-apply fault that backs the queue up organically.
+func (f *Faults) SetBatchDelay(d time.Duration) { f.batchDelay.Store(int64(d)) }
+
+// BatchDelay returns the current writer-batch delay.
+func (f *Faults) BatchDelay() time.Duration { return time.Duration(f.batchDelay.Load()) }
+
+// SetPublishStall makes the writer sleep d between applying a batch and
+// acknowledging it — mutations are durable in the live structures but
+// clients have not been told yet, the window a crash turns into
+// "applied but unacknowledged" work.
+func (f *Faults) SetPublishStall(d time.Duration) { f.publishStall.Store(int64(d)) }
+
+// PublishStall returns the current publication stall.
+func (f *Faults) PublishStall() time.Duration { return time.Duration(f.publishStall.Load()) }
+
+// SetHold freezes (true) or releases (false) the writer: while held it
+// applies nothing, so the mutation queue fills and producers block —
+// the forced queue-full backpressure fault. A graceful shutdown
+// overrides a hold: Close still flushes everything queued.
+func (f *Faults) SetHold(v bool) { f.hold.Store(v) }
+
+// Hold reports whether the writer is currently held.
+func (f *Faults) Hold() bool { return f.hold.Load() }
+
+// faultsState is the JSON form of the knobs, served by GET /faults and
+// accepted (all fields optional) by POST /faults.
+type faultsState struct {
+	Hold           *bool  `json:"hold,omitempty"`
+	BatchDelayMs   *int64 `json:"batch_delay_ms,omitempty"`
+	PublishStallMs *int64 `json:"publish_stall_ms,omitempty"`
+}
+
+// handleFaults reads (GET) and adjusts (POST) the fault knobs. Only
+// routed when Config.Faults is set.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	f := s.cfg.Faults
+	if r.Method == http.MethodPost {
+		var req faultsState
+		if err := decodeJSON(r, &req); err != nil {
+			httpError(w, requestStatus(err), err)
+			return
+		}
+		if req.Hold != nil {
+			f.SetHold(*req.Hold)
+		}
+		if req.BatchDelayMs != nil {
+			if *req.BatchDelayMs < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("batch_delay_ms must be ≥ 0, got %d", *req.BatchDelayMs))
+				return
+			}
+			f.SetBatchDelay(time.Duration(*req.BatchDelayMs) * time.Millisecond)
+		}
+		if req.PublishStallMs != nil {
+			if *req.PublishStallMs < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("publish_stall_ms must be ≥ 0, got %d", *req.PublishStallMs))
+				return
+			}
+			f.SetPublishStall(time.Duration(*req.PublishStallMs) * time.Millisecond)
+		}
+	}
+	hold := f.Hold()
+	bd := int64(f.BatchDelay() / time.Millisecond)
+	ps := int64(f.PublishStall() / time.Millisecond)
+	writeJSON(w, http.StatusOK, faultsState{Hold: &hold, BatchDelayMs: &bd, PublishStallMs: &ps})
+}

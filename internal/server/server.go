@@ -19,6 +19,12 @@
 //	POST /query              profile → top-k similar users (or recommended items)
 //	POST /users              insert a user profile, returns its ID
 //	POST /ratings            record rating updates, rebuild, returns the new version
+//	POST /checkpoint         save writer state into a fresh directory (Config.CheckpointDir)
+//	GET  /faults             fault-injection knobs (test-only, Config.Faults)
+//
+// /healthz carries a readiness facet alongside liveness: "ready" flips
+// to "degraded" while the mutation queue is saturated (writes block),
+// and back to "ok" once the writer catches up; reads are unaffected.
 //
 // A server constructed from a static Snapshot (no Maintainer) is
 // read-only: mutation endpoints return 403 and everything else works
@@ -40,6 +46,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kiff"
 	"kiff/internal/shard"
@@ -67,13 +74,24 @@ type Config struct {
 	// QueueDepth bounds the mutation queue; a full queue blocks mutation
 	// requests — the backpressure contract (default 256).
 	QueueDepth int
+	// CheckpointDir, when set on a mutable server, enables POST
+	// /checkpoint: the writer saves its state into a fresh subdirectory
+	// of CheckpointDir and returns the path. Empty disables the endpoint.
+	CheckpointDir string
+	// Faults, when set, wires the fault-injection knobs into the writer
+	// and registers the /faults endpoint. Test-only: leave nil in
+	// production (see Faults).
+	Faults *Faults
 	// Logf, when set, receives one line per mutation batch and lifecycle
 	// event (default: silent).
 	Logf func(format string, args ...any)
 }
 
-// ErrClosed is returned to mutation requests caught in the queue when the
-// server shuts down.
+// ErrClosed is returned to mutation requests that arrive once the server
+// has begun shutting down. Mutations already queued at that point are
+// not failed: Close flushes them through the writer so every
+// acknowledged — and every accepted-but-pending — mutation is applied
+// before the state is checkpointed.
 var ErrClosed = errors.New("server: closed")
 
 // source is one request's pinned, immutable read view: loaded once per
@@ -138,9 +156,17 @@ type Server struct {
 	mux    *http.ServeMux
 
 	ops       chan op
-	stop      chan struct{} // closed by Close: writer drains and exits
+	stop      chan struct{} // closed by Close: writer flushes and exits
 	done      chan struct{} // closed when the writer has exited
 	closeOnce sync.Once
+
+	// ckptSeq numbers the checkpoint directories this process hands out;
+	// writer-only, no synchronization needed.
+	ckptSeq uint64
+	// flushing is set while the writer runs the shutdown flush; writer
+	// goroutine only. Fault injection is bypassed during the flush so a
+	// held or stalled writer still terminates.
+	flushing bool
 
 	// maintainStats and maintainCounters mirror Maintainer.Stats and
 	// Maintainer.Counters after every batch, so /stats never reads the
@@ -160,6 +186,7 @@ type opKind uint8
 const (
 	opInsert opKind = iota
 	opRatings
+	opCheckpoint
 )
 
 // Rating is one rating update of the POST /ratings payload.
@@ -181,6 +208,7 @@ type op struct {
 type opResult struct {
 	id      uint32
 	version uint64
+	dir     string // opCheckpoint: the directory written
 	err     error
 }
 
@@ -227,6 +255,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /users", s.handleInsert)
 	s.mux.HandleFunc("POST /ratings", s.handleRatings)
+	if cfg.CheckpointDir != "" {
+		s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	}
+	if cfg.Faults != nil {
+		s.mux.HandleFunc("GET /faults", s.handleFaults)
+		s.mux.HandleFunc("POST /faults", s.handleFaults)
+	}
 	if s.w != nil {
 		if s.m != nil {
 			run := s.m.Stats()
@@ -244,10 +279,14 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the HTTP handler for the server's routes.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the writer goroutine, failing queued mutations with
-// ErrClosed, and waits for it to exit. Call after the HTTP listener has
-// stopped accepting requests (http.Server.Shutdown) so no new mutations
-// race the drain. Close is idempotent.
+// Close stops the writer goroutine and waits for it to exit. Mutations
+// already accepted into the queue are flushed — applied and published,
+// their handlers answered — before the writer exits, so a checkpoint
+// taken after Close (SaveFinal) contains every acknowledged mutation;
+// only requests arriving after Close fail with ErrClosed. Call after
+// the HTTP listener has stopped accepting requests
+// (http.Server.Shutdown) so no new mutations race the flush. Close is
+// idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() { close(s.stop) })
 	<-s.done
@@ -273,7 +312,10 @@ func (s *Server) readOnly() bool { return s.w == nil }
 // --- Writer side --------------------------------------------------------
 
 // writer is the single mutation applier: it owns every call into the
-// Maintainer. Batches amortize snapshot publication; see apply.
+// Maintainer. Batches amortize snapshot publication; see apply. When
+// fault injection is configured, the writer honors the hold and
+// batch-delay knobs here, between receiving a batch's first op and
+// applying it — never during the shutdown flush.
 func (s *Server) writer() {
 	defer close(s.done)
 	for {
@@ -281,7 +323,13 @@ func (s *Server) writer() {
 		select {
 		case first = <-s.ops:
 		case <-s.stop:
-			s.drain()
+			s.flush(nil)
+			return
+		}
+		if !s.waitHold() {
+			// Shutdown arrived while held: the hold is overridden, flush
+			// everything including the op already in hand.
+			s.flush(&first)
 			return
 		}
 		batch := make([]op, 1, s.cfg.MaxBatch)
@@ -295,30 +343,91 @@ func (s *Server) writer() {
 				break fill
 			}
 		}
+		if f := s.cfg.Faults; f != nil {
+			if d := f.BatchDelay(); d > 0 {
+				time.Sleep(d)
+			}
+		}
 		s.apply(batch)
 	}
 }
 
-// drain fails every op still queued at shutdown so no handler waits
-// forever.
-func (s *Server) drain() {
+// waitHold blocks while the hold fault is set. It returns false when
+// shutdown is requested mid-hold — the caller must flush and exit.
+func (s *Server) waitHold() bool {
+	f := s.cfg.Faults
+	if f == nil {
+		return true
+	}
+	for f.Hold() {
+		select {
+		case <-s.stop:
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return true
+}
+
+// flush applies every op still queued at shutdown (plus carry, an op the
+// writer had already received), in arrival order, so acknowledged and
+// accepted mutations survive a graceful stop — the flush half of the
+// Close contract. Fault injection is bypassed (s.flushing).
+func (s *Server) flush(carry *op) {
+	s.flushing = true
+	batch := make([]op, 0, s.cfg.MaxBatch)
+	if carry != nil {
+		batch = append(batch, *carry)
+	}
 	for {
 		select {
 		case o := <-s.ops:
-			o.reply <- opResult{err: ErrClosed}
+			batch = append(batch, o)
 		default:
+			if len(batch) > 0 {
+				s.apply(batch)
+			}
 			return
 		}
 	}
 }
 
+// pendingReply is a buffered acknowledgment: apply records every op's
+// result here and sends them all after the batch (and any injected
+// publish stall) completes, so the stall models "applied but not yet
+// acknowledged" for the whole batch.
+type pendingReply struct {
+	ch  chan opResult
+	res opResult
+}
+
 // apply executes one batch: runs of consecutive inserts go through
-// InsertBatch (one snapshot publication per run), rating ops are recorded
-// and rebuilt once at the end (one more publication), and every op gets
-// its reply. Order within the batch is preserved.
+// InsertBatch (one snapshot publication per run), rating ops are
+// recorded and rebuilt at the next barrier (a checkpoint op, or the end
+// of the batch — one more publication), checkpoint ops save the fully
+// applied prefix, and every op gets its reply once the whole batch has
+// been applied. Order within the batch is preserved.
 func (s *Server) apply(batch []op) {
+	replies := make([]pendingReply, 0, len(batch))
+	reply := func(o op, res opResult) {
+		replies = append(replies, pendingReply{o.reply, res})
+	}
 	var pendingRatings []op
 	applied := 0
+	// flushRatings rebuilds for any ratings recorded so far and queues
+	// their acknowledgments; called before a checkpoint (its snapshot
+	// must include them) and at the end of the batch.
+	flushRatings := func() {
+		if len(pendingRatings) == 0 {
+			return
+		}
+		err := s.w.Rebuild(nil)
+		version := s.w.Version()
+		for _, o := range pendingRatings {
+			reply(o, opResult{version: version, err: err})
+		}
+		pendingRatings = pendingRatings[:0]
+	}
 	for i := 0; i < len(batch); {
 		switch batch[i].kind {
 		case opInsert:
@@ -334,9 +443,9 @@ func (s *Server) apply(batch []op) {
 			version := s.w.Version()
 			for k := i; k < j; k++ {
 				if k-i < len(ids) {
-					batch[k].reply <- opResult{id: ids[k-i], version: version}
+					reply(batch[k], opResult{id: ids[k-i], version: version})
 				} else {
-					batch[k].reply <- opResult{err: err}
+					reply(batch[k], opResult{err: err})
 				}
 			}
 			applied += len(ids)
@@ -363,21 +472,32 @@ func (s *Server) apply(batch []op) {
 				}
 			}
 			if err != nil {
-				batch[i].reply <- opResult{err: err}
+				reply(batch[i], opResult{err: err})
 			} else {
-				// Reply after the rebuild below, so the reported version
-				// includes the update.
+				// Acknowledge after the next rebuild, so the reported
+				// version includes the update.
 				pendingRatings = append(pendingRatings, batch[i])
 			}
 			i++
+		case opCheckpoint:
+			flushRatings()
+			dir, err := s.checkpoint()
+			reply(batch[i], opResult{dir: dir, version: s.w.Version(), err: err})
+			i++
 		}
 	}
-	if len(pendingRatings) > 0 {
-		err := s.w.Rebuild(nil)
-		version := s.w.Version()
-		for _, o := range pendingRatings {
-			o.reply <- opResult{version: version, err: err}
+	flushRatings()
+	if f := s.cfg.Faults; f != nil && !s.flushing {
+		// The stall window: state is applied and published but clients
+		// have not been acknowledged. A crash here turns acknowledged
+		// work into lost work on one side only — exactly what the chaos
+		// harness's checkpoint-restart discipline must tolerate.
+		if d := f.PublishStall(); d > 0 {
+			time.Sleep(d)
 		}
+	}
+	for _, pr := range replies {
+		pr.ch <- pr.res
 	}
 	if s.m != nil {
 		run := s.m.Stats()
@@ -429,10 +549,21 @@ var (
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	src := s.source()
+	// The readiness facet: "ok" while the writer keeps up, "degraded"
+	// while the mutation queue is saturated (new mutations block — the
+	// backpressure episode a load balancer should route around). Reads
+	// stay healthy either way, so liveness ("status") is unaffected.
+	ready := "ok"
+	if !s.readOnly() && cap(s.ops) > 0 && len(s.ops) >= cap(s.ops) {
+		ready = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"version": src.Version(),
-		"users":   src.NumUsers(),
+		"status":         "ok",
+		"ready":          ready,
+		"version":        src.Version(),
+		"users":          src.NumUsers(),
+		"queue_depth":    len(s.ops),
+		"queue_capacity": cap(s.ops),
 	})
 }
 
@@ -578,7 +709,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
 	var req queryRequest
 	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, requestStatus(err), err)
 		return
 	}
 	src := s.source()
@@ -692,7 +823,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.inserts.Add(1)
 	var req insertRequest
 	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, requestStatus(err), err)
 		return
 	}
 	res := s.enqueue(r, op{kind: opInsert, profile: kiff.ProfileFromMap(req.Profile, req.Binary)})
@@ -721,7 +852,7 @@ func (s *Server) handleRatings(w http.ResponseWriter, r *http.Request) {
 	s.ratings.Add(1)
 	var req ratingsRequest
 	if err := decodeJSON(r, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, requestStatus(err), err)
 		return
 	}
 	ratings := req.Ratings
@@ -747,6 +878,17 @@ func (s *Server) handleRatings(w http.ResponseWriter, r *http.Request) {
 		"applied": len(ratings),
 		"version": res.version,
 	})
+}
+
+// requestStatus maps body-decoding failures onto HTTP statuses: an
+// oversized body (MaxBytesReader tripping) is 413, everything else
+// malformed is 400.
+func requestStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // mutationStatus maps writer-side failures onto HTTP statuses.

@@ -111,10 +111,16 @@ func (p *Pool) saveShard(dir string, i int, sl *slot) error {
 	})
 }
 
-// writeFileWith creates path, runs the writer, and closes — propagating
-// the first error, including Close's (the buffered write may fail late).
+// writeFileWith writes path through a temp file renamed into place —
+// propagating the first error, including Close's (the buffered write
+// may fail late). The rename matters beyond crash atomicity: a reader
+// may be serving the previous generation of path zero-copy via mmap,
+// and os.Create would truncate that very inode under its mappings
+// (SIGBUS on next touch). Rename swaps the directory entry instead; the
+// old inode lives on under the existing mapping.
 func writeFileWith(path string, write func(*os.File) error) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
@@ -122,7 +128,10 @@ func writeFileWith(path string, write func(*os.File) error) error {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // ReadManifest loads and validates a checkpoint directory's manifest.

@@ -1,0 +1,364 @@
+package e2e
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Chaos run parameters. Every value that shapes the run is logged so a
+// failure reproduces exactly:
+//
+//	KIFF_CHAOS_SEED=<seed> KIFF_CHAOS_ACTIONS=<n> go test -run TestChaos ./test/e2e/
+const (
+	defaultChaosSeed    = 7
+	defaultChaosActions = 220 // ≥ 200 actions is the acceptance floor
+	chaosInitialUsers   = 60
+	chaosItems          = 40
+	chaosK              = 8
+	chaosQueueDepth     = 8
+	chaosShards         = 4
+)
+
+func envInt64(name string, def int64) int64 {
+	if v := os.Getenv(name); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// writeSeedEdgeList materializes the initial population deterministically
+// from the seed: every user rates 3–6 items.
+func writeSeedEdgeList(t *testing.T, dir string, seed int64) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	var sb strings.Builder
+	for u := 0; u < chaosInitialUsers; u++ {
+		n := 3 + rng.Intn(4)
+		seen := map[int]bool{}
+		for len(seen) < n {
+			it := rng.Intn(chaosItems)
+			if seen[it] {
+				continue
+			}
+			seen[it] = true
+			fmt.Fprintf(&sb, "%d %d %d\n", u, it, 1+rng.Intn(5))
+		}
+	}
+	path := filepath.Join(dir, "ratings.tsv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// sut is the system under test: the kiffserve process plus everything
+// needed to crash and resurrect it.
+type sut struct {
+	t        *testing.T
+	bin      string
+	sharded  bool
+	ckptRoot string
+	gen      int
+	p        *proc
+}
+
+// start boots a kiffserve incarnation. ckptDir == "" means the initial
+// boot from the kiffknn artifacts; otherwise the server restarts from a
+// checkpoint directory it previously acknowledged.
+func (s *sut) start(gpath, dpath, ckptDir string) {
+	s.gen++
+	args := []string{
+		"-queue", fmt.Sprint(chaosQueueDepth),
+		// Fresh base per incarnation: checkpoint names embed the pid and
+		// a per-process sequence, and a recycled pid must never let a
+		// new incarnation overwrite a directory an old one handed out.
+		"-checkpoint", filepath.Join(s.ckptRoot, fmt.Sprintf("gen%d", s.gen)),
+	}
+	switch {
+	case s.sharded && ckptDir != "":
+		args = append(args, "-pool", ckptDir)
+	case s.sharded:
+		args = append(args, "-data", dpath, "-shards", fmt.Sprint(chaosShards), "-k", fmt.Sprint(chaosK))
+	case ckptDir != "":
+		args = append(args,
+			"-graph", filepath.Join(ckptDir, "graph.kfg"),
+			"-data", filepath.Join(ckptDir, "data.kfd"))
+	default:
+		args = append(args, "-graph", gpath, "-data", dpath)
+	}
+	s.p = startServer(s.t, s.bin, args...)
+}
+
+func (s *sut) url() string { return s.p.url }
+
+func TestChaosUnsharded(t *testing.T) { runChaos(t, false) }
+func TestChaosSharded(t *testing.T)   { runChaos(t, true) }
+
+// runChaos is the tentpole: a real kiffserve process (unsharded or a
+// -shards pool) driven by a seeded action stream, mirrored into the
+// in-process oracle, through crashes, graceful flips, checkpoint
+// restarts and forced backpressure — converging byte-identically.
+//
+// Equality contract per mode: /query answers are compared in both modes
+// (an exact query is a pure function of the dataset, so sharding must
+// not change a byte); /neighbors lists are compared only unsharded —
+// the pool's neighborhoods are shard-local by design, so sharded
+// Neighbors actions assert status and shape instead.
+func runChaos(t *testing.T, sharded bool) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short (CI runs it in the e2e-chaos job)")
+	}
+	seed := envInt64("KIFF_CHAOS_SEED", defaultChaosSeed)
+	n := int(envInt64("KIFF_CHAOS_ACTIONS", defaultChaosActions))
+	t.Logf("chaos run: seed=%d actions=%d sharded=%v (reproduce: KIFF_CHAOS_SEED=%d KIFF_CHAOS_ACTIONS=%d go test -run %s ./test/e2e/)",
+		seed, n, sharded, seed, n, t.Name())
+
+	serveBin, knnBin := buildBinaries(t)
+	work := t.TempDir()
+	edges := writeSeedEdgeList(t, work, seed)
+	gpath := filepath.Join(work, "graph.kfg")
+	dpath := filepath.Join(work, "data.kfd")
+	runKiffknn(t, knnBin, edges, chaosK, gpath, dpath)
+
+	orc := newOracle(t, gpath, dpath, filepath.Join(work, "oracle-ckpt"), chaosQueueDepth)
+	s := &sut{t: t, bin: serveBin, sharded: sharded, ckptRoot: filepath.Join(work, "sut-ckpt")}
+	s.start(gpath, dpath, "")
+
+	// Boot sanity: both sides serve the same population.
+	u1, _, _ := healthz(t, s.url())
+	u2, _, _ := healthz(t, orc.url())
+	if u1 != chaosInitialUsers || u2 != chaosInitialUsers {
+		t.Fatalf("boot populations: sut=%d oracle=%d, want %d", u1, u2, chaosInitialUsers)
+	}
+
+	// Both sides take an initial checkpoint so the first KillRestart
+	// always has an acknowledged state to reload.
+	lastSutCkpt := checkpoint(t, s.url())
+	lastOrcCkpt := checkpoint(t, orc.url())
+
+	actions := GenStream(StreamConfig{
+		Seed:         seed,
+		N:            n,
+		InitialUsers: chaosInitialUsers,
+		Items:        chaosItems,
+		QueueDepth:   chaosQueueDepth,
+		Restarts:     true,
+		ReadonlyFlip: !sharded, // -readonly is rejected in sharded mode
+	})
+
+	var restarts, backpressures int
+	for i, a := range actions {
+		switch a.Kind {
+		case ActAddUser:
+			body := map[string]any{"profile": a.Profile}
+			st1, b1 := doJSON(t, http.MethodPost, s.url()+"/users", body)
+			st2, b2 := doJSON(t, http.MethodPost, orc.url()+"/users", body)
+			if st1 != http.StatusCreated || st2 != http.StatusCreated {
+				t.Fatalf("action %d AddUser: statuses sut=%d oracle=%d", i, st1, st2)
+			}
+			if id1, id2 := jsonField(t, b1, "id"), jsonField(t, b2, "id"); id1 != id2 {
+				t.Fatalf("action %d AddUser: ids diverged sut=%s oracle=%s", i, id1, id2)
+			}
+		case ActAddRating:
+			body := map[string]any{"user": a.User, "item": a.Item, "rating": a.Rating}
+			st1, b1 := doJSON(t, http.MethodPost, s.url()+"/ratings", body)
+			st2, _ := doJSON(t, http.MethodPost, orc.url()+"/ratings", body)
+			if st1 != http.StatusOK || st2 != http.StatusOK {
+				t.Fatalf("action %d AddRating %+v: statuses sut=%d oracle=%d (%s)", i, body, st1, st2, b1)
+			}
+		case ActQuery:
+			body := map[string]any{"profile": a.Query, "k": a.K}
+			st1, b1 := doJSON(t, http.MethodPost, s.url()+"/query", body)
+			st2, b2 := doJSON(t, http.MethodPost, orc.url()+"/query", body)
+			if st1 != http.StatusOK || st2 != http.StatusOK {
+				t.Fatalf("action %d Query: statuses sut=%d oracle=%d", i, st1, st2)
+			}
+			if r1, r2 := jsonField(t, b1, "results"), jsonField(t, b2, "results"); r1 != r2 {
+				t.Fatalf("action %d Query diverged\n sut:    %s\n oracle: %s", i, r1, r2)
+			}
+		case ActNeighbors:
+			path := fmt.Sprintf("/neighbors/%d", a.Target)
+			st1, b1 := doJSON(t, http.MethodGet, s.url()+path, nil)
+			st2, b2 := doJSON(t, http.MethodGet, orc.url()+path, nil)
+			if st1 != st2 {
+				t.Fatalf("action %d Neighbors(%d): statuses sut=%d oracle=%d", i, a.Target, st1, st2)
+			}
+			if st1 != http.StatusOK {
+				t.Fatalf("action %d Neighbors(%d): status %d (generator promised a live user)", i, a.Target, st1)
+			}
+			if !sharded {
+				if n1, n2 := jsonField(t, b1, "neighbors"), jsonField(t, b2, "neighbors"); n1 != n2 {
+					t.Fatalf("action %d Neighbors(%d) diverged\n sut:    %s\n oracle: %s", i, a.Target, n1, n2)
+				}
+			} else if jsonField(t, b1, "neighbors") == "" {
+				t.Fatalf("action %d Neighbors(%d): sharded reply missing neighbors: %s", i, a.Target, b1)
+			}
+		case ActCheckpoint:
+			lastSutCkpt = checkpoint(t, s.url())
+			lastOrcCkpt = checkpoint(t, orc.url())
+		case ActBackpressure:
+			backpressures++
+			s.runBackpressure(t, i, a, orc)
+		case ActKillRestart:
+			restarts++
+			s.p.kill(t)
+			s.start(gpath, dpath, lastSutCkpt)
+			orc.restart(lastOrcCkpt)
+			u1, _, _ := healthz(t, s.url())
+			u2, _, _ := healthz(t, orc.url())
+			if u1 != u2 {
+				t.Fatalf("action %d KillRestart: populations diverged sut=%d oracle=%d", i, u1, u2)
+			}
+		case ActReadonlyFlip:
+			// Checkpoint, come back read-only (mutations must 403, reads
+			// must still match), then come back mutable.
+			lastSutCkpt = checkpoint(t, s.url())
+			lastOrcCkpt = checkpoint(t, orc.url())
+			s.p.terminate(t)
+			ro := startServer(t, s.bin, "-readonly",
+				"-graph", filepath.Join(lastSutCkpt, "graph.kfg"),
+				"-data", filepath.Join(lastSutCkpt, "data.kfd"))
+			if st, _ := doJSON(t, http.MethodPost, ro.url+"/users", map[string]any{"profile": map[uint32]float64{1: 1}}); st != http.StatusForbidden {
+				t.Fatalf("action %d ReadonlyFlip: mutation returned %d, want 403", i, st)
+			}
+			_, b1 := doJSON(t, http.MethodGet, ro.url+"/neighbors/0", nil)
+			_, b2 := doJSON(t, http.MethodGet, orc.url()+"/neighbors/0", nil)
+			if n1, n2 := jsonField(t, b1, "neighbors"), jsonField(t, b2, "neighbors"); n1 != n2 {
+				t.Fatalf("action %d ReadonlyFlip: read-only neighbors diverged\n sut:    %s\n oracle: %s", i, n1, n2)
+			}
+			ro.terminate(t)
+			s.start(gpath, dpath, lastSutCkpt)
+		}
+	}
+
+	if restarts == 0 || backpressures == 0 {
+		t.Fatalf("stream exercised %d restarts and %d backpressure episodes; both must be ≥ 1", restarts, backpressures)
+	}
+	t.Logf("chaos run done: %d actions, %d kill+restarts, %d backpressure episodes", len(actions), restarts, backpressures)
+
+	// --- Convergence: after quiescence (every mutation acknowledged),
+	// the served state must be byte-identical to the oracle.
+	u1, _, _ = healthz(t, s.url())
+	u2, _, _ = healthz(t, orc.url())
+	if u1 != u2 {
+		t.Fatalf("final populations diverged: sut=%d oracle=%d", u1, u2)
+	}
+	if !sharded {
+		for u := 0; u < u1; u++ {
+			path := fmt.Sprintf("/neighbors/%d", u)
+			_, b1 := doJSON(t, http.MethodGet, s.url()+path, nil)
+			_, b2 := doJSON(t, http.MethodGet, orc.url()+path, nil)
+			if n1, n2 := jsonField(t, b1, "neighbors"), jsonField(t, b2, "neighbors"); n1 != n2 {
+				t.Fatalf("final neighbors(%d) diverged\n sut:    %s\n oracle: %s", u, n1, n2)
+			}
+		}
+	}
+	probes := 20
+	if sharded {
+		probes = 30
+	}
+	prng := rand.New(rand.NewSource(seed*31 + 17))
+	for p := 0; p < probes; p++ {
+		profile := map[uint32]float64{}
+		for len(profile) < 2+prng.Intn(4) {
+			profile[uint32(prng.Intn(chaosItems))] = float64(1 + prng.Intn(5))
+		}
+		body := map[string]any{"profile": profile, "k": 3 + prng.Intn(6)}
+		_, b1 := doJSON(t, http.MethodPost, s.url()+"/query", body)
+		_, b2 := doJSON(t, http.MethodPost, orc.url()+"/query", body)
+		if r1, r2 := jsonField(t, b1, "results"), jsonField(t, b2, "results"); r1 != r2 {
+			t.Fatalf("final probe %d diverged\n sut:    %s\n oracle: %s", p, r1, r2)
+		}
+	}
+	t.Logf("converged: %d users byte-identical, %d probe queries byte-identical", u1, probes)
+}
+
+// runBackpressure forces a queue-saturation episode: freeze the writer
+// via /faults, fire a burst of concurrent inserts that overfills the
+// queue, require /healthz to report degraded while reads keep working,
+// then release and replay the acknowledged inserts into the oracle in
+// ID order — the IDs the two sides assign must agree.
+func (s *sut) runBackpressure(t *testing.T, i int, a Action, orc *oracle) {
+	t.Helper()
+	if st, b := doJSON(t, http.MethodPost, s.url()+"/faults", map[string]any{"hold": true}); st != http.StatusOK {
+		t.Fatalf("action %d Backpressure: hold failed: %d %s", i, st, b)
+	}
+	type ack struct {
+		status int
+		id     uint64
+		prof   map[uint32]float64
+	}
+	acks := make([]ack, len(a.Burst))
+	var wg sync.WaitGroup
+	for b, prof := range a.Burst {
+		wg.Add(1)
+		go func(b int, prof map[uint32]float64) {
+			defer wg.Done()
+			st, body := doJSON(t, http.MethodPost, s.url()+"/users", map[string]any{"profile": prof})
+			acks[b] = ack{status: st, prof: prof}
+			if st == http.StatusCreated {
+				id, err := strconv.ParseUint(jsonField(t, body, "id"), 10, 32)
+				if err != nil {
+					t.Errorf("action %d Backpressure: bad id in %s", i, body)
+					return
+				}
+				acks[b].id = id
+			}
+		}(b, prof)
+	}
+	// The queue must saturate: writer frozen, capacity QueueDepth, burst
+	// of QueueDepth+2 (one op in the writer's hand, one producer blocked
+	// on the full channel).
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, ready, depth := healthz(t, s.url())
+		if ready == "degraded" {
+			t.Logf("action %d Backpressure: degraded at queue depth %d", i, depth)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("action %d Backpressure: /healthz never reported degraded (depth %d)", i, depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Reads must keep answering while writes are backed up.
+	if st, _ := doJSON(t, http.MethodGet, s.url()+"/neighbors/0", nil); st != http.StatusOK {
+		t.Fatalf("action %d Backpressure: read failed during saturation: %d", i, st)
+	}
+	if st, _ := doJSON(t, http.MethodPost, s.url()+"/faults", map[string]any{"hold": false}); st != http.StatusOK {
+		t.Fatalf("action %d Backpressure: release failed: %d", i, st)
+	}
+	wg.Wait()
+	for b, ak := range acks {
+		if ak.status != http.StatusCreated {
+			t.Fatalf("action %d Backpressure: burst insert %d: status %d", i, b, ak.status)
+		}
+	}
+	// The concurrent burst reached the queue in nondeterministic order;
+	// the server's assigned IDs define the canonical one. Replaying into
+	// the oracle in ID order must reproduce the IDs exactly — both sides
+	// allocate densely from the same population.
+	sort.Slice(acks, func(x, y int) bool { return acks[x].id < acks[y].id })
+	for _, ak := range acks {
+		st, body := doJSON(t, http.MethodPost, orc.url()+"/users", map[string]any{"profile": ak.prof})
+		if st != http.StatusCreated {
+			t.Fatalf("action %d Backpressure: oracle replay: status %d", i, st)
+		}
+		oid := jsonField(t, body, "id")
+		if oid != strconv.FormatUint(ak.id, 10) {
+			t.Fatalf("action %d Backpressure: id diverged sut=%d oracle=%s", i, ak.id, oid)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package e2e is the black-box chaos harness: it compiles the real
+// kiffserve and kiffknn binaries, spawns servers as separate processes,
+// drives them over HTTP with seeded deterministic action streams, and
+// asserts the served answers stay byte-identical to an in-process
+// single-maintainer oracle — across crashes, restarts, backpressure
+// episodes and read-only flips. See docs/TESTING.md for how to run the
+// smoke vs a long seeded soak and how to reproduce a failure from its
+// logged seed.
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// binDir holds the compiled binaries for the whole test run; TestMain
+// removes it (t.TempDir would tear it down after the first test using
+// it, defeating the build-once cache).
+var (
+	binDir    string
+	buildOnce sync.Once
+	buildErr  error
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if binDir != "" {
+		os.RemoveAll(binDir)
+	}
+	os.Exit(code)
+}
+
+// moduleRoot walks up from the working directory to the go.mod, the
+// directory `go build ./cmd/...` must run from.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// buildBinaries compiles kiffserve (with the faultinject tag, so the
+// harness can reach /faults) and kiffknn once per `go test` process,
+// returning their paths.
+func buildBinaries(t *testing.T) (kiffserve, kiffknn string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		root := moduleRoot(t)
+		dir, err := os.MkdirTemp("", "kiff-e2e-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir = dir
+		for _, b := range []struct {
+			out  string
+			tags string
+			pkg  string
+		}{
+			{"kiffserve", "faultinject", "./cmd/kiffserve"},
+			{"kiffknn", "", "./cmd/kiffknn"},
+		} {
+			args := []string{"build"}
+			if b.tags != "" {
+				args = append(args, "-tags", b.tags)
+			}
+			args = append(args, "-o", filepath.Join(dir, b.out), b.pkg)
+			cmd := exec.Command("go", args...)
+			cmd.Dir = root
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(binDir, "kiffserve"), filepath.Join(binDir, "kiffknn")
+}
+
+// runKiffknn builds a checkpoint pair (graph + dataset binary files)
+// from an edge list through the real binary — the same artifact a
+// production deploy would serve.
+func runKiffknn(t *testing.T, kiffknn, in string, k int, gpath, dpath string) {
+	t.Helper()
+	cmd := exec.Command(kiffknn, "-in", in, "-k", fmt.Sprint(k),
+		"-save", gpath, "-save-data", dpath, "-o", os.DevNull)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("kiffknn: %v\n%s", err, out)
+	}
+}
+
+var servingLine = regexp.MustCompile(`kiffserve: serving on http://(\S+)`)
+
+// proc is one live kiffserve process under harness control.
+type proc struct {
+	cmd     *exec.Cmd
+	url     string
+	exitc   chan struct{} // closed once the process is reaped
+	exitErr error         // cmd.Wait result; read only after exitc closes
+
+	mu     sync.Mutex
+	stderr bytes.Buffer
+}
+
+// startServer spawns the kiffserve binary with fault injection armed
+// (KIFFSERVE_FAULTS=1: endpoint live, knobs off) on an ephemeral port
+// and waits until it reports its bound address.
+func startServer(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{exitc: make(chan struct{})}
+	p.cmd = exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	p.cmd.Env = append(os.Environ(), "KIFFSERVE_FAULTS=1")
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	scanned := make(chan struct{})
+	go func() {
+		defer close(scanned)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.stderr.WriteString(line)
+			p.stderr.WriteByte('\n')
+			p.mu.Unlock()
+			if m := servingLine.FindStringSubmatch(line); m != nil {
+				select {
+				case addrc <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() {
+		<-scanned // never call Wait while the pipe is still being read
+		p.exitErr = p.cmd.Wait()
+		close(p.exitc)
+	}()
+	select {
+	case addr := <-addrc:
+		p.url = "http://" + addr
+	case <-p.exitc:
+		t.Fatalf("kiffserve exited before ready: %v\n%s", p.exitErr, p.stderrText())
+	case <-time.After(60 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatalf("kiffserve never became ready\n%s", p.stderrText())
+	}
+	t.Cleanup(func() {
+		// Best-effort teardown for early test failures; normal flow has
+		// already reaped the process.
+		select {
+		case <-p.exitc:
+		default:
+			p.cmd.Process.Kill()
+			<-p.exitc
+		}
+	})
+	return p
+}
+
+func (p *proc) stderrText() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stderr.String()
+}
+
+// kill SIGKILLs the process — the crash fault — and reaps it.
+func (p *proc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-p.exitc // "signal: killed" is the expected outcome
+}
+
+// terminate SIGTERMs the process — the graceful path — and requires a
+// clean exit (the shutdown flush and final checkpoint must succeed).
+func (p *proc) terminate(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-p.exitc:
+		if p.exitErr != nil {
+			t.Fatalf("kiffserve exited uncleanly on SIGTERM: %v\n%s", p.exitErr, p.stderrText())
+		}
+	case <-time.After(30 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatalf("kiffserve ignored SIGTERM\n%s", p.stderrText())
+	}
+}
+
+// --- HTTP helpers --------------------------------------------------------
+
+// doJSON performs one request and returns status + body bytes.
+func doJSON(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// jsonField extracts one top-level field as raw JSON text — the
+// equality unit across servers, since whole bodies differ by snapshot
+// version after restarts.
+func jsonField(t *testing.T, body []byte, field string) string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("unmarshal %q from %s: %v", field, body, err)
+	}
+	raw, ok := m[field]
+	if !ok {
+		t.Fatalf("body has no %q field: %s", field, body)
+	}
+	return string(raw)
+}
+
+// healthz fetches the health endpoint's fields.
+func healthz(t *testing.T, url string) (users int, ready string, queueDepth int) {
+	t.Helper()
+	status, body := doJSON(t, http.MethodGet, url+"/healthz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("healthz: %d: %s", status, body)
+	}
+	var h struct {
+		Users      int    `json:"users"`
+		Ready      string `json:"ready"`
+		QueueDepth int    `json:"queue_depth"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Users, h.Ready, h.QueueDepth
+}
+
+// checkpoint triggers POST /checkpoint and returns the directory the
+// server wrote. The harness only ever restarts from directories whose
+// response it received — a torn save from a later SIGKILL is never
+// trusted, matching how a real operator treats acknowledged
+// checkpoints.
+func checkpoint(t *testing.T, url string) string {
+	t.Helper()
+	status, body := doJSON(t, http.MethodPost, url+"/checkpoint", nil)
+	if status != http.StatusOK {
+		t.Fatalf("POST /checkpoint: %d: %s", status, body)
+	}
+	var ck struct {
+		Dir string `json:"dir"`
+	}
+	if err := json.Unmarshal(body, &ck); err != nil {
+		t.Fatal(err)
+	}
+	if ck.Dir == "" {
+		t.Fatalf("checkpoint reply has no dir: %s", body)
+	}
+	return ck.Dir
+}

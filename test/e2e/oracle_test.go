@@ -1,0 +1,89 @@
+package e2e
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"kiff"
+	"kiff/internal/server"
+)
+
+// oracle is the in-process single-maintainer reference the black-box
+// servers must converge to: the same checkpoint pair, the same mutation
+// stream, driven through the same HTTP surface (an httptest front-end
+// over internal/server) so response bytes are comparable one-to-one.
+// It checkpoints and restarts in lockstep with the system under test:
+// a SIGKILL on the real server is mirrored by reloading the oracle from
+// its own last acknowledged checkpoint, which keeps the two sides'
+// WAL-less data loss symmetric.
+type oracle struct {
+	t        *testing.T
+	ckptRoot string
+	gen      int // incarnation counter; each gets a fresh checkpoint base
+	srv      *server.Server
+	ts       *httptest.Server
+	queue    int
+}
+
+// newOracle boots the oracle from a checkpoint pair.
+func newOracle(t *testing.T, gpath, dpath, ckptRoot string, queue int) *oracle {
+	o := &oracle{t: t, ckptRoot: ckptRoot, queue: queue}
+	o.boot(gpath, dpath)
+	t.Cleanup(func() { o.close() })
+	return o
+}
+
+func (o *oracle) boot(gpath, dpath string) {
+	t := o.t
+	g, err := kiff.LoadGraph(gpath)
+	if err != nil {
+		t.Fatalf("oracle graph: %v", err)
+	}
+	d, err := kiff.LoadDataset(dpath)
+	if err != nil {
+		t.Fatalf("oracle dataset: %v", err)
+	}
+	m, err := kiff.NewMaintainerFromGraph(d, g, kiff.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each incarnation checkpoints under its own base so a restarted
+	// oracle (same pid, checkpoint sequence reset) can never overwrite a
+	// directory an earlier incarnation handed out.
+	o.gen++
+	srv, err := server.New(server.Config{
+		Maintainer:    m,
+		CheckpointDir: filepath.Join(o.ckptRoot, fmt.Sprintf("gen%d", o.gen)),
+		QueueDepth:    o.queue,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.srv = srv
+	o.ts = httptest.NewServer(srv.Handler())
+}
+
+func (o *oracle) close() {
+	if o.ts != nil {
+		o.ts.Close()
+		o.ts = nil
+	}
+	if o.srv != nil {
+		o.srv.Close()
+		o.srv = nil
+	}
+}
+
+// restart mirrors a crash: drop the live state and reload from ckptDir
+// (a directory a previous POST /checkpoint on the oracle returned).
+func (o *oracle) restart(ckptDir string) {
+	o.close()
+	o.boot(
+		filepath.Join(ckptDir, server.GraphCheckpointFile),
+		filepath.Join(ckptDir, server.DataCheckpointFile),
+	)
+}
+
+func (o *oracle) url() string { return o.ts.URL }
