@@ -23,6 +23,7 @@ import (
 	"kiff/internal/dataset"
 	"kiff/internal/knngraph"
 	"kiff/internal/rcs"
+	"kiff/internal/wal"
 )
 
 // benchResult is one benchmark row of the JSON record.
@@ -76,6 +77,7 @@ var benchTolerances = map[string]float64{
 	"snapshot-publish-incremental": 3.0,
 	"snapshot-query":               2.0,
 	"insert-single":                2.0,
+	"maintainer-insert-wal":        2.5,
 	"insert-sharded":               2.5,
 	"rebuild-single":               2.0,
 	"rebuild-sharded":              2.5,
@@ -120,6 +122,7 @@ var validBenchNames = []string{
 	"snapshot-publish-full",
 	"snapshot-publish-incremental",
 	"insert-single",
+	"maintainer-insert-wal",
 	"insert-sharded",
 	"rebuild-single",
 	"rebuild-sharded",
@@ -520,6 +523,33 @@ func runBenchOut(path string, opts benchOptions, stderr io.Writer) error {
 		if err != nil {
 			b.Fatal(err)
 		}
+		batch := insertProfiles(insertBatchSize)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.InsertBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("maintainer-insert-wal", func(b *testing.B) {
+		// insert-single with a write-ahead log attached: the delta against
+		// insert-single is the durability tax of encoding + appending one
+		// KFL1 record per profile. SyncNever isolates that tax from fsync
+		// latency, which is a policy choice (-wal-sync), not a fixed cost.
+		m, err := kiff.NewMaintainer(mustClone(d), kiff.Options{K: k})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "kiffbench-wal-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		if _, err := m.OpenWAL(filepath.Join(dir, "wal.kfl"), wal.Options{Sync: wal.SyncNever}); err != nil {
+			b.Fatal(err)
+		}
+		defer m.CloseWAL()
 		batch := insertProfiles(insertBatchSize)
 		b.ReportAllocs()
 		b.ResetTimer()

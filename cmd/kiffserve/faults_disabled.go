@@ -4,6 +4,7 @@ package main
 
 import (
 	"io"
+	"os"
 
 	"kiff/internal/server"
 )
@@ -13,3 +14,7 @@ import (
 // /faults endpoint, whatever the environment says. The chaos harness
 // builds kiffserve with -tags faultinject to get the real one.
 func faultsFromEnv(io.Writer) *server.Faults { return nil }
+
+// walTearHook has no release implementation either: the torn-append
+// fault only exists behind the faultinject tag.
+func walTearHook(*server.Faults) func(file *os.File, frame []byte) bool { return nil }

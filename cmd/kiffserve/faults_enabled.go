@@ -68,3 +68,25 @@ func fatalFaultSpec(stderr io.Writer, kv, why string) {
 	fmt.Fprintf(stderr, "kiffserve: bad KIFFSERVE_FAULTS entry %q: %s\n", kv, why)
 	os.Exit(2)
 }
+
+// walTearHook turns the /faults wal_tear arming into a mid-append power
+// cut: when armed, the next write-ahead-log append writes only the first
+// half of its frame, flushes that torn prefix to disk, and kills the
+// process without acknowledging anything. The restarted server must
+// truncate exactly that frame (torn-tail recovery) and lose nothing that
+// was acknowledged — the hardest case the zero-loss chaos oracle checks.
+// Lives behind the faultinject tag: release builds have no hook.
+func walTearHook(f *server.Faults) func(file *os.File, frame []byte) bool {
+	if f == nil {
+		return nil
+	}
+	return func(file *os.File, frame []byte) bool {
+		if !f.TakeWALTear() {
+			return false
+		}
+		_, _ = file.Write(frame[:len(frame)/2])
+		_ = file.Sync()
+		os.Exit(3)
+		return true // unreachable
+	}
+}

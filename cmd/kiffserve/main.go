@@ -24,6 +24,19 @@
 //	kiffserve -data data.kfd -shards 4 -save-pool pool/ -addr :8080
 //	kiffserve -pool pool/ -addr :8080
 //
+// Crash-lossless serving: -wal DIR appends every mutation to a
+// write-ahead log (one per shard) before applying it, so an
+// acknowledged write survives even a SIGKILL. On start, when
+// -checkpoint is also set, the server picks the newest complete
+// checkpoint generation itself and replays the log on top of it; a
+// torn final record (power cut mid-append) is truncated. POST
+// /checkpoint rotates the logs; -wal-sync trades fsync-per-append
+// durability against throughput:
+//
+//	kiffserve -in ratings.tsv -checkpoint ckpts/ -wal wal/ -addr :8080
+//	# ... mutations, maybe a crash ...
+//	kiffserve -in ratings.tsv -checkpoint ckpts/ -wal wal/ -addr :8080  # replays, loses nothing
+//
 //	curl localhost:8080/neighbors/42
 //	curl -X POST localhost:8080/query -d '{"profile":{"7":3,"42":5},"k":10}'
 //	curl -X POST localhost:8080/users -d '{"profile":{"42":5}}'
@@ -47,7 +60,13 @@ import (
 
 	"kiff"
 	"kiff/internal/server"
+	"kiff/internal/shard"
+	"kiff/internal/wal"
 )
+
+// walFileName is the unsharded write-ahead log file inside -wal DIR
+// (sharded mode uses shard.WalFile names, one log per shard).
+const walFileName = "wal.kfl"
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,11 +101,38 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		shards   = fs.Int("shards", 0, "partition users across this many maintainers (0 = unsharded)")
 		pool     = fs.String("pool", "", "sharded checkpoint directory to restart from (see -save-pool)")
 		savePool = fs.String("save-pool", "", "checkpoint the sharded pool to this directory after construction")
+		walDir   = fs.String("wal", "", "write-ahead log directory: append every mutation before applying it, replay on start (crash-lossless mutations)")
+		walSync  = fs.String("wal-sync", "always", "WAL fsync policy: always, never, or a flush interval like 100ms")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := kiff.Options{K: *k, Metric: *metric, Workers: *workers}
+	faults := faultsFromEnv(stderr)
+
+	// --- Write-ahead logging ----------------------------------------------
+	walled := *walDir != ""
+	var wopts wal.Options
+	if walled {
+		if *readonly {
+			return fmt.Errorf("-wal requires a mutable server (drop -readonly)")
+		}
+		if *savePool != "" {
+			// Pool.Save rotates the shard logs against the saved directory,
+			// but the boot scan only considers -checkpoint generations — a
+			// rotation against -save-pool would strand the discarded
+			// records. Checkpoint through the server instead.
+			return fmt.Errorf("-save-pool cannot be combined with -wal (checkpoint via POST /checkpoint instead)")
+		}
+		pol, iv, perr := wal.ParseSyncPolicy(*walSync)
+		if perr != nil {
+			return fmt.Errorf("-wal-sync: %w", perr)
+		}
+		wopts = wal.Options{Sync: pol, SyncInterval: iv, TestHook: walTearHook(faults)}
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			return fmt.Errorf("-wal: %w", err)
+		}
+	}
 
 	// --- Sharded modes ---------------------------------------------------
 	sharded := *pool != "" || *shards > 1
@@ -99,6 +145,94 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		}
 	} else if *savePool != "" {
 		return fmt.Errorf("-save-pool requires -shards or -pool")
+	}
+
+	// --- Serving configuration ------------------------------------------
+	cfg := server.Config{
+		QueryBudget:   *budget,
+		QueueDepth:    *queue,
+		MaxBatch:      *batch,
+		CheckpointDir: *ckptDir,
+		Faults:        faults,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	}
+	if *readonly && *ckptDir != "" {
+		return fmt.Errorf("-checkpoint requires a mutable server (drop -readonly)")
+	}
+
+	// --- WAL resume: newest checkpoint + log replay ----------------------
+	// With both -wal and -checkpoint, the server owns its restart story:
+	// it picks the newest complete checkpoint generation itself and
+	// replays the log above the horizon that checkpoint recorded. The
+	// -graph/-data/-in/-pool source flags describe the cold start only and
+	// are ignored once a checkpoint exists — the checkpoint is strictly
+	// newer than any of them.
+	if walled && *ckptDir != "" {
+		if latest, ok := server.LatestCheckpoint(*ckptDir); ok {
+			poolCkpt := fileExists(filepath.Join(latest, shard.ManifestFile))
+			if poolCkpt && !sharded {
+				return fmt.Errorf("latest checkpoint %s is sharded; restart with the same -shards flag", latest)
+			}
+			if !poolCkpt && sharded {
+				return fmt.Errorf("latest checkpoint %s is unsharded; drop -shards/-pool to resume it", latest)
+			}
+			if poolCkpt {
+				p, lerr := kiff.LoadShardedMaintainerWAL(latest, *walDir, kiff.Options{Metric: *metric, Workers: *workers}, wopts)
+				if lerr != nil {
+					return fmt.Errorf("resume pool %s: %w", latest, lerr)
+				}
+				fmt.Fprintf(stderr, "kiffserve: resumed pool from %s + wal replay: %d shards, %d users, k=%d\n",
+					latest, p.NumShards(), p.NumUsers(), p.K())
+				cfg.Pool = p
+				return serve(ctx, cfg, *addr, stderr, ready)
+			}
+			meta, merr := server.ReadCheckpointMeta(latest)
+			if merr != nil {
+				return merr
+			}
+			var (
+				g   *kiff.Graph
+				rds *kiff.Dataset
+			)
+			if *useMmap {
+				mg, e := kiff.LoadGraphMapped(filepath.Join(latest, server.GraphCheckpointFile))
+				if e != nil {
+					return fmt.Errorf("resume graph: %w", e)
+				}
+				g = mg.Graph()
+				md, e := kiff.LoadDatasetMapped(filepath.Join(latest, server.DataCheckpointFile))
+				if e != nil {
+					return fmt.Errorf("resume dataset: %w", e)
+				}
+				rds = md.Dataset()
+			} else {
+				var e error
+				if g, e = kiff.LoadGraph(filepath.Join(latest, server.GraphCheckpointFile)); e != nil {
+					return fmt.Errorf("resume graph: %w", e)
+				}
+				if rds, e = kiff.LoadDataset(filepath.Join(latest, server.DataCheckpointFile)); e != nil {
+					return fmt.Errorf("resume dataset: %w", e)
+				}
+			}
+			o := opts
+			o.K = 0 // adopt the checkpoint's k
+			m, nerr := kiff.NewMaintainerFromGraph(rds, g, o)
+			if nerr != nil {
+				return fmt.Errorf("resume %s: %w", latest, nerr)
+			}
+			so := wopts
+			so.FromLSN = meta.WalLSN
+			stats, werr := m.OpenWAL(filepath.Join(*walDir, walFileName), so)
+			if werr != nil {
+				return fmt.Errorf("resume wal: %w", werr)
+			}
+			fmt.Fprintf(stderr, "kiffserve: resumed from %s (wal horizon %d): replayed %d records, truncated %d torn bytes\n",
+				latest, meta.WalLSN, stats.Replayed, stats.TruncatedBytes)
+			cfg.Maintainer = m
+			return serve(ctx, cfg, *addr, stderr, ready)
+		}
 	}
 
 	// --- Assemble the dataset -------------------------------------------
@@ -134,40 +268,40 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	}
 
 	// --- Assemble the graph + serving source ----------------------------
-	cfg := server.Config{
-		QueryBudget:   *budget,
-		QueueDepth:    *queue,
-		MaxBatch:      *batch,
-		CheckpointDir: *ckptDir,
-		Faults:        faultsFromEnv(stderr),
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(stderr, format+"\n", args...)
-		},
-	}
-	if *readonly && *ckptDir != "" {
-		return fmt.Errorf("-checkpoint requires a mutable server (drop -readonly)")
-	}
 	if sharded {
 		var p *kiff.ShardedMaintainer
 		if *pool != "" {
 			popts := kiff.Options{Metric: *metric, Workers: *workers}
-			if *useMmap {
+			switch {
+			case walled:
+				// The WAL loader replays per-shard logs during population;
+				// it loads on the heap (no mapped variant).
+				p, err = kiff.LoadShardedMaintainerWAL(*pool, *walDir, popts, wopts)
+			case *useMmap:
 				p, err = kiff.LoadShardedMaintainerMapped(*pool, popts)
-			} else {
+			default:
 				p, err = kiff.LoadShardedMaintainer(*pool, popts)
 			}
 			if err != nil {
 				return fmt.Errorf("load pool: %w", err)
 			}
-			fmt.Fprintf(stderr, "kiffserve: pool %s loaded: %d shards, %d users, k=%d (mmap=%v, construction skipped)\n",
-				*pool, p.NumShards(), p.NumUsers(), p.K(), *useMmap)
+			fmt.Fprintf(stderr, "kiffserve: pool %s loaded: %d shards, %d users, k=%d (mmap=%v, wal=%v, construction skipped)\n",
+				*pool, p.NumShards(), p.NumUsers(), p.K(), *useMmap && !walled, walled)
 		} else {
 			start := time.Now()
-			if p, err = kiff.NewShardedMaintainer(ds, *shards, opts); err != nil {
+			if walled {
+				// Attaches one log per shard and replays any records a
+				// previous un-checkpointed run left behind (cold builds are
+				// deterministic in the input, so the replay base matches).
+				p, err = kiff.NewShardedMaintainerWAL(ds, *shards, opts, *walDir, wopts)
+			} else {
+				p, err = kiff.NewShardedMaintainer(ds, *shards, opts)
+			}
+			if err != nil {
 				return fmt.Errorf("sharded cold build: %w", err)
 			}
-			fmt.Fprintf(stderr, "kiffserve: cold-built %d-shard pool over %d users (k=%d) in %v\n",
-				p.NumShards(), p.NumUsers(), p.K(), time.Since(start))
+			fmt.Fprintf(stderr, "kiffserve: cold-built %d-shard pool over %d users (k=%d, wal=%v) in %v\n",
+				p.NumShards(), p.NumUsers(), p.K(), walled, time.Since(start))
 		}
 		if *savePool != "" {
 			if err := p.Save(*savePool); err != nil {
@@ -232,8 +366,26 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		cfg.Maintainer = m
 		fmt.Fprintf(stderr, "kiffserve: cold-built and wrapped k=%d graph in %v\n", *k, time.Since(start))
 	}
+	if walled && cfg.Maintainer != nil {
+		// Cold start with a log: replay whatever a previous
+		// un-checkpointed run left in it (the build above is deterministic
+		// in the source flags, so it matches the state the log was written
+		// against), then log everything from here on.
+		stats, werr := cfg.Maintainer.OpenWAL(filepath.Join(*walDir, walFileName), wopts)
+		if werr != nil {
+			return fmt.Errorf("wal: %w", werr)
+		}
+		fmt.Fprintf(stderr, "kiffserve: wal attached: replayed %d records, truncated %d torn bytes\n",
+			stats.Replayed, stats.TruncatedBytes)
+	}
 
 	return serve(ctx, cfg, *addr, stderr, ready)
+}
+
+// fileExists reports whether path exists (any stat-able entry).
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // serve runs the HTTP front-end over the assembled serving source until
@@ -272,10 +424,26 @@ func serve(ctx context.Context, cfg server.Config, addr string, stderr io.Writer
 	if cerr := srv.Close(); err == nil {
 		err = cerr
 	}
-	// Close flushed every accepted mutation, so this final checkpoint
-	// contains everything the server acknowledged — the reason a SIGTERM
-	// never loses writes when -checkpoint is set.
-	if cfg.CheckpointDir != "" && cfg.Static == nil {
+	switch {
+	case cfg.Maintainer != nil && cfg.Maintainer.WALAttached():
+		// The log already holds every acknowledged mutation (append →
+		// apply → ack), so a logged server takes no final checkpoint —
+		// the next boot replays instead. SaveFinal would in fact refuse:
+		// saving rotates the log against a directory the boot scan never
+		// considers.
+		if cerr := cfg.Maintainer.CloseWAL(); err == nil {
+			err = cerr
+		}
+		fmt.Fprintf(stderr, "kiffserve: wal closed (boot replays it; no final checkpoint needed)\n")
+	case cfg.Pool != nil && cfg.Pool.WALAttached():
+		if cerr := cfg.Pool.CloseWAL(); err == nil {
+			err = cerr
+		}
+		fmt.Fprintf(stderr, "kiffserve: wal closed (boot replays it; no final checkpoint needed)\n")
+	case cfg.CheckpointDir != "" && cfg.Static == nil:
+		// Close flushed every accepted mutation, so this final checkpoint
+		// contains everything the server acknowledged — the reason a
+		// SIGTERM never loses writes when -checkpoint is set.
 		final := filepath.Join(cfg.CheckpointDir, "final")
 		if serr := srv.SaveFinal(final); serr != nil {
 			if err == nil {

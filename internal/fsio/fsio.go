@@ -1,0 +1,86 @@
+// Package fsio holds the one atomic-persist primitive every durable
+// path of the module shares: write a temp file in the target directory,
+// then rename it into place. The rename matters twice over. It is the
+// crash-atomicity story — a crash mid-write leaves only a .tmp, never a
+// truncated file under a final name — and it is the mmap-safety story:
+// a reader may be serving the previous generation of the path zero-copy
+// via mmap, and os.Create would truncate that very inode under its
+// mappings (SIGBUS on next touch). Rename swaps the directory entry
+// instead; the old inode lives on under the existing mapping.
+//
+// Write is the plain variant (checkpoint files, manifests whose loss a
+// retry repairs). WriteDurable additionally fsyncs the file before the
+// rename and the parent directory after it — the contract write-ahead
+// logging needs, where "the rename happened" must itself survive a
+// power failure, not merely a process crash.
+package fsio
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Write writes path through a temp file renamed into place, propagating
+// the first error, including Close's (a buffered write may fail late).
+// On any error the temp file is removed; path is never touched.
+func Write(path string, write func(*os.File) error) error {
+	return writeFile(path, false, write)
+}
+
+// WriteDurable is Write plus durability: the file is fsynced before the
+// rename and the parent directory is fsynced after it, so both the
+// bytes and the directory entry survive a power failure — not just a
+// process crash. Use it for files that coordinate with a write-ahead
+// log; Write is enough when a lost file merely means redoing work.
+func WriteDurable(path string, write func(*os.File) error) error {
+	return writeFile(path, true, write)
+}
+
+func writeFile(path string, durable bool, write func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if durable {
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if durable {
+		return SyncDir(filepath.Dir(path))
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory, making its entries (renames, creations)
+// durable. Errors from platforms or filesystems that cannot fsync
+// directories are surfaced, not swallowed — callers asked for a
+// durability guarantee and must learn when they did not get it.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

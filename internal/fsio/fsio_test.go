@@ -1,0 +1,91 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	for _, content := range []string{"first", "second generation"} {
+		if err := Write(path, func(f *os.File) error {
+			_, err := f.WriteString(content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("read %q, want %q", got, content)
+		}
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "durable.bin")
+	if err := WriteDurable(path, func(f *os.File) error {
+		_, err := f.WriteString("synced")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "synced" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestWriteErrorLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("original"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Write(path, func(f *os.File) error {
+		f.WriteString("partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("target mutated to %q on failed write", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after error: %v", err)
+	}
+}
+
+func TestWriteMissingDirectory(t *testing.T) {
+	err := Write(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), func(*os.File) error { return nil })
+	if err == nil {
+		t.Fatal("expected an error for a missing parent directory")
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected an error for a missing directory")
+	}
+}

@@ -1,23 +1,131 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 
 	"kiff"
+	"kiff/internal/fsio"
+	"kiff/internal/shard"
 )
 
 // Checkpoint file names inside a maintainer-mode checkpoint directory.
 // (Pool-mode checkpoints are laid out by shard.Pool.Save: per-shard
 // graph.i.kfg/data.i.kfd plus a manifest.) A restarting kiffserve
-// consumes the pair via -graph/-data, or the whole directory via -pool.
+// consumes the pair via -graph/-data, or the whole directory via -pool —
+// or, with -wal, finds the latest generation itself (LatestCheckpoint).
 const (
 	GraphCheckpointFile = "graph.kfg"
 	DataCheckpointFile  = "data.kfd"
 )
+
+// CheckpointMetaFile is the maintainer-mode sidecar written last into a
+// checkpoint directory — its presence marks the checkpoint complete
+// (pool mode uses the manifest the same way), and it carries the
+// write-ahead-log horizon replay resumes above.
+const CheckpointMetaFile = "ckpt.json"
+
+// checkpointMetaSchema identifies the ckpt.json format.
+const checkpointMetaSchema = "kiff/ckpt/v1"
+
+// CheckpointMeta is the ckpt.json payload.
+type CheckpointMeta struct {
+	// Schema is checkpointMetaSchema.
+	Schema string `json:"schema"`
+	// Gen is the checkpoint generation (the N of its ckpt-N directory;
+	// 0 for checkpoints saved outside the generation sequence).
+	Gen uint64 `json:"gen"`
+	// WalLSN is the write-ahead-log horizon at capture: the checkpoint
+	// covers log records 1..WalLSN. 0 when no log was attached.
+	WalLSN uint64 `json:"wal_lsn"`
+}
+
+// ReadCheckpointMeta loads a maintainer-mode checkpoint's ckpt.json.
+func ReadCheckpointMeta(dir string) (CheckpointMeta, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, CheckpointMetaFile))
+	if err != nil {
+		return CheckpointMeta{}, fmt.Errorf("server: checkpoint meta: %w", err)
+	}
+	var meta CheckpointMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return CheckpointMeta{}, fmt.Errorf("server: checkpoint meta: %w", err)
+	}
+	if meta.Schema != checkpointMetaSchema {
+		return CheckpointMeta{}, fmt.Errorf("server: checkpoint meta: schema %q, want %q", meta.Schema, checkpointMetaSchema)
+	}
+	return meta, nil
+}
+
+// ckptGenRe matches generation-named checkpoint directories. The old
+// ckpt-<pid>-<seq> scheme deliberately does not match: those directories
+// are left alone and never considered "latest".
+var ckptGenRe = regexp.MustCompile(`^ckpt-(\d+)$`)
+
+// nextCheckpointGen scans root and returns one past the highest
+// generation any ckpt-N entry carries — complete or not, so a crashed
+// half-written generation is never reused (a restarted reader may still
+// be serving mmap-backed files out of an old directory). A missing root
+// starts at 1; the generation counter thereby persists across restarts
+// in the directory names themselves.
+func nextCheckpointGen(root string) uint64 {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return 1
+	}
+	var max uint64
+	for _, e := range entries {
+		m := ckptGenRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if g, err := strconv.ParseUint(m[1], 10, 64); err == nil && g > max {
+			max = g
+		}
+	}
+	return max + 1
+}
+
+// LatestCheckpoint returns the newest complete checkpoint under root:
+// the highest-generation ckpt-N directory holding a completeness marker
+// (ckpt.json for maintainer checkpoints, the shard manifest for pool
+// checkpoints). ok is false when root has none — the cold-start case.
+// Picking latest here, rather than trusting the caller to remember a
+// path, is what keeps restart-with-WAL safe: the logs were rotated
+// against the newest checkpoint, so replaying on top of an older one
+// would have a gap (which wal.Open detects and refuses).
+func LatestCheckpoint(root string) (dir string, ok bool) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return "", false
+	}
+	var best uint64
+	for _, e := range entries {
+		m := ckptGenRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		g, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil || g <= best {
+			continue
+		}
+		p := filepath.Join(root, e.Name())
+		if fileExists(filepath.Join(p, CheckpointMetaFile)) || fileExists(filepath.Join(p, shard.ManifestFile)) {
+			best, dir, ok = g, p, true
+		}
+	}
+	return dir, ok
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
 
 // handleCheckpoint runs a checkpoint through the writer queue: the save
 // executes on the writer goroutine between batches, so it observes a
@@ -37,15 +145,19 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// checkpoint saves the current writer state into a fresh subdirectory
-// of Config.CheckpointDir and returns it. Writer-only. The directory
-// name includes the process ID so generations of a restarting server
-// never write into a directory an earlier generation handed out (a
-// restarted process may still be serving mmap-backed files from it).
+// checkpoint saves the current writer state into the next
+// generation-numbered subdirectory of Config.CheckpointDir and returns
+// it. Writer-only. The generation counter was seeded from a directory
+// scan at startup (nextCheckpointGen), so a restarted server continues
+// the sequence on its own — no external numbering required — and a
+// later LatestCheckpoint finds this save by its generation.
 func (s *Server) checkpoint() (string, error) {
+	dir := filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("ckpt-%d", s.ckptSeq))
+	if err := s.saveTo(dir, s.ckptSeq); err != nil {
+		return dir, err
+	}
 	s.ckptSeq++
-	dir := filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("ckpt-%d-%d", os.Getpid(), s.ckptSeq))
-	return dir, s.saveTo(dir)
+	return dir, nil
 }
 
 // SaveFinal checkpoints the writer state into dir after the server has
@@ -54,50 +166,74 @@ func (s *Server) checkpoint() (string, error) {
 // "acknowledged" and "applied" coincide by the time this runs). It must
 // only be called once Close has returned; while the writer is live, use
 // POST /checkpoint instead.
+//
+// SaveFinal refuses to run with a write-ahead log attached: saving
+// rotates the logs, and a rotation against a directory the startup scan
+// does not consider "latest" would strand the discarded records. A
+// logged server does not need a final save — its log already holds
+// every acknowledged mutation, and boot replays it.
 func (s *Server) SaveFinal(dir string) error {
 	if s.w == nil {
 		return errReadOnly
+	}
+	if s.walAttached() {
+		return errors.New("server: SaveFinal with a write-ahead log attached (the log is the shutdown durability; checkpoint via POST /checkpoint instead)")
 	}
 	select {
 	case <-s.done:
 	default:
 		return errors.New("server: SaveFinal requires Close first (the writer still owns the state)")
 	}
-	return s.saveTo(dir)
+	return s.saveTo(dir, 0)
 }
 
 // saveTo writes a checkpoint of the mutable backend into dir (created
 // if missing). Pool mode delegates to shard.Pool.Save (per-shard files
-// + manifest, manifest renamed last). Maintainer mode writes the
-// graph/dataset pair, each through a temp file renamed into place, so a
-// crash mid-save never leaves a truncated file under a final name and
-// an overwrite never truncates an inode a reader may have mmapped.
-func (s *Server) saveTo(dir string) error {
+// + manifest renamed last, plus WAL horizon recording and rotation when
+// the shards log). Maintainer mode writes the graph/dataset pair
+// through fsio (temp file + rename: crash atomicity and mmap safety),
+// then the ckpt.json completeness marker, then rotates the maintainer's
+// log — by then every record the rotation discards is durably covered.
+func (s *Server) saveTo(dir string, gen uint64) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("server: checkpoint: %w", err)
 	}
 	if s.pool != nil {
 		return s.pool.Save(dir)
 	}
-	if err := saveAtomic(filepath.Join(dir, GraphCheckpointFile), func(path string) error {
-		return kiff.SaveGraph(path, s.m.Graph())
+	walled := s.m.WALAttached()
+	persist := fsio.Write
+	if walled {
+		// The rotation below discards log records; the files standing in
+		// for them must survive everything the log would have.
+		persist = fsio.WriteDurable
+	}
+	if err := persist(filepath.Join(dir, GraphCheckpointFile), func(f *os.File) error {
+		return kiff.WriteGraphBinary(f, s.m.Graph())
 	}); err != nil {
 		return fmt.Errorf("server: checkpoint graph: %w", err)
 	}
-	if err := saveAtomic(filepath.Join(dir, DataCheckpointFile), func(path string) error {
-		return kiff.SaveDataset(path, s.m.Dataset())
+	if err := persist(filepath.Join(dir, DataCheckpointFile), func(f *os.File) error {
+		return kiff.WriteDatasetBinary(f, s.m.Dataset())
 	}); err != nil {
 		return fmt.Errorf("server: checkpoint dataset: %w", err)
 	}
-	return nil
-}
-
-// saveAtomic writes path via write(path+".tmp") then renames into
-// place.
-func saveAtomic(path string, write func(string) error) error {
-	tmp := path + ".tmp"
-	if err := write(tmp); err != nil {
-		return err
+	meta := CheckpointMeta{Schema: checkpointMetaSchema, Gen: gen, WalLSN: s.m.WALLastLSN()}
+	raw, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: checkpoint meta: %w", err)
 	}
-	return os.Rename(tmp, path)
+	raw = append(raw, '\n')
+	if err := persist(filepath.Join(dir, CheckpointMetaFile), func(f *os.File) error {
+		_, err := f.Write(raw)
+		return err
+	}); err != nil {
+		return fmt.Errorf("server: checkpoint meta: %w", err)
+	}
+	if walled {
+		if err := s.m.WALRotate(); err != nil {
+			return fmt.Errorf("server: checkpoint: %w", err)
+		}
+	}
+	return nil
 }

@@ -22,6 +22,7 @@ type Faults struct {
 	batchDelay   atomic.Int64 // ns slept before the writer applies a batch
 	publishStall atomic.Int64 // ns slept after applying, before acknowledging
 	hold         atomic.Bool  // writer stops picking up batches entirely
+	tearAppend   atomic.Bool  // one-shot: tear the next WAL append and die
 }
 
 // SetBatchDelay makes the writer sleep d before applying each batch —
@@ -49,12 +50,28 @@ func (f *Faults) SetHold(v bool) { f.hold.Store(v) }
 // Hold reports whether the writer is currently held.
 func (f *Faults) Hold() bool { return f.hold.Load() }
 
+// ArmWALTear arms (or disarms) the one-shot torn-append fault: the next
+// write-ahead-log append writes only half its frame and the process
+// kills itself — the mid-append power cut. The harness restarts the
+// server and checks torn-tail recovery discards exactly that frame.
+// The hook itself lives in kiffserve's faultinject build (the server
+// package never exits the process); this is just the armed flag.
+func (f *Faults) ArmWALTear(v bool) { f.tearAppend.Store(v) }
+
+// TakeWALTear consumes the torn-append arming: it returns true at most
+// once per ArmWALTear(true), so exactly one append is torn.
+func (f *Faults) TakeWALTear() bool { return f.tearAppend.CompareAndSwap(true, false) }
+
+// WALTearArmed reports the armed flag without consuming it.
+func (f *Faults) WALTearArmed() bool { return f.tearAppend.Load() }
+
 // faultsState is the JSON form of the knobs, served by GET /faults and
 // accepted (all fields optional) by POST /faults.
 type faultsState struct {
 	Hold           *bool  `json:"hold,omitempty"`
 	BatchDelayMs   *int64 `json:"batch_delay_ms,omitempty"`
 	PublishStallMs *int64 `json:"publish_stall_ms,omitempty"`
+	WALTear        *bool  `json:"wal_tear,omitempty"`
 }
 
 // handleFaults reads (GET) and adjusts (POST) the fault knobs. Only
@@ -84,9 +101,13 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 			}
 			f.SetPublishStall(time.Duration(*req.PublishStallMs) * time.Millisecond)
 		}
+		if req.WALTear != nil {
+			f.ArmWALTear(*req.WALTear)
+		}
 	}
 	hold := f.Hold()
 	bd := int64(f.BatchDelay() / time.Millisecond)
 	ps := int64(f.PublishStall() / time.Millisecond)
-	writeJSON(w, http.StatusOK, faultsState{Hold: &hold, BatchDelayMs: &bd, PublishStallMs: &ps})
+	tear := f.WALTearArmed()
+	writeJSON(w, http.StatusOK, faultsState{Hold: &hold, BatchDelayMs: &bd, PublishStallMs: &ps, WALTear: &tear})
 }

@@ -50,6 +50,7 @@ import (
 
 	"kiff"
 	"kiff/internal/shard"
+	"kiff/internal/wal"
 )
 
 // Config assembles a Server. Exactly one of Maintainer or Pool (mutable
@@ -263,6 +264,12 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("POST /faults", s.handleFaults)
 	}
 	if s.w != nil {
+		if cfg.CheckpointDir != "" {
+			// Seed the generation counter from what is already on disk, so
+			// a restarted server continues the ckpt-N sequence instead of
+			// overwriting checkpoints a previous incarnation wrote.
+			s.ckptSeq = nextCheckpointGen(cfg.CheckpointDir)
+		}
 		if s.m != nil {
 			run := s.m.Stats()
 			s.maintainStats.Store(&run)
@@ -308,6 +315,42 @@ func (s *Server) source() source {
 
 // readOnly reports whether mutation endpoints are disabled.
 func (s *Server) readOnly() bool { return s.w == nil }
+
+// walAttached reports whether the mutable backend appends mutations to
+// a write-ahead log before applying them.
+func (s *Server) walAttached() bool {
+	switch {
+	case s.m != nil:
+		return s.m.WALAttached()
+	case s.pool != nil:
+		return s.pool.WALAttached()
+	}
+	return false
+}
+
+// walCounters aggregates the backend's log counters (pool mode sums
+// over shards). Zero value when no log is attached.
+func (s *Server) walCounters() wal.Counters {
+	switch {
+	case s.m != nil:
+		return s.m.WALCounters()
+	case s.pool != nil:
+		return s.pool.WALCounters()
+	}
+	return wal.Counters{}
+}
+
+// walError returns the append failure that fail-stopped the backend, or
+// nil while the log is healthy (or absent).
+func (s *Server) walError() error {
+	switch {
+	case s.m != nil:
+		return s.m.WALError()
+	case s.pool != nil:
+		return s.pool.WALError()
+	}
+	return nil
+}
 
 // --- Writer side --------------------------------------------------------
 
@@ -557,14 +600,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !s.readOnly() && cap(s.ops) > 0 && len(s.ops) >= cap(s.ops) {
 		ready = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":         "ok",
 		"ready":          ready,
 		"version":        src.Version(),
 		"users":          src.NumUsers(),
 		"queue_depth":    len(s.ops),
 		"queue_capacity": cap(s.ops),
-	})
+	}
+	if err := s.walError(); err != nil {
+		// An append failure fail-stopped the write path: mutations are
+		// refused until a restart replays the log. Worse than "degraded"
+		// (which clears on its own) but reads still work, so liveness
+		// stays "ok".
+		resp["ready"] = "failed"
+		resp["wal_error"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -619,6 +671,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(maintain) > 0 {
 		resp["maintain"] = maintain
+	}
+	if s.walAttached() {
+		// Durability cost and progress: appends (and their bytes) since
+		// boot, fsyncs issued, records replayed at startup, torn-tail
+		// bytes discarded by recovery, and the current LSN horizon. In
+		// pool mode these sum over the per-shard logs.
+		c := s.walCounters()
+		walBlock := map[string]any{
+			"appended":        c.Appended,
+			"appended_bytes":  c.AppendedBytes,
+			"fsyncs":          c.Fsyncs,
+			"append_errors":   c.AppendErrors,
+			"replayed":        c.Replayed,
+			"truncated_bytes": c.TruncatedBytes,
+			"last_lsn":        c.LastLSN,
+		}
+		if err := s.walError(); err != nil {
+			walBlock["error"] = err.Error()
+		}
+		resp["wal"] = walBlock
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -897,6 +969,10 @@ func mutationStatus(err error) int {
 	case errors.Is(err, errReadOnly):
 		return http.StatusForbidden
 	case errors.Is(err, ErrClosed), errors.Is(err, errQueueWait):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, kiff.ErrWALFailStop):
+		// The write path fail-stopped after a log append failure; only a
+		// restart-and-replay clears it. Not the client's fault.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest

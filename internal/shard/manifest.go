@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"kiff/internal/dataset"
+	"kiff/internal/fsio"
 )
 
 // ManifestSchema identifies the sharded-checkpoint manifest format.
@@ -42,19 +43,42 @@ type Manifest struct {
 	// (Users, Shards, Hash), kept as a cheap integrity cross-check
 	// against mismatched or truncated per-shard files.
 	ShardUsers []int `json:"shard_users"`
+	// WalLSNs, present when the pool was saved with write-ahead logs
+	// attached, records each shard's log horizon at capture time: shard
+	// i's checkpoint files cover its log records 1..WalLSNs[i], so replay
+	// resumes above that. Absent (nil) for pools saved without logging —
+	// the schema stays v1 because old readers ignore the field and a nil
+	// horizon (replay everything) is exactly right for such checkpoints.
+	WalLSNs []uint64 `json:"wal_lsns,omitempty"`
 }
+
+// WalFile names shard i's write-ahead log inside a WAL directory,
+// alongside GraphFile/DataFile naming in checkpoint directories.
+func WalFile(i int) string { return fmt.Sprintf("wal.%d.kfl", i) }
 
 // Save checkpoints the pool into dir (created if missing): one graph and
 // one dataset file per shard plus ManifestFile, written last and moved
-// into place atomically — a directory containing a readable manifest is
-// a complete checkpoint. When dir already holds a checkpoint, its
-// manifest is removed before any shard file is touched, so a crash
-// mid-save leaves a directory that fails to load (no manifest) rather
-// than an old manifest silently validating mixed-generation shard
-// files; keep generations in separate directories if rollback matters.
-// Save holds the assignment lock for the duration, so the manifest's
-// population counts are consistent across shards; concurrent reads keep
-// serving, concurrent mutations block.
+// into place atomically (fsio.Write) — a directory containing a readable
+// manifest is a complete checkpoint. When dir already holds a
+// checkpoint, its manifest is removed before any shard file is touched,
+// so a crash mid-save leaves a directory that fails to load (no
+// manifest) rather than an old manifest silently validating
+// mixed-generation shard files; keep generations in separate directories
+// if rollback matters.
+//
+// Save holds the assignment lock and every shard lock for the duration:
+// the manifest's population counts — and, with write-ahead logs
+// attached, its per-shard wal_lsns — must describe the exact instant the
+// shard files capture, and a mutation slipping into one shard between
+// its capture and the log rotation below would be discarded by that
+// rotation. Concurrent reads keep serving; concurrent mutations block.
+//
+// With logs attached (see WALMaintainer) the shard files and manifest
+// are written durably (fsynced through the rename), then each shard's
+// log is rotated — the rotation only ever discards records the durable
+// checkpoint covers. A crash anywhere in between leaves either the old
+// manifest-less directory plus full logs, or the new checkpoint plus
+// not-yet-rotated logs whose covered prefix replay skips by LSN.
 func (p *Pool) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shard: save: %w", err)
@@ -64,6 +88,10 @@ func (p *Pool) Save(dir string) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	for _, sl := range p.shards {
+		sl.mu.Lock()
+		defer sl.mu.Unlock()
+	}
 	m := p.mapping.Load()
 	man := Manifest{
 		Schema:     ManifestSchema,
@@ -76,8 +104,30 @@ func (p *Pool) Save(dir string) error {
 	for i := range p.shards {
 		man.ShardUsers[i] = len(m.global[i])
 	}
+	logged := 0
+	for _, sl := range p.shards {
+		if wm, ok := sl.m.(WALMaintainer); ok && wm.WALAttached() {
+			logged++
+		}
+	}
+	if logged > 0 && logged < len(p.shards) {
+		return fmt.Errorf("shard: save: %d of %d shards have a write-ahead log attached — all or none", logged, len(p.shards))
+	}
+	walled := logged == len(p.shards)
+	if walled {
+		man.WalLSNs = make([]uint64, len(p.shards))
+		for i, sl := range p.shards {
+			man.WalLSNs[i] = sl.m.(WALMaintainer).WALLastLSN()
+		}
+	}
+	persist := fsio.Write
+	if walled {
+		// The rotation below discards log records; the files standing in
+		// for them must survive everything the log would have.
+		persist = fsio.WriteDurable
+	}
 	for i, sl := range p.shards {
-		if err := p.saveShard(dir, i, sl); err != nil {
+		if err := saveShard(dir, i, sl, persist); err != nil {
 			return fmt.Errorf("shard: save shard %d: %w", i, err)
 		}
 	}
@@ -86,52 +136,34 @@ func (p *Pool) Save(dir string) error {
 		return fmt.Errorf("shard: save: %w", err)
 	}
 	raw = append(raw, '\n')
-	tmp := filepath.Join(dir, ManifestFile+".tmp")
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := persist(filepath.Join(dir, ManifestFile), func(f *os.File) error {
+		_, err := f.Write(raw)
+		return err
+	}); err != nil {
 		return fmt.Errorf("shard: save: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, ManifestFile)); err != nil {
-		return fmt.Errorf("shard: save: %w", err)
+	if walled {
+		for i, sl := range p.shards {
+			if err := sl.m.(WALMaintainer).WALRotate(); err != nil {
+				return fmt.Errorf("shard: save: rotate shard %d log: %w", i, err)
+			}
+		}
 	}
 	return nil
 }
 
-// saveShard writes one shard's graph and dataset under its shard lock.
-func (p *Pool) saveShard(dir string, i int, sl *slot) error {
-	sl.mu.Lock()
-	defer sl.mu.Unlock()
-	if err := writeFileWith(filepath.Join(dir, GraphFile(i)), func(f *os.File) error {
+// saveShard writes one shard's graph and dataset; the caller holds the
+// shard lock.
+func saveShard(dir string, i int, sl *slot, persist func(string, func(*os.File) error) error) error {
+	if err := persist(filepath.Join(dir, GraphFile(i)), func(f *os.File) error {
 		_, err := sl.m.Graph().WriteTo(f)
 		return err
 	}); err != nil {
 		return err
 	}
-	return writeFileWith(filepath.Join(dir, DataFile(i)), func(f *os.File) error {
+	return persist(filepath.Join(dir, DataFile(i)), func(f *os.File) error {
 		return dataset.WriteBinary(f, sl.m.Dataset())
 	})
-}
-
-// writeFileWith writes path through a temp file renamed into place —
-// propagating the first error, including Close's (the buffered write
-// may fail late). The rename matters beyond crash atomicity: a reader
-// may be serving the previous generation of path zero-copy via mmap,
-// and os.Create would truncate that very inode under its mappings
-// (SIGBUS on next touch). Rename swaps the directory entry instead; the
-// old inode lives on under the existing mapping.
-func writeFileWith(path string, write func(*os.File) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 // ReadManifest loads and validates a checkpoint directory's manifest.
@@ -161,6 +193,9 @@ func ReadManifest(dir string) (Manifest, error) {
 	}
 	if len(man.ShardUsers) != man.Shards {
 		return Manifest{}, fmt.Errorf("shard: manifest: %d shard_users entries for %d shards", len(man.ShardUsers), man.Shards)
+	}
+	if man.WalLSNs != nil && len(man.WalLSNs) != man.Shards {
+		return Manifest{}, fmt.Errorf("shard: manifest: %d wal_lsns entries for %d shards", len(man.WalLSNs), man.Shards)
 	}
 	counts := make([]int, man.Shards)
 	for g := 0; g < man.Users; g++ {

@@ -37,6 +37,7 @@ import (
 	"kiff/internal/parallel"
 	"kiff/internal/runstats"
 	"kiff/internal/sparse"
+	"kiff/internal/wal"
 )
 
 // MaxShards bounds the shard count: enough for any single-process
@@ -95,6 +96,95 @@ type Maintainer interface {
 	Graph() *knngraph.Graph
 	Dataset() *dataset.Dataset
 	Counters() runstats.Counters
+}
+
+// WALMaintainer is the optional durability extension of Maintainer: a
+// shard whose maintainer write-ahead-logs its mutations (kiff.Maintainer
+// with an attached log implements it). Save uses it to record each
+// shard's log horizon in the manifest and to rotate the logs once the
+// checkpoint is durably complete — either every shard logs or none; a
+// mixed pool is a configuration error Save rejects.
+type WALMaintainer interface {
+	// WALAttached reports whether a write-ahead log is attached.
+	WALAttached() bool
+	// WALLastLSN is the shard-local LSN of the last logged mutation.
+	WALLastLSN() uint64
+	// WALRotate discards the log records a completed checkpoint covers.
+	WALRotate() error
+	// WALCounters snapshots the log's activity counters (any goroutine).
+	WALCounters() wal.Counters
+	// WALError is the append failure that fail-stopped the shard, if any
+	// (any goroutine).
+	WALError() error
+	// CloseWAL syncs, closes and detaches the log.
+	CloseWAL() error
+}
+
+// WALAttached reports whether every shard write-ahead-logs its
+// mutations. Mixed pools are rejected at Save; a pool assembled by the
+// WAL-aware constructors is always all-or-nothing.
+func (p *Pool) WALAttached() bool {
+	for _, sl := range p.shards {
+		wm, ok := sl.m.(WALMaintainer)
+		if !ok || !wm.WALAttached() {
+			return false
+		}
+	}
+	return true
+}
+
+// WALCounters sums the shards' log counters. The LastLSN field is the
+// sum of the per-shard LSNs — still a monotonic mutation counter, just
+// not a single log position. Safe from any goroutine.
+func (p *Pool) WALCounters() wal.Counters {
+	var out wal.Counters
+	for _, sl := range p.shards {
+		if wm, ok := sl.m.(WALMaintainer); ok && wm.WALAttached() {
+			c := wm.WALCounters()
+			out.Appended += c.Appended
+			out.AppendedBytes += c.AppendedBytes
+			out.Fsyncs += c.Fsyncs
+			out.AppendErrors += c.AppendErrors
+			out.Replayed += c.Replayed
+			out.TruncatedBytes += c.TruncatedBytes
+			out.LastLSN += c.LastLSN
+		}
+	}
+	return out
+}
+
+// WALError returns the append failures that fail-stopped any shard,
+// joined, or nil. Safe from any goroutine.
+func (p *Pool) WALError() error {
+	var errs []error
+	for i, sl := range p.shards {
+		if wm, ok := sl.m.(WALMaintainer); ok {
+			if err := wm.WALError(); err != nil {
+				errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CloseWAL syncs and closes every shard's log under its shard lock —
+// the graceful-shutdown step of a logged pool (mutations must have
+// quiesced; a log-less shard is a no-op).
+func (p *Pool) CloseWAL() error {
+	var errs []error
+	for i, sl := range p.shards {
+		wm, ok := sl.m.(WALMaintainer)
+		if !ok {
+			continue
+		}
+		sl.mu.Lock()
+		err := wm.CloseWAL()
+		sl.mu.Unlock()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Stats is one shard's point-in-time observability record, mirrored into

@@ -1,0 +1,626 @@
+// Package wal implements the KFL1 write-ahead log: a CRC-framed,
+// versioned, append-only record of graph mutations (docs/FORMATS.md is
+// the normative spec). It closes the durability gap the checkpoint
+// files leave open: a checkpoint captures the state *at* a quiesce
+// point, the log captures every acknowledged mutation *since* — so a
+// crashed server replays the log on top of its latest checkpoint and
+// loses nothing it acknowledged.
+//
+// The ordering contract the callers uphold is append → apply → ack: a
+// mutation is appended to the log before it touches the live
+// maintainer, and the client is acknowledged only after both. A record
+// present in the log may therefore describe a mutation that was never
+// acknowledged (crash between append and ack — replay resurrects it,
+// at-least-once), but an acknowledged mutation is always in the log or
+// in a newer checkpoint — never lost.
+//
+// Torn tails are expected, not exceptional: a crash mid-append leaves a
+// partial frame, and Open truncates the file at the first frame whose
+// length, checksum or sequencing fails, replaying the clean prefix.
+// Corruption that a torn write cannot produce — a CRC-valid record with
+// the wrong LSN, an undecodable payload, a log whose base postdates the
+// checkpoint it is replayed against — fails loudly instead: those mean
+// the log and checkpoint do not belong together, and silently skipping
+// records would be data loss.
+//
+// A Log is single-writer (the maintainer's writer goroutine); the
+// counters are atomics so observability endpoints may read them from
+// any goroutine.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"kiff/internal/fsio"
+)
+
+// Magic identifies a KFL1 log file.
+const Magic = "KFL1"
+
+// Version is the current (and only) KFL1 format version.
+const Version = 1
+
+// MaxRecordBytes bounds a single record payload. Profiles arrive over
+// an 8 MiB-capped HTTP body; any frame claiming more than this is
+// corruption, not data.
+const MaxRecordBytes = 16 << 20
+
+// ErrCorrupt tags hard log corruption — damage a torn append cannot
+// explain, where replaying a prefix would silently lose records.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Kind enumerates the mutation record types.
+type Kind uint8
+
+const (
+	// KindAddUser appends a new user profile.
+	KindAddUser Kind = 1
+	// KindAddRating records one rating change on an existing user.
+	KindAddRating Kind = 2
+	// KindRebuild marks a neighborhood rebuild barrier. Rebuild
+	// boundaries are state-bearing — rebuilding users {a} then {b} does
+	// not commute with rebuilding {a,b} once profiles changed in
+	// between — so replay must reproduce them exactly.
+	KindRebuild Kind = 3
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindAddUser:
+		return "AddUser"
+	case KindAddRating:
+		return "AddRating"
+	case KindRebuild:
+		return "Rebuild"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Record is one logged mutation. Which fields are meaningful depends on
+// Kind; LSN is assigned by Append and strictly sequential per log.
+type Record struct {
+	LSN  uint64
+	Kind Kind
+
+	// KindAddUser: the inserted profile — item IDs strictly ascending,
+	// Weights nil for a binary profile, else parallel to Items with
+	// bit-exact float64 values.
+	Items   []uint32
+	Weights []float64
+
+	// KindAddRating.
+	User   uint32
+	Item   uint32
+	Rating float64
+
+	// KindRebuild: All means "every user currently marked dirty"
+	// (Maintainer.Rebuild(nil)); otherwise Dirty lists the target users.
+	All   bool
+	Dirty []uint32
+}
+
+// SyncPolicy selects when Append calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append — crash-lossless against
+	// power failure, at one fsync per mutation.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.SyncInterval, on the
+	// append path. Against process crashes (SIGKILL) every append is
+	// still durable — the write syscall happened — but a power failure
+	// may lose the unsynced tail.
+	SyncInterval
+	// SyncNever leaves fsync to Rotate and Close only.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses a -wal-sync flag value: "always", "never", or
+// a time.ParseDuration interval ("100ms") selecting SyncInterval.
+func ParseSyncPolicy(s string) (SyncPolicy, time.Duration, error) {
+	switch s {
+	case "always":
+		return SyncAlways, 0, nil
+	case "never":
+		return SyncNever, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("wal: sync policy %q: want \"always\", \"never\" or a positive duration", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the minimum spacing between fsyncs under
+	// SyncInterval (default 100ms).
+	SyncInterval time.Duration
+	// FromLSN is the checkpoint horizon: records with LSN ≤ FromLSN are
+	// already captured by the checkpoint the caller loaded and are
+	// skipped during replay; records above it are applied.
+	FromLSN uint64
+	// TestHook, when set, is offered every encoded frame before the
+	// normal write. Returning true means the hook consumed the append
+	// (the fault-injection tear writes a partial frame and kills the
+	// process; see the server's wal_tear knob). Never set in production.
+	TestHook func(f *os.File, frame []byte) bool
+}
+
+// ReplayStats describes what Open found and did.
+type ReplayStats struct {
+	// Replayed counts records applied (LSN above the checkpoint horizon).
+	Replayed int
+	// ReplayedInserts counts the KindAddUser subset of Replayed — the
+	// population growth replay produced, which sharded recovery needs to
+	// re-derive the global user count.
+	ReplayedInserts int
+	// Skipped counts records at or below the checkpoint horizon.
+	Skipped int
+	// TruncatedBytes is the torn tail discarded, 0 for a clean log.
+	TruncatedBytes int64
+}
+
+// Counters is a point-in-time snapshot of a log's activity, safe to
+// read from any goroutine via Log.Counters.
+type Counters struct {
+	Appended       int64 // records appended this process
+	AppendedBytes  int64 // frame bytes appended this process
+	Fsyncs         int64 // fsyncs issued by the append path
+	AppendErrors   int64 // failed appends (the log is suspect after one)
+	Replayed       int64 // records replayed at open
+	TruncatedBytes int64 // torn-tail bytes truncated at open
+	LastLSN        uint64
+}
+
+// Log is an open KFL1 log positioned at its end. Append/Rotate/Sync/
+// Close are single-writer; Counters and LastLSN are safe anywhere.
+type Log struct {
+	path string
+	f    *os.File
+	opts Options
+
+	lastLSN  atomic.Uint64
+	lastSync time.Time
+	replay   ReplayStats
+
+	appended      atomic.Int64
+	appendedBytes atomic.Int64
+	fsyncs        atomic.Int64
+	appendErrors  atomic.Int64
+}
+
+const (
+	frameHeaderLen = 8 // uint32 payload length + uint32 CRC32
+	headerBaseLen  = 5 // magic + version varint (base varint follows)
+)
+
+// Open opens the log at path, creating it (base LSN = FromLSN+1) if
+// absent. Existing records above opts.FromLSN are decoded and handed to
+// apply in order; a torn tail is truncated so appends extend the clean
+// prefix. The returned log is positioned for appending. An apply error
+// aborts Open — the caller's half-replayed state must be discarded.
+func Open(path string, opts Options, apply func(Record) error) (*Log, error) {
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 100 * time.Millisecond
+	}
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		if err := writeHeader(path, opts.FromLSN+1); err != nil {
+			return nil, fmt.Errorf("wal: create %s: %w", path, err)
+		}
+	} else if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{path: path, f: f, opts: opts}
+	if err := l.replayAndTruncate(apply); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// writeHeader creates a fresh log file holding only the KFL1 header,
+// durably (tmp+rename, file and directory fsynced) — a log file on disk
+// always has a complete header, so header parsing never has to reason
+// about torn writes.
+func writeHeader(path string, base uint64) error {
+	return fsio.WriteDurable(path, func(f *os.File) error {
+		var buf [headerBaseLen + binary.MaxVarintLen64]byte
+		n := copy(buf[:], Magic)
+		n += binary.PutUvarint(buf[n:], Version)
+		n += binary.PutUvarint(buf[n:], base)
+		_, err := f.Write(buf[:n])
+		return err
+	})
+}
+
+// replayAndTruncate scans the whole file: header, then frames. Records
+// above the FromLSN horizon are applied; the first torn frame truncates
+// the file there; hard corruption aborts.
+func (l *Log) replayAndTruncate(apply func(Record) error) error {
+	raw, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("wal: read %s: %w", l.path, err)
+	}
+	if len(raw) < headerBaseLen || string(raw[:4]) != Magic {
+		return fmt.Errorf("%w: %s: bad magic", ErrCorrupt, l.path)
+	}
+	rest := raw[4:]
+	version, n := binary.Uvarint(rest)
+	if n <= 0 || version != Version {
+		return fmt.Errorf("%w: %s: unsupported version %d", ErrCorrupt, l.path, version)
+	}
+	rest = rest[n:]
+	base, n := binary.Uvarint(rest)
+	if n <= 0 || base == 0 {
+		return fmt.Errorf("%w: %s: bad base LSN", ErrCorrupt, l.path)
+	}
+	rest = rest[n:]
+	if base > l.opts.FromLSN+1 {
+		return fmt.Errorf("%w: %s: log begins at LSN %d but the checkpoint covers only up to %d — records %d..%d are missing (rotated against a newer checkpoint?)",
+			ErrCorrupt, l.path, base, l.opts.FromLSN, l.opts.FromLSN+1, base-1)
+	}
+
+	goodLen := int64(len(raw) - len(rest)) // end of the last intact frame
+	next := base                           // LSN the next frame must carry
+	for len(rest) > 0 {
+		if len(rest) < frameHeaderLen {
+			break // torn frame header
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if plen == 0 || plen > MaxRecordBytes {
+			break // torn or garbage length — cannot be a real frame
+		}
+		if len(rest) < frameHeaderLen+int(plen) {
+			break // torn payload
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(plen)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // torn or corrupt payload
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// The CRC matched, so these bytes are exactly what the writer
+			// wrote — an undecodable record is writer corruption, not a
+			// torn tail. Truncating here would silently drop it.
+			return fmt.Errorf("%w: %s: LSN %d: %v", ErrCorrupt, l.path, next, err)
+		}
+		if rec.LSN != next {
+			return fmt.Errorf("%w: %s: record carries LSN %d, expected %d", ErrCorrupt, l.path, rec.LSN, next)
+		}
+		if rec.LSN > l.opts.FromLSN {
+			if err := apply(rec); err != nil {
+				return fmt.Errorf("wal: replay LSN %d: %w", rec.LSN, err)
+			}
+			l.replay.Replayed++
+			if rec.Kind == KindAddUser {
+				l.replay.ReplayedInserts++
+			}
+		} else {
+			l.replay.Skipped++
+		}
+		next++
+		rest = rest[frameHeaderLen+int(plen):]
+		goodLen = int64(len(raw) - len(rest))
+	}
+	l.replay.TruncatedBytes = int64(len(raw)) - goodLen
+	if next <= l.opts.FromLSN {
+		// The checkpoint claims LSNs this log never reached. The append →
+		// checkpoint ordering makes that impossible for a matched pair, so
+		// this log does not belong to the checkpoint.
+		return fmt.Errorf("%w: %s: checkpoint covers LSN %d but the log ends at %d — mismatched log and checkpoint",
+			ErrCorrupt, l.path, l.opts.FromLSN, next-1)
+	}
+	if l.replay.TruncatedBytes > 0 {
+		if err := l.f.Truncate(goodLen); err != nil {
+			return fmt.Errorf("wal: truncate torn tail of %s: %w", l.path, err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %s: %w", l.path, err)
+		}
+	}
+	if _, err := l.f.Seek(goodLen, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %s: %w", l.path, err)
+	}
+	l.lastLSN.Store(next - 1)
+	return nil
+}
+
+// ReplayStats returns what Open found: records replayed/skipped and the
+// torn bytes truncated.
+func (l *Log) ReplayStats() ReplayStats { return l.replay }
+
+// LastLSN returns the LSN of the last record in the log (base−1 for an
+// empty log — the checkpoint horizon it was created over).
+func (l *Log) LastLSN() uint64 { return l.lastLSN.Load() }
+
+// Counters snapshots the activity counters.
+func (l *Log) Counters() Counters {
+	return Counters{
+		Appended:       l.appended.Load(),
+		AppendedBytes:  l.appendedBytes.Load(),
+		Fsyncs:         l.fsyncs.Load(),
+		AppendErrors:   l.appendErrors.Load(),
+		Replayed:       int64(l.replay.Replayed),
+		TruncatedBytes: l.replay.TruncatedBytes,
+		LastLSN:        l.lastLSN.Load(),
+	}
+}
+
+// Append assigns the next LSN to r, frames and writes it, and fsyncs
+// according to the sync policy. It returns only after the write (and
+// any required fsync) succeeded — the caller may then apply the
+// mutation and acknowledge its client. On error the mutation must not
+// be applied.
+func (l *Log) Append(r Record) error {
+	r.LSN = l.lastLSN.Load() + 1
+	payload := appendRecord(nil, r)
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	if h := l.opts.TestHook; h != nil && h(l.f, frame) {
+		l.appendErrors.Add(1)
+		return errors.New("wal: append torn by test hook")
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.appendErrors.Add(1)
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.f.Sync(); err != nil {
+			l.appendErrors.Add(1)
+			return fmt.Errorf("wal: append: %w", err)
+		}
+		l.fsyncs.Add(1)
+	case SyncInterval:
+		if now := time.Now(); now.Sub(l.lastSync) >= l.opts.SyncInterval {
+			if err := l.f.Sync(); err != nil {
+				l.appendErrors.Add(1)
+				return fmt.Errorf("wal: append: %w", err)
+			}
+			l.fsyncs.Add(1)
+			l.lastSync = now
+		}
+	}
+	l.lastLSN.Store(r.LSN)
+	l.appended.Add(1)
+	l.appendedBytes.Add(int64(len(frame)))
+	return nil
+}
+
+// Rotate starts a fresh log generation after a checkpoint: a new file
+// whose base LSN is LastLSN+1 is written durably and renamed over the
+// old log, discarding every record the checkpoint now covers. Call it
+// only after the checkpoint recording LastLSN is durably complete, with
+// the writer quiesced — records appended between the checkpoint and the
+// rotation would be lost. A crash before the rename leaves the old log;
+// replay skips the records the checkpoint already holds (the FromLSN
+// horizon), so rotation is safe to retry or to never happen.
+func (l *Log) Rotate() error {
+	if err := writeHeader(l.path, l.lastLSN.Load()+1); err != nil {
+		return fmt.Errorf("wal: rotate %s: %w", l.path, err)
+	}
+	// The rename orphaned the old inode; release it and adopt the new
+	// file for subsequent appends.
+	old := l.f
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("wal: rotate %s: %w", l.path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: rotate %s: %w", l.path, err)
+	}
+	l.f = f
+	old.Close()
+	return nil
+}
+
+// Sync flushes the log to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: close %s: %w", l.path, err)
+	}
+	return l.f.Close()
+}
+
+// --- Record codec --------------------------------------------------------
+
+// appendRecord encodes r (with its LSN) onto buf.
+func appendRecord(buf []byte, r Record) []byte {
+	buf = binary.AppendUvarint(buf, r.LSN)
+	buf = append(buf, byte(r.Kind))
+	switch r.Kind {
+	case KindAddUser:
+		buf = binary.AppendUvarint(buf, uint64(len(r.Items)))
+		for _, it := range r.Items {
+			buf = binary.AppendUvarint(buf, uint64(it))
+		}
+		if r.Weights != nil {
+			buf = append(buf, 1)
+			for _, w := range r.Weights {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w))
+			}
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindAddRating:
+		buf = binary.AppendUvarint(buf, uint64(r.User))
+		buf = binary.AppendUvarint(buf, uint64(r.Item))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Rating))
+	case KindRebuild:
+		if r.All {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+			buf = binary.AppendUvarint(buf, uint64(len(r.Dirty)))
+			for _, u := range r.Dirty {
+				buf = binary.AppendUvarint(buf, uint64(u))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("wal: encoding unknown record kind %d", r.Kind))
+	}
+	return buf
+}
+
+// decodeRecord decodes one CRC-verified payload. Errors mean the writer
+// produced garbage (hard corruption), since torn writes cannot pass the
+// frame CRC.
+func decodeRecord(payload []byte) (Record, error) {
+	d := recDecoder{rest: payload}
+	var r Record
+	r.LSN = d.uvarint("lsn")
+	r.Kind = Kind(d.byte("kind"))
+	switch r.Kind {
+	case KindAddUser:
+		n := d.uvarint("item count")
+		if d.err == nil && n > uint64(len(d.rest)) {
+			// Each item costs ≥ 1 payload byte; a bigger claim cannot fit.
+			d.fail("item count %d exceeds payload", n)
+		}
+		if d.err == nil {
+			r.Items = make([]uint32, n)
+			prev := int64(-1)
+			for i := range r.Items {
+				it := d.uvarint("item")
+				if d.err == nil && (it > math.MaxUint32 || int64(it) <= prev) {
+					d.fail("item IDs not strictly ascending uint32s")
+				}
+				prev = int64(it)
+				r.Items[i] = uint32(it)
+			}
+		}
+		if d.byte("weighted flag") == 1 && d.err == nil {
+			r.Weights = make([]float64, len(r.Items))
+			for i := range r.Weights {
+				r.Weights[i] = d.float64("weight")
+			}
+		}
+	case KindAddRating:
+		r.User = d.uint32("user")
+		r.Item = d.uint32("item")
+		r.Rating = d.float64("rating")
+	case KindRebuild:
+		r.All = d.byte("all flag") == 1
+		if !r.All && d.err == nil {
+			n := d.uvarint("dirty count")
+			if d.err == nil && n > uint64(len(d.rest)) {
+				d.fail("dirty count %d exceeds payload", n)
+			}
+			if d.err == nil {
+				r.Dirty = make([]uint32, n)
+				for i := range r.Dirty {
+					r.Dirty[i] = d.uint32("dirty user")
+				}
+			}
+		}
+	default:
+		return Record{}, fmt.Errorf("unknown record kind %d", uint8(r.Kind))
+	}
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if len(d.rest) != 0 {
+		return Record{}, fmt.Errorf("%d trailing bytes after record", len(d.rest))
+	}
+	return r, nil
+}
+
+// recDecoder is a tiny sticky-error cursor over a record payload.
+type recDecoder struct {
+	rest []byte
+	err  error
+}
+
+func (d *recDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *recDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.rest)
+	if n <= 0 {
+		d.fail("truncated %s", what)
+		return 0
+	}
+	d.rest = d.rest[n:]
+	return v
+}
+
+func (d *recDecoder) uint32(what string) uint32 {
+	v := d.uvarint(what)
+	if d.err == nil && v > math.MaxUint32 {
+		d.fail("%s %d overflows uint32", what, v)
+	}
+	return uint32(v)
+}
+
+func (d *recDecoder) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.rest) < 1 {
+		d.fail("truncated %s", what)
+		return 0
+	}
+	b := d.rest[0]
+	d.rest = d.rest[1:]
+	return b
+}
+
+func (d *recDecoder) float64(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.rest) < 8 {
+		d.fail("truncated %s", what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.rest))
+	d.rest = d.rest[8:]
+	return v
+}

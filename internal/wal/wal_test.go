@@ -1,0 +1,375 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// collect opens path and gathers the replayed records.
+func collect(t *testing.T, path string, opts Options) (*Log, []Record) {
+	t.Helper()
+	var got []Record
+	l, err := Open(path, opts, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, got
+}
+
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: KindAddUser, Items: []uint32{1, 5, 9}},
+		{Kind: KindAddUser, Items: []uint32{0, 2}, Weights: []float64{0.5, -3.25}},
+		{Kind: KindAddRating, User: 1, Item: 7, Rating: 2.5},
+		{Kind: KindRebuild, All: true},
+		{Kind: KindRebuild, Dirty: []uint32{0, 1}},
+		{Kind: KindAddUser, Items: []uint32{3}},
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kfl")
+	l, got := collect(t, path, Options{Sync: SyncNever})
+	if len(got) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(got))
+	}
+	want := sampleRecords()
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.LastLSN() != uint64(len(want)) {
+		t.Fatalf("LastLSN = %d, want %d", l.LastLSN(), len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := collect(t, path, Options{})
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d: LSN %d", i, r.LSN)
+		}
+		w := want[i]
+		w.LSN = r.LSN
+		if !reflect.DeepEqual(r, w) {
+			t.Fatalf("record %d: got %+v, want %+v", i, r, w)
+		}
+	}
+	st := l2.ReplayStats()
+	if st.Replayed != len(want) || st.Skipped != 0 || st.TruncatedBytes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.ReplayedInserts != 3 {
+		t.Fatalf("ReplayedInserts = %d, want 3", st.ReplayedInserts)
+	}
+}
+
+func TestFromLSNSkipsCheckpointedPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kfl")
+	l, _ := collect(t, path, Options{Sync: SyncNever})
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l2, got := collect(t, path, Options{FromLSN: 4})
+	defer l2.Close()
+	if len(got) != 2 || got[0].LSN != 5 || got[1].LSN != 6 {
+		t.Fatalf("replayed %+v, want LSNs 5,6", got)
+	}
+	st := l2.ReplayStats()
+	if st.Skipped != 4 || st.Replayed != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for name, mangle := range map[string]func([]byte) []byte{
+		"partial frame header": func(b []byte) []byte { return b[:len(b)-3] },
+		"partial payload": func(b []byte) []byte {
+			// Keep the last frame's header but drop half its payload.
+			return b[:len(b)-5]
+		},
+		"flipped payload bit": func(b []byte) []byte {
+			b[len(b)-1] ^= 0x40
+			return b
+		},
+		"garbage after frames": func(b []byte) []byte {
+			return append(b, 0xff, 0xff, 0xff, 0xff, 0x00)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.kfl")
+			l, _ := collect(t, path, Options{Sync: SyncNever})
+			want := sampleRecords()
+			for _, r := range want {
+				if err := l.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clean := len(raw)
+			if err := os.WriteFile(path, mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, got := collect(t, path, Options{})
+			st := l2.ReplayStats()
+			if name == "garbage after frames" {
+				if len(got) != len(want) || st.TruncatedBytes != 5 {
+					t.Fatalf("replayed %d, stats %+v", len(got), st)
+				}
+			} else {
+				if len(got) != len(want)-1 {
+					t.Fatalf("replayed %d records, want %d", len(got), len(want)-1)
+				}
+				if st.TruncatedBytes <= 0 {
+					t.Fatalf("stats %+v: expected truncated bytes", st)
+				}
+			}
+			// The file is physically truncated to the clean prefix and the
+			// log appends from there: a fresh record lands at the LSN the
+			// torn one failed to claim.
+			if err := l2.Append(Record{Kind: KindAddRating, User: 0, Item: 1, Rating: 9}); err != nil {
+				t.Fatal(err)
+			}
+			l2.Close()
+			l3, got := collect(t, path, Options{})
+			l3.Close()
+			wantN := len(want) + 1
+			if name != "garbage after frames" {
+				wantN = len(want)
+			}
+			if len(got) != wantN || got[len(got)-1].Rating != 9 {
+				t.Fatalf("after repair: replayed %d records, want %d ending in repair record", len(got), wantN)
+			}
+			if fi, err := os.Stat(path); err != nil || fi.Size() > int64(clean)+64 {
+				t.Fatalf("file not truncated: %d bytes vs clean %d (err %v)", fi.Size(), clean, err)
+			}
+		})
+	}
+}
+
+func TestHardCorruptionFailsLoudly(t *testing.T) {
+	build := func(t *testing.T, recs []Record) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "wal.kfl")
+		l, _ := collect(t, path, Options{Sync: SyncNever})
+		for _, r := range recs {
+			if err := l.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Close()
+		return path
+	}
+	reframe := func(payload []byte) []byte {
+		f := make([]byte, frameHeaderLen+len(payload))
+		binary.LittleEndian.PutUint32(f[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(f[4:8], crc32.ChecksumIEEE(payload))
+		copy(f[frameHeaderLen:], payload)
+		return f
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		path := build(t, nil)
+		raw, _ := os.ReadFile(path)
+		raw[0] = 'X'
+		os.WriteFile(path, raw, 0o644)
+		if _, err := Open(path, Options{}, nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("unknown kind with valid CRC", func(t *testing.T) {
+		path := build(t, sampleRecords()[:2])
+		payload := binary.AppendUvarint(nil, 3) // LSN 3
+		payload = append(payload, 99)           // bogus kind
+		raw, _ := os.ReadFile(path)
+		os.WriteFile(path, append(raw, reframe(payload)...), 0o644)
+		if _, err := Open(path, Options{}, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("LSN gap with valid CRC", func(t *testing.T) {
+		path := build(t, sampleRecords()[:2])
+		payload := appendRecord(nil, Record{LSN: 7, Kind: KindRebuild, All: true})
+		raw, _ := os.ReadFile(path)
+		os.WriteFile(path, append(raw, reframe(payload)...), 0o644)
+		if _, err := Open(path, Options{}, func(Record) error { return nil }); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("log base beyond checkpoint", func(t *testing.T) {
+		// A log rotated at LSN 10 replayed against a checkpoint at LSN 4:
+		// records 5..10 live nowhere — must refuse.
+		path := filepath.Join(t.TempDir(), "wal.kfl")
+		if err := writeHeader(path, 11); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path, Options{FromLSN: 4}, nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("checkpoint beyond log end", func(t *testing.T) {
+		path := build(t, sampleRecords()[:2])
+		if _, err := Open(path, Options{FromLSN: 9}, nil); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestReplayApplyErrorAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kfl")
+	l, _ := collect(t, path, Options{Sync: SyncNever})
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	boom := errors.New("apply failed")
+	_, err := Open(path, Options{}, func(r Record) error {
+		if r.LSN == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kfl")
+	l, _ := collect(t, path, Options{Sync: SyncNever})
+	for _, r := range sampleRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-rotation appends continue the LSN sequence in the new file.
+	if err := l.Append(Record{Kind: KindAddRating, User: 2, Item: 3, Rating: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastLSN() != 7 {
+		t.Fatalf("LastLSN = %d, want 7", l.LastLSN())
+	}
+	l.Close()
+
+	// Replaying against the checkpoint that triggered the rotation (LSN
+	// 6) yields exactly the post-rotation record.
+	l2, got := collect(t, path, Options{FromLSN: 6})
+	l2.Close()
+	if len(got) != 1 || got[0].LSN != 7 || got[0].Rating != 1 {
+		t.Fatalf("replayed %+v", got)
+	}
+	// The rotated file must not contain the old records at all.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() > 64 {
+		t.Fatalf("rotated log still %d bytes", fi.Size())
+	}
+}
+
+func TestCountersAndSyncPolicies(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kfl")
+	l, _ := collect(t, path, Options{Sync: SyncAlways})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Kind: KindRebuild, All: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := l.Counters()
+	if c.Appended != 3 || c.Fsyncs != 3 || c.LastLSN != 3 || c.AppendedBytes <= 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	l.Close()
+
+	// SyncInterval with a huge interval: one fsync at most (the first
+	// append fires because lastSync is zero), not one per append.
+	path2 := filepath.Join(t.TempDir(), "wal.kfl")
+	l2, _ := collect(t, path2, Options{Sync: SyncInterval, SyncInterval: time.Hour})
+	for i := 0; i < 5; i++ {
+		if err := l2.Append(Record{Kind: KindRebuild, All: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := l2.Counters(); c.Fsyncs > 1 {
+		t.Fatalf("interval policy issued %d fsyncs for 5 appends", c.Fsyncs)
+	}
+	l2.Close()
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		pol  SyncPolicy
+		dur  time.Duration
+		fail bool
+	}{
+		{in: "always", pol: SyncAlways},
+		{in: "never", pol: SyncNever},
+		{in: "250ms", pol: SyncInterval, dur: 250 * time.Millisecond},
+		{in: "0s", fail: true},
+		{in: "-1s", fail: true},
+		{in: "sometimes", fail: true},
+	} {
+		pol, dur, err := ParseSyncPolicy(tc.in)
+		if tc.fail {
+			if err == nil {
+				t.Errorf("ParseSyncPolicy(%q): expected error", tc.in)
+			}
+			continue
+		}
+		if err != nil || pol != tc.pol || dur != tc.dur {
+			t.Errorf("ParseSyncPolicy(%q) = %v,%v,%v want %v,%v", tc.in, pol, dur, err, tc.pol, tc.dur)
+		}
+	}
+}
+
+func TestWeightBitExactness(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.kfl")
+	l, _ := collect(t, path, Options{Sync: SyncNever})
+	weird := []float64{math.Pi, -0.0, math.Inf(1), math.SmallestNonzeroFloat64, math.NaN()}
+	if err := l.Append(Record{Kind: KindAddUser, Items: []uint32{1, 2, 3, 4, 5}, Weights: weird}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, got := collect(t, path, Options{})
+	l2.Close()
+	if len(got) != 1 {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	for i, w := range got[0].Weights {
+		if math.Float64bits(w) != math.Float64bits(weird[i]) {
+			t.Fatalf("weight %d: %x != %x", i, math.Float64bits(w), math.Float64bits(weird[i]))
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"kiff/internal/rcs"
 	"kiff/internal/runstats"
 	"kiff/internal/similarity"
+	"kiff/internal/wal"
 )
 
 // Maintainer keeps a KIFF-built KNN graph fresh under a stream of profile
@@ -83,6 +84,13 @@ type Maintainer struct {
 	// replaced wholesale by the writer, loaded lock-free by readers.
 	snap    atomic.Pointer[Snapshot]
 	version uint64
+
+	// wlog, when attached (OpenWAL), receives every mutation before it is
+	// applied; walErr fail-stops the maintainer after an append failure
+	// (atomic so health endpoints may read it off the writer goroutine).
+	// See wal.go for the durability contract.
+	wlog   *wal.Log
+	walErr atomic.Pointer[error]
 }
 
 // NewMaintainer cold-builds the KNN graph with KIFF (honoring opts as in
@@ -323,6 +331,19 @@ func (m *Maintainer) noteMutation(u uint32) {
 // graph, and returns its ID. Only the new user's ranked candidates are
 // evaluated; see the type comment for the cost model.
 func (m *Maintainer) Insert(p Profile) (uint32, error) {
+	if err := m.walGuard(); err != nil {
+		return 0, err
+	}
+	if m.wlog != nil {
+		// Validate before logging: a logged record must be applicable, or
+		// replay would diverge from the state the caller observed.
+		if err := p.Validate(); err != nil {
+			return 0, fmt.Errorf("dataset: add user: %w", err)
+		}
+		if err := m.logMutation(wal.Record{Kind: wal.KindAddUser, Items: p.IDs, Weights: p.Weights}); err != nil {
+			return 0, err
+		}
+	}
 	start := time.Now()
 	id, err := m.d.AddUser(p)
 	if err != nil {
@@ -346,10 +367,24 @@ func (m *Maintainer) Insert(p Profile) (uint32, error) {
 // growth and folds the batch's page overlap into one publish. Profiles
 // are validated up front; on a validation error nothing is mutated.
 func (m *Maintainer) InsertBatch(ps []Profile) ([]uint32, error) {
+	if err := m.walGuard(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	for i := range ps {
 		if err := ps[i].Validate(); err != nil {
 			return nil, fmt.Errorf("kiff: insert batch: profile %d: %w", i, err)
+		}
+	}
+	if m.wlog != nil {
+		// All records land before any profile is applied. A mid-batch
+		// append failure fail-stops the maintainer with some records logged
+		// but unapplied; replay after restart applies them (at-least-once —
+		// the caller was never acknowledged), so log and state re-converge.
+		for i := range ps {
+			if err := m.logMutation(wal.Record{Kind: wal.KindAddUser, Items: ps[i].IDs, Weights: ps[i].Weights}); err != nil {
+				return nil, fmt.Errorf("kiff: insert batch: profile %d: %w", i, err)
+			}
 		}
 	}
 	m.heaps.Grow(len(ps))
@@ -377,6 +412,19 @@ func (m *Maintainer) InsertBatch(ps []Profile) ([]uint32, error) {
 // user dirty. The graph is not touched until Rebuild runs; batching many
 // rating updates before one Rebuild amortizes the refresh.
 func (m *Maintainer) AddRating(u uint32, item uint32, rating float64) error {
+	if err := m.walGuard(); err != nil {
+		return err
+	}
+	if m.wlog != nil {
+		if int(u) >= m.d.NumUsers() {
+			// Out of range: skip the log and let the dataset produce its
+			// canonical error — nothing will be applied either way.
+			return m.d.AddRating(u, item, rating)
+		}
+		if err := m.logMutation(wal.Record{Kind: wal.KindAddRating, User: u, Item: item, Rating: rating}); err != nil {
+			return err
+		}
+	}
 	if err := m.d.AddRating(u, item, rating); err != nil {
 		return err
 	}
@@ -404,7 +452,11 @@ func (m *Maintainer) Dirty() []uint32 {
 // eviction pass scans all heaps (O(|U|·k) ID comparisons); the similarity
 // work is bounded by the rebuilt users' candidate sets.
 func (m *Maintainer) Rebuild(dirty []uint32) error {
+	if err := m.walGuard(); err != nil {
+		return err
+	}
 	start := time.Now()
+	logAll := dirty == nil
 	if dirty == nil {
 		dirty = m.Dirty()
 	}
@@ -419,7 +471,29 @@ func (m *Maintainer) Rebuild(dirty []uint32) error {
 	if len(targets) == 0 {
 		return nil
 	}
+	if m.wlog != nil {
+		// Rebuild boundaries are state-bearing (see wal.KindRebuild), so
+		// they are logged like any mutation. A nil argument is logged as
+		// All: replay resolves it against the dirty set the replayed
+		// AddRating records rebuilt, which matches the live resolution.
+		rec := wal.Record{Kind: wal.KindRebuild, All: logAll}
+		if !logAll {
+			rec.Dirty = dirty
+		}
+		if err := m.logMutation(rec); err != nil {
+			return err
+		}
+	}
+	// Iterate targets in ascending ID order: refineUser offers
+	// similarities into shared heaps, so iteration order is visible in
+	// tie-broken neighborhoods — map order would make Rebuild
+	// nondeterministic across runs (and across a WAL replay).
+	order := make([]uint32, 0, len(targets))
 	for u := range targets {
+		order = append(order, u)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, u := range order {
 		m.sets.PatchUser(m.d, u, m.rcsOpts())
 		m.heaps.Clear(u)
 	}
@@ -438,7 +512,7 @@ func (m *Maintainer) Rebuild(dirty []uint32) error {
 			}
 		}
 	}
-	for u := range targets {
+	for _, u := range order {
 		m.refineUser(u)
 		delete(m.dirty, u)
 	}

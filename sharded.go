@@ -7,6 +7,7 @@ import (
 	"kiff/internal/dataset"
 	"kiff/internal/parallel"
 	"kiff/internal/shard"
+	"kiff/internal/wal"
 )
 
 // ShardedMaintainer hash-partitions the user population across N
@@ -122,6 +123,122 @@ func LoadShardedMaintainerMapped(dir string, opts Options) (*ShardedMaintainer, 
 		}
 		return m, err
 	})
+}
+
+// NewShardedMaintainerWAL is NewShardedMaintainer plus per-shard
+// write-ahead logging: after each shard's cold build, its log
+// (shard.WalFile(i) under walDir) is opened — replaying any surviving
+// records on top of the build — and attached, so every subsequent pool
+// mutation is logged before it is applied. The cold build itself is not
+// logged: it is deterministic in the input dataset, so a restart before
+// the first checkpoint re-builds from the same input and replays the
+// log on top, converging on the pre-crash state. opts.Sync and
+// SyncInterval follow wal.Options; FromLSN must be zero (there is no
+// checkpoint to resume from — use LoadShardedMaintainerWAL for that).
+func NewShardedMaintainerWAL(d *Dataset, shards int, opts Options, walDir string, wopts wal.Options) (*ShardedMaintainer, error) {
+	if wopts.FromLSN != 0 {
+		return nil, fmt.Errorf("kiff: sharded maintainer: FromLSN %d without a checkpoint", wopts.FromLSN)
+	}
+	if shards < 1 || shards > shard.MaxShards {
+		return nil, fmt.Errorf("kiff: sharded maintainer needs 1..%d shards, got %d", shard.MaxShards, shards)
+	}
+	profiles := make([][]Profile, shards)
+	for g, p := range d.Users {
+		s := shard.Owner(uint32(g), shards)
+		profiles[s] = append(profiles[s], p)
+	}
+	ms := make([]shard.Maintainer, shards)
+	replayedInserts := make([]int, shards)
+	g := parallel.NewGroup(shards)
+	for s := 0; s < shards; s++ {
+		g.Go(func() error {
+			sd, err := dataset.New(shardName(d.Name, s, shards), profiles[s], d.NumItems())
+			if err != nil {
+				return fmt.Errorf("kiff: sharded maintainer: shard %d: %w", s, err)
+			}
+			sd.EnsureItemProfiles()
+			m, err := NewMaintainer(sd, opts)
+			if err != nil {
+				return fmt.Errorf("kiff: sharded maintainer: shard %d: %w", s, err)
+			}
+			st, err := m.OpenWAL(filepath.Join(walDir, shard.WalFile(s)), wopts)
+			if err != nil {
+				return fmt.Errorf("kiff: sharded maintainer: shard %d: %w", s, err)
+			}
+			replayedInserts[s] = st.ReplayedInserts
+			ms[s] = maintainerShard{m}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	users := d.NumUsers()
+	for _, r := range replayedInserts {
+		users += r
+	}
+	// NewPool re-derives the user→shard partition over the grown
+	// population and cross-checks every shard against it, so replayed
+	// logs that do not belong to this build fail here instead of serving.
+	return shard.NewPool(ms, users)
+}
+
+// LoadShardedMaintainerWAL recovers a pool from a checkpoint directory
+// and replays each shard's write-ahead log (shard.WalFile(i) under
+// walDir) on top, in parallel across shards — the crash-recovery load
+// path. The manifest's wal_lsns give each shard its replay horizon
+// (records the checkpoint already covers are skipped); a manifest
+// without wal_lsns — a checkpoint saved before logging was enabled —
+// replays every record. wopts.FromLSN is ignored (the manifest owns the
+// horizons). Missing log files are created empty, so enabling -wal over
+// an existing checkpoint just works.
+func LoadShardedMaintainerWAL(dir, walDir string, opts Options, wopts wal.Options) (*ShardedMaintainer, error) {
+	man, err := shard.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	lsns := man.WalLSNs
+	if lsns == nil {
+		lsns = make([]uint64, man.Shards)
+	}
+	ms := make([]shard.Maintainer, man.Shards)
+	replayedInserts := make([]int, man.Shards)
+	g := parallel.NewGroup(man.Shards)
+	for s := 0; s < man.Shards; s++ {
+		g.Go(func() error {
+			gr, err := LoadGraph(filepath.Join(dir, shard.GraphFile(s)))
+			if err != nil {
+				return fmt.Errorf("kiff: load sharded maintainer: shard %d: %w", s, err)
+			}
+			ds, err := LoadDataset(filepath.Join(dir, shard.DataFile(s)))
+			if err != nil {
+				return fmt.Errorf("kiff: load sharded maintainer: shard %d: %w", s, err)
+			}
+			m, err := NewMaintainerFromGraph(ds, gr, opts)
+			if err != nil {
+				return fmt.Errorf("kiff: load sharded maintainer: shard %d: %w", s, err)
+			}
+			so := wopts
+			so.FromLSN = lsns[s]
+			st, err := m.OpenWAL(filepath.Join(walDir, shard.WalFile(s)), so)
+			if err != nil {
+				return fmt.Errorf("kiff: load sharded maintainer: shard %d: %w", s, err)
+			}
+			replayedInserts[s] = st.ReplayedInserts
+			ms[s] = maintainerShard{m}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	// Replayed inserts grew the shards past the manifest's population;
+	// NewPool's partition cross-check runs against the grown count.
+	users := man.Users
+	for _, r := range replayedInserts {
+		users += r
+	}
+	return shard.NewPool(ms, users)
 }
 
 // loadSharded is the shared recovery skeleton: manifest validation,

@@ -70,6 +70,7 @@ type sut struct {
 	bin      string
 	sharded  bool
 	ckptRoot string
+	walDir   string // set in WAL mode (startWAL); stable across restarts
 	gen      int
 	p        *proc
 }

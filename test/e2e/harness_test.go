@@ -251,6 +251,58 @@ func doJSON(t *testing.T, method, url string, body any) (int, []byte) {
 	return resp.StatusCode, out
 }
 
+// tryJSON is doJSON without the t.Fatal on transport failure — for
+// requests that are EXPECTED to die mid-flight (the torn-append fault
+// kills the server before it can answer).
+func tryJSON(method, url string, body any) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// walStats fetches the /stats "wal" block — the durability counters a
+// logged server exposes.
+func walStats(t *testing.T, url string) (replayed, truncatedBytes, appended int64) {
+	t.Helper()
+	status, body := doJSON(t, http.MethodGet, url+"/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d: %s", status, body)
+	}
+	var s struct {
+		WAL *struct {
+			Replayed       int64 `json:"replayed"`
+			TruncatedBytes int64 `json:"truncated_bytes"`
+			Appended       int64 `json:"appended"`
+		} `json:"wal"`
+	}
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.WAL == nil {
+		t.Fatalf("/stats has no wal block (is -wal on?): %s", body)
+	}
+	return s.WAL.Replayed, s.WAL.TruncatedBytes, s.WAL.Appended
+}
+
 // jsonField extracts one top-level field as raw JSON text — the
 // equality unit across servers, since whole bodies differ by snapshot
 // version after restarts.

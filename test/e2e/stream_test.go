@@ -53,6 +53,7 @@ type StreamConfig struct {
 	QueueDepth   int  // server queue depth (sizes backpressure bursts)
 	Restarts     bool // emit KillRestart/ReadonlyFlip/Checkpoint actions
 	ReadonlyFlip bool // emit ReadonlyFlip (unsupported in sharded mode)
+	ZeroLoss     bool // WAL mode: a KillRestart loses nothing, so no rollback
 	Workers      int  // ignored; see the determinism contract above
 }
 
@@ -134,9 +135,13 @@ func GenStream(cfg StreamConfig) []Action {
 			}
 			cur += burst
 		case ActKillRestart:
-			// SIGKILL forfeits everything since the last acknowledged
-			// checkpoint — on both the system under test and the oracle.
-			cur = last
+			// Without a WAL, SIGKILL forfeits everything since the last
+			// acknowledged checkpoint — on both the system under test and
+			// the oracle. With one (ZeroLoss), every acknowledged mutation
+			// survives the crash, so the population never rolls back.
+			if !cfg.ZeroLoss {
+				cur = last
+			}
 		case ActReadonlyFlip:
 			// Checkpoint, restart read-only, restart mutable: state is
 			// preserved through the flip.
@@ -250,6 +255,27 @@ func TestActionStreamShape(t *testing.T) {
 	for i, a := range GenStream(cfg) {
 		if a.Kind == ActReadonlyFlip {
 			t.Fatalf("action %d: ReadonlyFlip emitted with ReadonlyFlip=false", i)
+		}
+	}
+
+	// Zero-loss config: the population simulation never rolls back on a
+	// KillRestart, and targets stay valid against that stricter count.
+	cfg.ZeroLoss = true
+	cur = cfg.InitialUsers
+	for i, a := range GenStream(cfg) {
+		switch a.Kind {
+		case ActAddUser:
+			cur++
+		case ActBackpressure:
+			cur += len(a.Burst)
+		case ActAddRating:
+			if int(a.User) >= cur {
+				t.Fatalf("zero-loss action %d: rating targets user %d, only %d live", i, a.User, cur)
+			}
+		case ActNeighbors:
+			if int(a.Target) >= cur {
+				t.Fatalf("zero-loss action %d: neighbors targets user %d, only %d live", i, a.Target, cur)
+			}
 		}
 	}
 }

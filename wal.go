@@ -1,0 +1,169 @@
+package kiff
+
+import (
+	"errors"
+	"fmt"
+
+	"kiff/internal/wal"
+)
+
+// This file is the Maintainer side of write-ahead logging (package
+// internal/wal holds the KFL1 format itself; docs/ARCHITECTURE.md
+// "Durability" has the full ordering story). The contract is
+// append → apply → ack: with a log attached, every mutation entry point
+// (Insert, InsertBatch, AddRating, Rebuild) validates its arguments,
+// appends the corresponding KFL1 record, and only then touches the live
+// state — so a mutation whose call returned is always recoverable by
+// replaying the log over the last checkpoint.
+//
+// A failed append fail-stops the maintainer: log and state would
+// otherwise drift apart (a logged-but-unapplied insert replays after a
+// crash, colliding with the IDs later live inserts handed out), so
+// every subsequent mutation is refused until the process restarts and
+// replays. Reads are unaffected.
+
+// Aliases re-export the wal types appearing in public signatures:
+// consumers outside this module cannot import kiff/internal/wal, so
+// without these OpenWAL and friends would be uncallable externally.
+type (
+	// WALOptions configures OpenWAL (fsync policy, replay horizon).
+	WALOptions = wal.Options
+	// WALReplayStats reports what OpenWAL's replay found.
+	WALReplayStats = wal.ReplayStats
+	// WALSyncPolicy selects when appends fsync.
+	WALSyncPolicy = wal.SyncPolicy
+)
+
+// The three fsync policies, re-exported for WALOptions.Sync.
+const (
+	WALSyncAlways   = wal.SyncAlways
+	WALSyncInterval = wal.SyncInterval
+	WALSyncNever    = wal.SyncNever
+)
+
+// ErrWALCorrupt tags unrecoverable log damage (as opposed to a torn
+// tail, which replay truncates silently): errors.Is-match it to decide
+// between restoring from a checkpoint and debugging a real bug.
+var ErrWALCorrupt = wal.ErrCorrupt
+
+// OpenWAL opens (creating if absent) the KFL1 log at path, replays any
+// records above opts.FromLSN onto the maintainer, and attaches the log
+// so subsequent mutations are appended before they are applied.
+// opts.FromLSN must be the WAL horizon recorded by the checkpoint this
+// maintainer was loaded from (0 for a cold build with no checkpoint).
+// A torn tail is truncated (see wal.Open); mismatched log/checkpoint
+// pairs fail loudly with wal.ErrCorrupt.
+func (m *Maintainer) OpenWAL(path string, opts wal.Options) (wal.ReplayStats, error) {
+	if m.wlog != nil {
+		return wal.ReplayStats{}, errors.New("kiff: maintainer already has a write-ahead log")
+	}
+	l, err := wal.Open(path, opts, m.WALApply)
+	if err != nil {
+		return wal.ReplayStats{}, err
+	}
+	m.wlog = l
+	return l.ReplayStats(), nil
+}
+
+// WALApply applies one replayed log record to the maintainer without
+// re-logging it — the replay callback for wal.Open. It must only run on
+// a maintainer with no attached log (replay precedes attachment).
+func (m *Maintainer) WALApply(r wal.Record) error {
+	if m.wlog != nil {
+		return errors.New("kiff: WALApply on a maintainer with an attached log")
+	}
+	switch r.Kind {
+	case wal.KindAddUser:
+		_, err := m.Insert(Profile{IDs: r.Items, Weights: r.Weights})
+		return err
+	case wal.KindAddRating:
+		return m.AddRating(r.User, r.Item, r.Rating)
+	case wal.KindRebuild:
+		if r.All {
+			// "All" replays against the dirty set the preceding replayed
+			// AddRating records accumulated — the same set the live call
+			// resolved, since the record stream up to here is identical.
+			return m.Rebuild(nil)
+		}
+		return m.Rebuild(r.Dirty)
+	}
+	return fmt.Errorf("kiff: replay: unknown record kind %d", r.Kind)
+}
+
+// WALAttached reports whether a write-ahead log is attached.
+func (m *Maintainer) WALAttached() bool { return m.wlog != nil }
+
+// WALLastLSN returns the LSN of the last logged mutation (0 with no log
+// attached). A checkpoint taken now covers exactly LSNs 1..WALLastLSN.
+func (m *Maintainer) WALLastLSN() uint64 {
+	if m.wlog == nil {
+		return 0
+	}
+	return m.wlog.LastLSN()
+}
+
+// WALRotate starts a fresh log generation, discarding the records the
+// just-completed checkpoint covers. No-op without a log. Call it only
+// after a checkpoint recording WALLastLSN is durably complete, with no
+// concurrent mutations.
+func (m *Maintainer) WALRotate() error {
+	if m.wlog == nil {
+		return nil
+	}
+	return m.wlog.Rotate()
+}
+
+// WALCounters snapshots the attached log's activity counters (zero
+// value with no log). Safe from any goroutine.
+func (m *Maintainer) WALCounters() wal.Counters {
+	if m.wlog == nil {
+		return wal.Counters{}
+	}
+	return m.wlog.Counters()
+}
+
+// WALError returns the append error that fail-stopped the maintainer,
+// or nil. Once non-nil every mutation is refused; restart and replay.
+// Safe from any goroutine (health endpoints poll it).
+func (m *Maintainer) WALError() error {
+	if p := m.walErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// CloseWAL syncs and closes the attached log, detaching it. No-op
+// without one. The maintainer accepts unlogged mutations afterwards;
+// callers that want durability must not mutate after closing.
+func (m *Maintainer) CloseWAL() error {
+	if m.wlog == nil {
+		return nil
+	}
+	err := m.wlog.Close()
+	m.wlog = nil
+	return err
+}
+
+// ErrWALFailStop tags mutations refused because an earlier write-ahead
+// log append failed (fail-stop; see the file comment). Serving layers
+// map it to "service unavailable" — the fix is a restart-and-replay,
+// not a different request.
+var ErrWALFailStop = errors.New("kiff: maintainer fail-stopped after a write-ahead log error")
+
+// walGuard refuses mutations after an append failure.
+func (m *Maintainer) walGuard() error {
+	if p := m.walErr.Load(); p != nil {
+		return fmt.Errorf("%w: %w", ErrWALFailStop, *p)
+	}
+	return nil
+}
+
+// logMutation appends one record, fail-stopping the maintainer on error.
+// Callers must have validated the mutation so applying it cannot fail.
+func (m *Maintainer) logMutation(r wal.Record) error {
+	if err := m.wlog.Append(r); err != nil {
+		m.walErr.Store(&err)
+		return fmt.Errorf("kiff: %w", err)
+	}
+	return nil
+}
