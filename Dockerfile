@@ -1,0 +1,34 @@
+# Multi-stage build for the kiff serving stack. The build stage
+# compiles static binaries (no cgo, no external module dependencies —
+# the repo is stdlib-only); the runtime stage is a minimal alpine with
+# just the two binaries and a non-root user.
+#
+#   docker build -t kiffserve .
+#   docker run -p 8080:8080 kiffserve -in /data/ratings.tsv -addr :8080
+#
+# See deploy/compose.yml for the full sharded + WAL + auth arrangement
+# and docs/OPERATIONS.md for the runbook.
+
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+ENV CGO_ENABLED=0
+RUN go build -trimpath -ldflags='-s -w' -o /out/kiffserve ./cmd/kiffserve \
+ && go build -trimpath -ldflags='-s -w' -o /out/kiffknn ./cmd/kiffknn \
+ && go build -trimpath -ldflags='-s -w' -o /out/kiffgen ./cmd/kiffgen
+
+FROM alpine:3.20
+RUN apk add --no-cache curl \
+ && addgroup -S kiff && adduser -S -G kiff kiff \
+ && mkdir -p /data /var/lib/kiff/wal /var/lib/kiff/ckpt \
+ && chown -R kiff:kiff /data /var/lib/kiff
+COPY --from=build /out/kiffserve /out/kiffknn /out/kiffgen /usr/local/bin/
+USER kiff
+EXPOSE 8080
+# /healthz is exempt from auth and rate limiting by design, so the probe
+# works whatever hardening flags the container runs with.
+HEALTHCHECK --interval=10s --timeout=3s --start-period=30s \
+  CMD curl -fsS http://localhost:8080/healthz || exit 1
+ENTRYPOINT ["kiffserve"]
+CMD ["-addr", ":8080"]

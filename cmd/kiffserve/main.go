@@ -37,6 +37,16 @@
 //	# ... mutations, maybe a crash ...
 //	kiffserve -in ratings.tsv -checkpoint ckpts/ -wal wal/ -addr :8080  # replays, loses nothing
 //
+// Production hardening (all opt-in; see docs/OPERATIONS.md): -api-keys
+// FILE enables API-key authentication with read/write scopes (401/403),
+// -rate-limit and -rate-burst add per-key token-bucket admission
+// control (429 + Retry-After), and -log-requests emits one structured
+// JSON access-log line per request. GET /metrics always serves the
+// Prometheus text-format meters:
+//
+//	kiffserve -in ratings.tsv -api-keys keys.txt -rate-limit 100 -rate-burst 200 -addr :8080
+//	curl -H 'Authorization: Bearer <key>' localhost:8080/metrics
+//
 //	curl localhost:8080/neighbors/42
 //	curl -X POST localhost:8080/query -d '{"profile":{"7":3,"42":5},"k":10}'
 //	curl -X POST localhost:8080/users -d '{"profile":{"42":5}}'
@@ -84,28 +94,35 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	fs := flag.NewFlagSet("kiffserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		graph    = fs.String("graph", "", "binary graph checkpoint (kiffknn -save); requires -data")
-		data     = fs.String("data", "", "binary dataset checkpoint (SaveDataset)")
-		in       = fs.String("in", "", "edge list to load and cold-build from (alternative to -graph/-data)")
-		binary   = fs.Bool("binary", false, "ignore the rating column of -in")
-		useMmap  = fs.Bool("mmap", true, "load checkpoints through the zero-copy mmap path")
-		readonly = fs.Bool("readonly", false, "serve a static snapshot; mutation endpoints return 403")
-		k        = fs.Int("k", 20, "neighborhood size for cold builds (checkpoints carry their own)")
-		metric   = fs.String("metric", "cosine", "similarity metric: "+strings.Join(kiff.Metrics(), ", "))
-		budget   = fs.Int("budget", 0, "default similarity-eval budget per query (0 = exact)")
-		queue    = fs.Int("queue", 256, "mutation queue depth (full queue = backpressure)")
-		batch    = fs.Int("batch", 64, "max mutations applied per writer batch")
-		ckptDir  = fs.String("checkpoint", "", "enable POST /checkpoint into fresh subdirectories of this directory; a graceful shutdown saves a final checkpoint under <dir>/final")
-		workers  = fs.Int("workers", 0, "cold-build worker goroutines (0 = all CPUs)")
-		shards   = fs.Int("shards", 0, "partition users across this many maintainers (0 = unsharded)")
-		pool     = fs.String("pool", "", "sharded checkpoint directory to restart from (see -save-pool)")
-		savePool = fs.String("save-pool", "", "checkpoint the sharded pool to this directory after construction")
-		walDir   = fs.String("wal", "", "write-ahead log directory: append every mutation before applying it, replay on start (crash-lossless mutations)")
-		walSync  = fs.String("wal-sync", "always", "WAL fsync policy: always, never, or a flush interval like 100ms")
+		addr      = fs.String("addr", ":8080", "listen address")
+		graph     = fs.String("graph", "", "binary graph checkpoint (kiffknn -save); requires -data")
+		data      = fs.String("data", "", "binary dataset checkpoint (SaveDataset)")
+		in        = fs.String("in", "", "edge list to load and cold-build from (alternative to -graph/-data)")
+		binary    = fs.Bool("binary", false, "ignore the rating column of -in")
+		useMmap   = fs.Bool("mmap", true, "load checkpoints through the zero-copy mmap path")
+		readonly  = fs.Bool("readonly", false, "serve a static snapshot; mutation endpoints return 403")
+		k         = fs.Int("k", 20, "neighborhood size for cold builds (checkpoints carry their own)")
+		metric    = fs.String("metric", "cosine", "similarity metric: "+strings.Join(kiff.Metrics(), ", "))
+		budget    = fs.Int("budget", 0, "default similarity-eval budget per query (0 = exact)")
+		queue     = fs.Int("queue", 256, "mutation queue depth (full queue = backpressure)")
+		batch     = fs.Int("batch", 64, "max mutations applied per writer batch")
+		ckptDir   = fs.String("checkpoint", "", "enable POST /checkpoint into fresh subdirectories of this directory; a graceful shutdown saves a final checkpoint under <dir>/final")
+		workers   = fs.Int("workers", 0, "cold-build worker goroutines (0 = all CPUs)")
+		shards    = fs.Int("shards", 0, "partition users across this many maintainers (0 = unsharded)")
+		pool      = fs.String("pool", "", "sharded checkpoint directory to restart from (see -save-pool)")
+		savePool  = fs.String("save-pool", "", "checkpoint the sharded pool to this directory after construction")
+		walDir    = fs.String("wal", "", "write-ahead log directory: append every mutation before applying it, replay on start (crash-lossless mutations)")
+		walSync   = fs.String("wal-sync", "always", "WAL fsync policy: always, never, or a flush interval like 100ms")
+		apiKeys   = fs.String("api-keys", "", "API keys file (scope:key[:burst[:rate]] per line); enables authentication on every endpoint except /healthz")
+		rateRPS   = fs.Float64("rate-limit", 0, "per-key token-bucket rate limit in requests/second (0 = unlimited)")
+		rateBurst = fs.Int("rate-burst", 0, "token-bucket capacity when -rate-limit is set (0 = same as -rate-limit)")
+		logReqs   = fs.Bool("log-requests", false, "emit one structured JSON access-log line per request to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *rateBurst > 0 && *rateRPS <= 0 {
+		return fmt.Errorf("-rate-burst requires -rate-limit > 0")
 	}
 	opts := kiff.Options{K: *k, Metric: *metric, Workers: *workers}
 	faults := faultsFromEnv(stderr)
@@ -157,6 +174,17 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		},
+		RateLimit:   *rateRPS,
+		RateBurst:   *rateBurst,
+		LogRequests: *logReqs,
+	}
+	if *apiKeys != "" {
+		keys, kerr := server.LoadAPIKeys(*apiKeys)
+		if kerr != nil {
+			return fmt.Errorf("-api-keys: %w", kerr)
+		}
+		cfg.APIKeys = keys
+		fmt.Fprintf(stderr, "kiffserve: authentication enabled (%d keys)\n", len(keys))
 	}
 	if *readonly && *ckptDir != "" {
 		return fmt.Errorf("-checkpoint requires a mutable server (drop -readonly)")

@@ -1,0 +1,420 @@
+// Package metrics is a dependency-free Prometheus instrumentation
+// registry: counters, gauges and fixed-bucket histograms, optionally
+// split by labels, serialized in the Prometheus text exposition format
+// (version 0.0.4 — the format every Prometheus-compatible scraper
+// accepts).
+//
+// The package exists so the serving tier can expose GET /metrics
+// without pulling a client library into the module (the repo's
+// no-new-dependencies constraint). It implements the slice of the
+// format the server needs, normatively:
+//
+//   - one family per metric name: a `# HELP` line, a `# TYPE` line,
+//     then one sample line per label combination, families sorted by
+//     name and samples sorted by label values, so output is
+//     deterministic and diffable;
+//   - histograms expose cumulative `_bucket{le="..."}` samples ending
+//     in `le="+Inf"`, plus `_sum` and `_count`;
+//   - label values escape `\`, `"` and newline; HELP text escapes `\`
+//     and newline.
+//
+// All mutation paths are concurrency-safe: counter/gauge/histogram
+// updates are atomic (lock-free after the first use of a label
+// combination), and WritePrometheus may run concurrently with updates —
+// a scrape observes each sample at some point during the scrape, the
+// same contract the official client gives.
+//
+// Two idioms support serving metrics from an existing stats source
+// instead of double-counting:
+//
+//   - Counter.Set installs an absolute value, for counters whose truth
+//     lives in another subsystem's cumulative counters (the maintainer's
+//     runstats, the WAL's counters) — the /metrics and /stats endpoints
+//     then agree by construction because they read the same source;
+//   - Registry.OnScrape registers a hook run at the start of every
+//     WritePrometheus, the natural place to copy such snapshots in.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	validName  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	validLabel = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Registry holds metric families and renders them in the text
+// exposition format. The zero value is not usable; create with
+// NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	onScrape []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one metric name with its metadata and every labeled series
+// registered under it.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge" or "histogram"
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]metric // key: label values joined with 0xff
+}
+
+// metric is the value half of one labeled series.
+type metric interface {
+	// write appends the series' sample line(s) for the given rendered
+	// label text (`{a="b"}` or empty).
+	write(w io.Writer, name, labelText string)
+}
+
+// register validates and installs a new family, panicking on invalid or
+// duplicate names — metric registration is programmer-controlled
+// initialization, exactly like the engine registry's duplicate panic.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	if !validName.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabel.MatchString(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: slices.Clone(labels), buckets: buckets,
+		series: make(map[string]metric),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", name))
+	}
+	r.families[name] = f
+	return f
+}
+
+// NewCounter registers a counter family. With no label names the family
+// has exactly one series, reachable via With().
+func (r *Registry) NewCounter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, "counter", labels, nil)}
+}
+
+// NewGauge registers a gauge family.
+func (r *Registry) NewGauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, "gauge", labels, nil)}
+}
+
+// NewHistogram registers a histogram family with fixed bucket upper
+// bounds, which must be strictly increasing and finite; the implicit
+// +Inf bucket is added automatically.
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bucket", name))
+	}
+	for i, b := range buckets {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic(fmt.Sprintf("metrics: histogram %q bucket %d is not finite", name, i))
+		}
+		if i > 0 && buckets[i-1] >= b {
+			panic(fmt.Sprintf("metrics: histogram %q buckets not strictly increasing at %d", name, i))
+		}
+	}
+	return &HistogramVec{f: r.register(name, help, "histogram", labels, slices.Clone(buckets))}
+}
+
+// OnScrape registers a hook invoked at the start of every
+// WritePrometheus call, before serialization — the place to refresh
+// snapshot-sourced gauges and counters so a scrape is as fresh as a
+// /stats read of the same sources.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onScrape = append(r.onScrape, fn)
+}
+
+const seriesKeySep = "\xff" // never valid inside UTF-8 label text at a boundary
+
+// lookup returns the series for the given label values, creating it on
+// first use. Hot path: one RLock map hit.
+func (f *family) lookup(values []string, mk func() metric) metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s takes %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, seriesKeySep)
+	f.mu.RLock()
+	m, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok = f.series[key]; ok {
+		return m
+	}
+	m = mk()
+	f.series[key] = m
+	return m
+}
+
+// --- Counter ------------------------------------------------------------
+
+// CounterVec is a counter family; With selects one labeled series.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (one per
+// registered label name, in order), creating it at zero on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.lookup(values, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Counter is a monotonically increasing sample. The value is a float64
+// so byte counters and second counters share one type.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increments the counter by d, which must be ≥ 0.
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		panic("metrics: counter decremented")
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Set installs an absolute value — for counters mirrored from another
+// subsystem's cumulative counters at scrape time (see the package
+// comment). The caller owns monotonicity.
+func (c *Counter) Set(v float64) { c.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) write(w io.Writer, name, labelText string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labelText, formatFloat(c.Value()))
+}
+
+// --- Gauge --------------------------------------------------------------
+
+// GaugeVec is a gauge family; With selects one labeled series.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.lookup(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Gauge is a sample that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set installs the current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name, labelText string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labelText, formatFloat(g.Value()))
+}
+
+// --- Histogram ----------------------------------------------------------
+
+// HistogramVec is a histogram family; With selects one labeled series.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.lookup(values, func() metric {
+		return &Histogram{bounds: v.f.buckets, counts: make([]atomic.Uint64, len(v.f.buckets)+1)}
+	}).(*Histogram)
+}
+
+// Histogram accumulates observations into fixed buckets. counts[i]
+// holds observations in (bounds[i-1], bounds[i]]; the final slot is the
+// +Inf overflow. Exposition cumulates them per the format.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) write(w io.Writer, name, labelText string) {
+	// Merge `le` into any existing labels: {a="b",le="x"} or {le="x"}.
+	le := func(bound string) string {
+		if labelText == "" {
+			return `{le="` + bound + `"}`
+		}
+		return labelText[:len(labelText)-1] + `,le="` + bound + `"}`
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, le(formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, le("+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelText, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelText, cum)
+}
+
+// --- Exposition ---------------------------------------------------------
+
+// WritePrometheus runs the scrape hooks, then serializes every family in
+// the text exposition format: families sorted by name, series sorted by
+// label values.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	hooks := slices.Clone(r.onScrape)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	slices.SortFunc(fams, func(a, b *family) int { return strings.Compare(a.name, b.name) })
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+func (f *family) write(w io.Writer) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	series := make([]metric, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+	if len(series) == 0 {
+		return // a family with no series yet exposes nothing
+	}
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for i, k := range keys {
+		series[i].write(w, f.name, f.labelText(k))
+	}
+}
+
+// labelText renders the `{name="value",...}` sample suffix for one
+// series key; empty when the family has no labels.
+func (f *family) labelText(key string) string {
+	if len(f.labels) == 0 {
+		return ""
+	}
+	values := strings.Split(key, seriesKeySep)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range f.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: integers without an exponent or
+// trailing zeros, non-integers in Go's shortest round-trip form, and
+// infinities in the format's spelling.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the exposition — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,290 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the full serialized form of a registry with
+// every metric type: HELP/TYPE preamble, sorted families, sorted series,
+// label rendering, histogram bucket cumulation and integer formatting.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("b_requests_total", "Total requests.", "endpoint", "code")
+	c.With("/query", "2xx").Add(5)
+	c.With("/query", "4xx").Inc()
+	c.With("/users", "2xx").Add(2)
+	g := r.NewGauge("a_queue_depth", "Current queue depth.")
+	g.With().Set(3)
+	h := r.NewHistogram("c_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	h.With().Observe(0.005)
+	h.With().Observe(0.05)
+	h.With().Observe(0.05)
+	h.With().Observe(5)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `# HELP a_queue_depth Current queue depth.
+# TYPE a_queue_depth gauge
+a_queue_depth 3
+# HELP b_requests_total Total requests.
+# TYPE b_requests_total counter
+b_requests_total{endpoint="/query",code="2xx"} 5
+b_requests_total{endpoint="/query",code="4xx"} 1
+b_requests_total{endpoint="/users",code="2xx"} 2
+# HELP c_latency_seconds Request latency.
+# TYPE c_latency_seconds histogram
+c_latency_seconds_bucket{le="0.01"} 1
+c_latency_seconds_bucket{le="0.1"} 3
+c_latency_seconds_bucket{le="1"} 3
+c_latency_seconds_bucket{le="+Inf"} 4
+c_latency_seconds_sum 5.105
+c_latency_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// sampleLine matches one valid exposition sample: metric name, optional
+// label set, and a value.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|[+-]Inf|NaN)$`)
+
+// TestExpositionConformance checks structural rules on a busy registry:
+// every line is a comment or a well-formed sample, every sample's base
+// name was introduced by a preceding TYPE line, HELP precedes TYPE, and
+// families appear in sorted order.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		v := r.NewCounter(fmt.Sprintf("m%d_total", i), fmt.Sprintf("Counter %d.", i), "shard")
+		for s := 0; s < 3; s++ {
+			v.With(strconv.Itoa(s)).Add(float64(i * s))
+		}
+	}
+	r.NewGauge("zz_last", "Sorted last.").With().Set(-1.5)
+	hv := r.NewHistogram("hist_seconds", "H.", []float64{0.5, 2.5}, "op")
+	hv.With("a").Observe(1)
+	hv.With("b").Observe(10)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+
+	typed := map[string]string{} // base name -> type
+	var lastFamily string
+	var lastHelp string
+	for i, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			lastHelp = strings.Fields(line)[2]
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			name, typ := f[2], f[3]
+			if lastHelp != "" && lastHelp != name {
+				t.Fatalf("line %d: TYPE %s follows HELP %s", i, name, lastHelp)
+			}
+			lastHelp = ""
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Fatalf("line %d: unknown type %q", i, typ)
+			}
+			if name <= lastFamily {
+				t.Fatalf("line %d: family %q not sorted after %q", i, name, lastFamily)
+			}
+			lastFamily = name
+			typed[name] = typ
+		default:
+			if !sampleLine.MatchString(line) {
+				t.Fatalf("line %d is not a valid sample: %q", i, line)
+			}
+			base := line
+			if j := strings.IndexAny(base, "{ "); j >= 0 {
+				base = base[:j]
+			}
+			name := base
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if trimmed := strings.TrimSuffix(base, suffix); trimmed != base && typed[trimmed] == "histogram" {
+					name = trimmed
+				}
+			}
+			if typed[name] == "" {
+				t.Fatalf("line %d: sample %q has no preceding TYPE", i, line)
+			}
+			if name != lastFamily {
+				t.Fatalf("line %d: sample %q outside its family block (%q)", i, line, lastFamily)
+			}
+		}
+	}
+}
+
+// TestHistogramCumulationAndBounds: bucket counts are cumulative and
+// monotone, the +Inf bucket equals _count, and boundary observations
+// land in the `le` (inclusive) bucket.
+func TestHistogramCumulationAndBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_seconds", "H.", []float64{1, 2, 4}).With()
+	for _, v := range []float64{1, 2, 2, 4, 8} { // each exactly on a bound, one beyond
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	got := sb.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="1"} 1`,
+		`h_seconds_bucket{le="2"} 3`,
+		`h_seconds_bucket{le="4"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_sum 17`,
+		`h_seconds_count 5`,
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 17 {
+		t.Fatalf("Count/Sum = %d/%v, want 5/17", h.Count(), h.Sum())
+	}
+}
+
+// TestEscaping: label values with quotes, backslashes and newlines, and
+// HELP text with backslashes and newlines, are escaped per the format.
+func TestEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("esc_total", "line1\nline2 \\ backslash", "path").
+		With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	got := sb.String()
+	if !strings.Contains(got, `# HELP esc_total line1\nline2 \\ backslash`) {
+		t.Fatalf("HELP not escaped: %s", got)
+	}
+	if !strings.Contains(got, `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped: %s", got)
+	}
+}
+
+// TestValidationPanics: invalid names, duplicate registration, bad
+// bucket layouts, wrong label arity and counter decrements all panic —
+// they are programmer errors, caught at initialization or first use.
+func TestValidationPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	expectPanic("bad metric name", func() { r.NewCounter("9bad", "") })
+	expectPanic("bad label name", func() { r.NewCounter("ok_total", "", "9bad") })
+	r.NewCounter("dup_total", "")
+	expectPanic("duplicate name", func() { r.NewGauge("dup_total", "") })
+	expectPanic("empty buckets", func() { r.NewHistogram("h1_seconds", "", nil) })
+	expectPanic("unsorted buckets", func() { r.NewHistogram("h2_seconds", "", []float64{2, 1}) })
+	expectPanic("inf bucket", func() { r.NewHistogram("h3_seconds", "", []float64{1, math.Inf(1)}) })
+	v := r.NewCounter("arity_total", "", "a", "b")
+	expectPanic("label arity", func() { v.With("only-one") })
+	expectPanic("counter decrement", func() { v.With("x", "y").Add(-1) })
+}
+
+// TestCounterGaugeSemantics: Add/Inc/Set round-trips, fractional
+// values, and gauge decrease.
+func TestCounterGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "").With()
+	c.Add(2.5)
+	c.Inc()
+	if c.Value() != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", c.Value())
+	}
+	c.Set(10)
+	if c.Value() != 10 {
+		t.Fatalf("counter after Set = %v, want 10", c.Value())
+	}
+	g := r.NewGauge("g", "").With()
+	g.Set(5)
+	g.Add(-7.5)
+	if g.Value() != -2.5 {
+		t.Fatalf("gauge = %v, want -2.5", g.Value())
+	}
+}
+
+// TestOnScrape: hooks run before serialization, so a snapshot-sourced
+// counter set inside the hook appears in the same scrape.
+func TestOnScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("snap_total", "").With()
+	var src float64
+	r.OnScrape(func() { c.Set(src) })
+	src = 42
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "snap_total 42\n") {
+		t.Fatalf("scrape hook did not run before serialization:\n%s", sb.String())
+	}
+}
+
+// TestHandler serves the exposition with the v0.0.4 content type.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("h_total", "").With().Inc()
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q lacks exposition version", ct)
+	}
+}
+
+// TestConcurrentUpdatesAndScrapes hammers one registry from many
+// goroutines while scraping — run under -race in CI — and checks the
+// final counts are exact (no lost updates).
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("cc_total", "", "w")
+	h := r.NewHistogram("ch_seconds", "", []float64{0.5})
+	g := r.NewGauge("cg", "")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := strconv.Itoa(w % 2)
+			for i := 0; i < perWorker; i++ {
+				c.With(lbl).Inc()
+				h.With().Observe(float64(i%2) * 0.9)
+				g.With().Set(float64(i))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.With("0").Value() + c.With("1").Value(); got != workers*perWorker {
+		t.Fatalf("lost counter updates: %v, want %d", got, workers*perWorker)
+	}
+	if h.With().Count() != workers*perWorker {
+		t.Fatalf("lost observations: %d, want %d", h.With().Count(), workers*perWorker)
+	}
+}

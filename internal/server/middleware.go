@@ -1,0 +1,456 @@
+package server
+
+// The admission-control middleware chain: API-key authentication with
+// read/write scopes, per-key token-bucket rate limiting, and structured
+// request logging. Every layer is opt-in through Config — a default
+// Server behaves exactly as before this file existed — and /healthz is
+// exempt from all of them so load-balancer probes keep working when
+// keys rotate or a client misbehaves.
+//
+// Chain order, outermost first:
+//
+//	instrument → request log → auth → rate limit → mux
+//
+// Instrumentation is outermost so denied requests (401/403/429) are
+// counted and timed like everything else; rate limiting runs after
+// authentication so buckets are keyed by API key (falling back to the
+// client IP when authentication is disabled).
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Scope is an API key's permission level.
+type Scope uint8
+
+const (
+	// ScopeRead grants the read surface: /neighbors, /query, /stats,
+	// /metrics, GET /faults.
+	ScopeRead Scope = iota + 1
+	// ScopeWrite grants everything ScopeRead does plus the mutation
+	// surface: /users, /ratings, /checkpoint, POST /faults.
+	ScopeWrite
+)
+
+// String implements fmt.Stringer.
+func (s Scope) String() string {
+	switch s {
+	case ScopeRead:
+		return "read"
+	case ScopeWrite:
+		return "write"
+	}
+	return fmt.Sprintf("Scope(%d)", uint8(s))
+}
+
+// ParseScope parses "read" or "write".
+func ParseScope(s string) (Scope, error) {
+	switch s {
+	case "read":
+		return ScopeRead, nil
+	case "write":
+		return ScopeWrite, nil
+	}
+	return 0, fmt.Errorf("unknown scope %q (want read or write)", s)
+}
+
+// APIKey is one authorized key. The key itself is stored only as a
+// SHA-256 digest: lookups hash the presented key and compare digests in
+// constant time, so neither a memory dump nor a timing probe recovers
+// key material.
+type APIKey struct {
+	digest [sha256.Size]byte
+	id     string // digest prefix; the rate-limit bucket key and log field
+	scope  Scope
+
+	// Per-key rate-limit overrides; nil means the server-wide
+	// Config.RateLimit / Config.RateBurst apply. Overrides let one keys
+	// file carry tiers: a high-burst ingest key next to a tightly
+	// throttled public read key.
+	rps   *float64
+	burst *float64
+}
+
+// NewAPIKey builds a key entry from the raw key material and scope.
+func NewAPIKey(key string, scope Scope) APIKey {
+	d := sha256.Sum256([]byte(key))
+	return APIKey{digest: d, id: hex.EncodeToString(d[:6]), scope: scope}
+}
+
+// Scope returns the key's permission level.
+func (k APIKey) Scope() Scope { return k.scope }
+
+// ID returns the key's non-secret identifier (a digest prefix), used as
+// the rate-limit bucket key and in request logs.
+func (k APIKey) ID() string { return k.id }
+
+// ParseAPIKeys parses a keys file. One key per line:
+//
+//	<scope>:<key>[:<burst>[:<rate>]]
+//
+// where scope is "read" or "write", key is the secret (no colons or
+// whitespace), and the optional burst/rate override the server-wide
+// token-bucket parameters for this key alone (burst = bucket capacity
+// in requests, rate = refill in requests/second; rate may be 0 for a
+// hard cap that only a restart refills). Blank lines and lines starting
+// with '#' are ignored.
+func ParseAPIKeys(data []byte) ([]APIKey, error) {
+	var keys []APIKey
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ":")
+		if len(parts) < 2 || len(parts) > 4 {
+			return nil, fmt.Errorf("line %d: want scope:key[:burst[:rate]], got %d fields", ln+1, len(parts))
+		}
+		scope, err := ParseScope(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if parts[1] == "" || strings.ContainsAny(parts[1], " \t") {
+			return nil, fmt.Errorf("line %d: empty key or key contains whitespace", ln+1)
+		}
+		k := NewAPIKey(parts[1], scope)
+		if len(parts) >= 3 {
+			b, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || b < 1 {
+				return nil, fmt.Errorf("line %d: burst override %q must be a number ≥ 1", ln+1, parts[2])
+			}
+			k.burst = &b
+		}
+		if len(parts) == 4 {
+			r, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil || r < 0 {
+				return nil, fmt.Errorf("line %d: rate override %q must be a number ≥ 0", ln+1, parts[3])
+			}
+			k.rps = &r
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return nil, errors.New("keys file holds no keys")
+	}
+	return keys, nil
+}
+
+// LoadAPIKeys reads and parses a keys file (see ParseAPIKeys).
+func LoadAPIKeys(path string) ([]APIKey, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := ParseAPIKeys(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return keys, nil
+}
+
+// authenticator resolves a presented key to its APIKey entry by
+// constant-time digest comparison over the (small) key set.
+type authenticator struct{ keys []APIKey }
+
+func (a *authenticator) lookup(presented string) (APIKey, bool) {
+	d := sha256.Sum256([]byte(presented))
+	var found APIKey
+	ok := 0
+	// Scan every entry regardless of match so the comparison count does
+	// not leak which key (if any) matched.
+	for _, k := range a.keys {
+		if subtle.ConstantTimeCompare(d[:], k.digest[:]) == 1 {
+			found, ok = k, 1
+		}
+	}
+	return found, ok == 1
+}
+
+// presentedKey extracts the API key from a request: the Authorization
+// Bearer token, or the X-API-Key header.
+func presentedKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if tok, found := strings.CutPrefix(h, "Bearer "); found {
+			return tok
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// authExempt reports whether the path bypasses authentication and rate
+// limiting: /healthz must stay reachable by load-balancer probes no
+// matter what, and unauthenticated probes must not fill rate buckets.
+func authExempt(path string) bool { return path == "/healthz" }
+
+// writeScopeNeeded reports whether the request mutates state: the POST
+// mutation surface. POST /query is a read (the POST only carries the
+// profile payload).
+func writeScopeNeeded(r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		return false
+	}
+	switch r.URL.Path {
+	case "/users", "/ratings", "/checkpoint", "/faults":
+		return true
+	}
+	return false
+}
+
+// authKeyCtx carries the authenticated APIKey through the chain to the
+// rate limiter and the request log.
+type authKeyCtxType struct{}
+
+var authKeyCtx authKeyCtxType
+
+// withAuth is the authentication middleware: 401 for a missing or
+// unknown key, 403 for a read-scoped key on a mutation, and the
+// authenticated key stored in the request context otherwise.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if authExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key, ok := s.auth.lookup(presentedKey(r))
+		if !ok {
+			s.metrics.authFailures.With("unauthorized").Inc()
+			w.Header().Set("WWW-Authenticate", `Bearer realm="kiffserve"`)
+			httpError(w, http.StatusUnauthorized, errors.New("missing or unknown API key"))
+			return
+		}
+		if writeScopeNeeded(r) && key.scope < ScopeWrite {
+			s.metrics.authFailures.With("forbidden").Inc()
+			httpError(w, http.StatusForbidden, fmt.Errorf("key %s has %s scope; this endpoint requires write scope", key.id, key.scope))
+			return
+		}
+		noteKeyID(w, key.id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), authKeyCtx, key)))
+	})
+}
+
+// --- Rate limiting ------------------------------------------------------
+
+// rateLimiter is a per-key token-bucket admission gate. Each key starts
+// with a full bucket of `burst` tokens; a request takes one token, and
+// tokens refill continuously at `rps` per second up to the burst cap.
+// Keys with per-key overrides (APIKey rate/burst fields) get their own
+// parameters.
+type rateLimiter struct {
+	rps   float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rps float64, burst int, now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{rps: rps, burst: float64(burst), now: now, buckets: make(map[string]*bucket)}
+}
+
+// retryAfterCap bounds the Retry-After hint: with a zero refill rate the
+// honest answer is "when the server restarts", which has no finite
+// spelling — an hour tells the client to go away without lying by much.
+const retryAfterCap = time.Hour
+
+// allow takes one token from the key's bucket, reporting whether the
+// request may proceed and, if not, how long until a token is available.
+func (l *rateLimiter) allow(key string, rpsOverride, burstOverride *float64) (bool, time.Duration) {
+	rps, burst := l.rps, l.burst
+	if rpsOverride != nil {
+		rps = *rpsOverride
+	}
+	if burstOverride != nil {
+		burst = *burstOverride
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		b = &bucket{tokens: burst, last: now}
+		l.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(burst, b.tokens+rps*dt)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if rps <= 0 {
+		return false, retryAfterCap
+	}
+	retry := time.Duration((1 - b.tokens) / rps * float64(time.Second))
+	return false, min(retry, retryAfterCap)
+}
+
+// rateKey picks the bucket key for a request: the authenticated API
+// key's ID when the auth middleware ran, the client IP otherwise.
+func rateKey(r *http.Request) (string, *float64, *float64) {
+	if k, ok := r.Context().Value(authKeyCtx).(APIKey); ok {
+		return "key:" + k.id, k.rps, k.burst
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "ip:" + host, nil, nil
+}
+
+// withRateLimit is the admission middleware: 429 with a Retry-After
+// hint once a key's bucket is empty.
+func (s *Server) withRateLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if authExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key, rps, burst := rateKey(r)
+		ok, retry := s.limiter.allow(key, rps, burst)
+		if !ok {
+			s.metrics.rateLimited.With().Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(max(retry.Seconds(), 1)))))
+			httpError(w, http.StatusTooManyRequests, errors.New("rate limit exceeded"))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// --- Request logging ----------------------------------------------------
+
+// requestLogLine is one structured access-log record, emitted as a JSON
+// object through Config.Logf.
+type requestLogLine struct {
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	DurationMs float64 `json:"duration_ms"`
+	Bytes      int64   `json:"bytes"`
+	Remote     string  `json:"remote"`
+	Key        string  `json:"key,omitempty"` // authenticated key ID, never the key
+}
+
+// withRequestLog emits one JSON line per request. It wraps outside the
+// auth and rate-limit middleware so denied requests are logged with
+// their 401/403/429 status; the auth layer reports the key ID upward
+// through the statusRecorder (see noteKeyID).
+func (s *Server) withRequestLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		line := requestLogLine{
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Status:     rec.status(),
+			DurationMs: float64(time.Since(start).Microseconds()) / 1e3,
+			Bytes:      rec.bytes,
+			Remote:     r.RemoteAddr,
+		}
+		// The auth middleware runs inside this one, so the key is not in
+		// OUR request's context; it stashes the ID on the recorder instead.
+		if rec.keyID != "" {
+			line.Key = rec.keyID
+		}
+		raw, err := json.Marshal(line)
+		if err != nil {
+			return // a log line must never fail a request
+		}
+		s.cfg.Logf("%s", raw)
+	})
+}
+
+// statusRecorder captures the response status and body size, and gives
+// inner middleware a slot to surface the authenticated key ID to the
+// outer log middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	keyID string
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// status returns the recorded status, defaulting to 200 (a handler that
+// wrote nothing).
+func (r *statusRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+// Unwrap supports http.ResponseController pass-through.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// noteKeyID records the authenticated key on the nearest enclosing
+// statusRecorder so the access log can attribute the request.
+func noteKeyID(w http.ResponseWriter, id string) {
+	for {
+		switch t := w.(type) {
+		case *statusRecorder:
+			t.keyID = id
+			return
+		case interface{ Unwrap() http.ResponseWriter }:
+			w = t.Unwrap()
+		default:
+			return
+		}
+	}
+}
+
+// buildChain assembles the middleware stack around the mux according to
+// the configuration. Called once by New.
+func (s *Server) buildChain() http.Handler {
+	var h http.Handler = s.mux
+	if s.limiter != nil {
+		h = s.withRateLimit(h)
+	}
+	if s.auth != nil {
+		h = s.withAuth(h)
+	}
+	if s.cfg.LogRequests {
+		h = s.withRequestLog(h)
+	}
+	return s.withInstrumentation(h)
+}

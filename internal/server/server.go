@@ -15,6 +15,7 @@
 //
 //	GET  /healthz            liveness + snapshot version
 //	GET  /stats              serving counters, queue depth, maintenance costs
+//	GET  /metrics            Prometheus text-format exposition of the same meters
 //	GET  /neighbors/{user}   the user's current KNN list
 //	POST /query              profile → top-k similar users (or recommended items)
 //	POST /users              insert a user profile, returns its ID
@@ -86,6 +87,24 @@ type Config struct {
 	// Logf, when set, receives one line per mutation batch and lifecycle
 	// event (default: silent).
 	Logf func(format string, args ...any)
+	// APIKeys, when non-empty, enables API-key authentication: every
+	// request except GET /healthz must present one of these keys (see
+	// LoadAPIKeys) or is answered 401; read-scoped keys get 403 on the
+	// mutation surface.
+	APIKeys []APIKey
+	// RateLimit, when > 0, enables per-key token-bucket rate limiting at
+	// this many requests/second (buckets are keyed by API key, or client
+	// IP when authentication is off). Exhausted buckets answer 429 with a
+	// Retry-After hint. Per-key overrides in the keys file take precedence.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity when rate limiting is
+	// enabled (default: RateLimit rounded down, at least 1).
+	RateBurst int
+	// RateLimitNow overrides the rate limiter's clock (tests only).
+	RateLimitNow func() time.Time
+	// LogRequests enables the structured access log: one JSON line per
+	// request through Logf, including denied (401/403/429) requests.
+	LogRequests bool
 }
 
 // ErrClosed is returned to mutation requests that arrive once the server
@@ -155,6 +174,14 @@ type Server struct {
 	w      mutable // nil = read-only
 	static *kiff.Snapshot
 	mux    *http.ServeMux
+
+	// handler is the mux wrapped in the middleware chain (buildChain);
+	// what Handler returns. auth and limiter are nil when their layer is
+	// not configured; metrics is always set.
+	handler http.Handler
+	auth    *authenticator
+	limiter *rateLimiter
+	metrics *serverMetrics
 
 	ops       chan op
 	stop      chan struct{} // closed by Close: writer flushes and exits
@@ -263,6 +290,22 @@ func New(cfg Config) (*Server, error) {
 		s.mux.HandleFunc("GET /faults", s.handleFaults)
 		s.mux.HandleFunc("POST /faults", s.handleFaults)
 	}
+	s.metrics = newServerMetrics(s)
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	if len(cfg.APIKeys) > 0 {
+		s.auth = &authenticator{keys: cfg.APIKeys}
+	}
+	if cfg.RateLimit > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = int(cfg.RateLimit)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		s.limiter = newRateLimiter(cfg.RateLimit, burst, cfg.RateLimitNow)
+	}
+	s.handler = s.buildChain()
 	if s.w != nil {
 		if cfg.CheckpointDir != "" {
 			// Seed the generation counter from what is already on disk, so
@@ -283,8 +326,10 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler for the server's routes.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler for the server's routes, wrapped in
+// the configured middleware chain (instrumentation is always present;
+// request logging, authentication and rate limiting when enabled).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Close stops the writer goroutine and waits for it to exit. Mutations
 // already accepted into the queue are flushed — applied and published,
@@ -548,6 +593,8 @@ func (s *Server) apply(batch []op) {
 	}
 	counters := s.w.Counters()
 	s.maintainCounters.Store(&counters)
+	s.metrics.batches.Inc()
+	s.metrics.batchSize.Observe(float64(len(batch)))
 	s.cfg.Logf("server: applied batch of %d ops (%d mutations), version %d",
 		len(batch), applied, s.w.Version())
 }

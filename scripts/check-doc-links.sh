@@ -1,0 +1,45 @@
+#!/bin/sh
+# check-doc-links.sh — verify that every relative markdown link in the
+# documentation set points at a file (or file#anchor) that exists.
+#
+# Scope: README.md and docs/*.md. External links (http/https/mailto)
+# are ignored; in-page anchors (#...) are ignored (they cannot dangle
+# across files, which is the failure mode this guards against —
+# renaming or moving a doc and leaving stale links behind).
+#
+# Usage: scripts/check-doc-links.sh   (from the repo root; CI runs it)
+# Exit: 0 when every link resolves, 1 otherwise (each failure listed).
+
+set -eu
+
+fail=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Pull out every inline markdown link target: [text](target).
+    # One target per line; titles ("...") are not used in this repo.
+    grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//' |
+    while IFS= read -r target; do
+        case "$target" in
+        http://*|https://*|mailto:*) continue ;;  # external
+        '#'*) continue ;;                         # in-page anchor
+        esac
+        path=${target%%#*}                        # strip cross-file anchor
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $doc -> $target ($dir/$path does not exist)" >&2
+            # The while runs in a pipeline subshell; signal via a file.
+            touch /tmp/doc-links-failed.$$
+        fi
+    done
+done
+
+if [ -e "/tmp/doc-links-failed.$$" ]; then
+    rm -f "/tmp/doc-links-failed.$$"
+    fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+    echo "doc links: OK (README.md docs/*.md)"
+fi
+exit "$fail"

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"kiff/internal/server"
 )
 
 // Chaos run parameters. Every value that shapes the run is logged so a
@@ -26,6 +28,19 @@ const (
 	chaosK              = 8
 	chaosQueueDepth     = 8
 	chaosShards         = 4
+)
+
+// Hardened-run admission parameters. Each RateLimitBurst episode drives
+// a fresh zero-refill key whose bucket holds exactly
+// rateLimitBurstAllowed tokens, then keeps going: the first `allowed`
+// requests must succeed and every later one must be 429 — on both sides,
+// independent of wall-clock timing, because an empty bucket with rate 0
+// never refills within an incarnation.
+const (
+	chaosWriteKey         = "chaos-write-key" // huge burst override: drives all normal traffic
+	chaosReadKey          = "chaos-read-key"  // read scope: the 403 probe
+	rateLimitBurstAllowed = 6
+	rateLimitBurstTotal   = 8
 )
 
 func envInt64(name string, def int64) int64 {
@@ -70,7 +85,8 @@ type sut struct {
 	bin      string
 	sharded  bool
 	ckptRoot string
-	walDir   string // set in WAL mode (startWAL); stable across restarts
+	walDir   string   // set in WAL mode (startWAL); stable across restarts
+	extra    []string // hardening flags (-api-keys etc.), stable across restarts
 	gen      int
 	p        *proc
 }
@@ -99,13 +115,21 @@ func (s *sut) start(gpath, dpath, ckptDir string) {
 	default:
 		args = append(args, "-graph", gpath, "-data", dpath)
 	}
+	args = append(args, s.extra...)
 	s.p = startServer(s.t, s.bin, args...)
 }
 
 func (s *sut) url() string { return s.p.url }
 
-func TestChaosUnsharded(t *testing.T) { runChaos(t, false) }
-func TestChaosSharded(t *testing.T)   { runChaos(t, true) }
+func TestChaosUnsharded(t *testing.T) { runChaos(t, false, false) }
+func TestChaosSharded(t *testing.T)   { runChaos(t, true, false) }
+
+// TestChaosHardened is the same unsharded chaos run with the full
+// admission-control stack enabled — API keys, rate limiting, request
+// logging — plus the AuthFail and RateLimitBurst stream actions. Denial
+// responses (401/403/429) must be byte-identical between the system
+// under test and the oracle.
+func TestChaosHardened(t *testing.T) { runChaos(t, false, true) }
 
 // runChaos is the tentpole: a real kiffserve process (unsharded or a
 // -shards pool) driven by a seeded action stream, mirrored into the
@@ -117,14 +141,14 @@ func TestChaosSharded(t *testing.T)   { runChaos(t, true) }
 // not change a byte); /neighbors lists are compared only unsharded —
 // the pool's neighborhoods are shard-local by design, so sharded
 // Neighbors actions assert status and shape instead.
-func runChaos(t *testing.T, sharded bool) {
+func runChaos(t *testing.T, sharded, hardened bool) {
 	if testing.Short() {
 		t.Skip("chaos run skipped in -short (CI runs it in the e2e-chaos job)")
 	}
 	seed := envInt64("KIFF_CHAOS_SEED", defaultChaosSeed)
 	n := int(envInt64("KIFF_CHAOS_ACTIONS", defaultChaosActions))
-	t.Logf("chaos run: seed=%d actions=%d sharded=%v (reproduce: KIFF_CHAOS_SEED=%d KIFF_CHAOS_ACTIONS=%d go test -run %s ./test/e2e/)",
-		seed, n, sharded, seed, n, t.Name())
+	t.Logf("chaos run: seed=%d actions=%d sharded=%v hardened=%v (reproduce: KIFF_CHAOS_SEED=%d KIFF_CHAOS_ACTIONS=%d go test -run %s ./test/e2e/)",
+		seed, n, sharded, hardened, seed, n, t.Name())
 
 	serveBin, knnBin := buildBinaries(t)
 	work := t.TempDir()
@@ -132,22 +156,6 @@ func runChaos(t *testing.T, sharded bool) {
 	gpath := filepath.Join(work, "graph.kfg")
 	dpath := filepath.Join(work, "data.kfd")
 	runKiffknn(t, knnBin, edges, chaosK, gpath, dpath)
-
-	orc := newOracle(t, gpath, dpath, filepath.Join(work, "oracle-ckpt"), chaosQueueDepth)
-	s := &sut{t: t, bin: serveBin, sharded: sharded, ckptRoot: filepath.Join(work, "sut-ckpt")}
-	s.start(gpath, dpath, "")
-
-	// Boot sanity: both sides serve the same population.
-	u1, _, _ := healthz(t, s.url())
-	u2, _, _ := healthz(t, orc.url())
-	if u1 != chaosInitialUsers || u2 != chaosInitialUsers {
-		t.Fatalf("boot populations: sut=%d oracle=%d, want %d", u1, u2, chaosInitialUsers)
-	}
-
-	// Both sides take an initial checkpoint so the first KillRestart
-	// always has an acknowledged state to reload.
-	lastSutCkpt := checkpoint(t, s.url())
-	lastOrcCkpt := checkpoint(t, orc.url())
 
 	actions := GenStream(StreamConfig{
 		Seed:         seed,
@@ -157,9 +165,65 @@ func runChaos(t *testing.T, sharded bool) {
 		QueueDepth:   chaosQueueDepth,
 		Restarts:     true,
 		ReadonlyFlip: !sharded, // -readonly is rejected in sharded mode
+		Hardened:     hardened,
 	})
 
-	var restarts, backpressures int
+	// Hardened runs authenticate everything: one write key with a huge
+	// burst override drives the normal traffic, a read key probes 403s,
+	// and each RateLimitBurst episode gets its own zero-refill key (see
+	// the constants above) — fresh per episode, so restarted bucket state
+	// can never diverge the two sides. Both sides load the same file.
+	var oracleMods []func(*server.Config)
+	s := &sut{t: t, bin: serveBin, sharded: sharded, ckptRoot: filepath.Join(work, "sut-ckpt")}
+	if hardened {
+		var kb strings.Builder
+		fmt.Fprintf(&kb, "write:%s:1000000\n", chaosWriteKey)
+		fmt.Fprintf(&kb, "read:%s\n", chaosReadKey)
+		for j := 0; j < streamStats(actions)[ActRateLimitBurst]; j++ {
+			fmt.Fprintf(&kb, "read:chaos-burst-%d:%d:0\n", j, rateLimitBurstAllowed)
+		}
+		keysPath := filepath.Join(work, "keys.txt")
+		if err := os.WriteFile(keysPath, []byte(kb.String()), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		keys, err := server.ParseAPIKeys([]byte(kb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.extra = []string{"-api-keys", keysPath, "-rate-limit", "1000", "-log-requests"}
+		oracleMods = append(oracleMods, func(c *server.Config) {
+			c.APIKeys = keys
+			c.RateLimit = 1000
+		})
+		harnessKey = chaosWriteKey
+		defer func() { harnessKey = "" }()
+	}
+
+	orc := newOracle(t, gpath, dpath, filepath.Join(work, "oracle-ckpt"), chaosQueueDepth, oracleMods...)
+	s.start(gpath, dpath, "")
+
+	// Boot sanity: both sides serve the same population.
+	u1, _, _ := healthz(t, s.url())
+	u2, _, _ := healthz(t, orc.url())
+	if u1 != chaosInitialUsers || u2 != chaosInitialUsers {
+		t.Fatalf("boot populations: sut=%d oracle=%d, want %d", u1, u2, chaosInitialUsers)
+	}
+	if hardened {
+		// Auth really is on: an unauthenticated read must be rejected by
+		// both sides before any stream traffic flows.
+		st1, _, _ := doJSONKeyed(t, http.MethodGet, s.url()+"/stats", "", nil)
+		st2, _, _ := doJSONKeyed(t, http.MethodGet, orc.url()+"/stats", "", nil)
+		if st1 != http.StatusUnauthorized || st2 != http.StatusUnauthorized {
+			t.Fatalf("unauthenticated probe: sut=%d oracle=%d, want 401/401", st1, st2)
+		}
+	}
+
+	// Both sides take an initial checkpoint so the first KillRestart
+	// always has an acknowledged state to reload.
+	lastSutCkpt := checkpoint(t, s.url())
+	lastOrcCkpt := checkpoint(t, orc.url())
+
+	var restarts, backpressures, authFails, rateBursts int
 	for i, a := range actions {
 		switch a.Kind {
 		case ActAddUser:
@@ -228,9 +292,9 @@ func runChaos(t *testing.T, sharded bool) {
 			lastSutCkpt = checkpoint(t, s.url())
 			lastOrcCkpt = checkpoint(t, orc.url())
 			s.p.terminate(t)
-			ro := startServer(t, s.bin, "-readonly",
+			ro := startServer(t, s.bin, append([]string{"-readonly",
 				"-graph", filepath.Join(lastSutCkpt, "graph.kfg"),
-				"-data", filepath.Join(lastSutCkpt, "data.kfd"))
+				"-data", filepath.Join(lastSutCkpt, "data.kfd")}, s.extra...)...)
 			if st, _ := doJSON(t, http.MethodPost, ro.url+"/users", map[string]any{"profile": map[uint32]float64{1: 1}}); st != http.StatusForbidden {
 				t.Fatalf("action %d ReadonlyFlip: mutation returned %d, want 403", i, st)
 			}
@@ -241,13 +305,97 @@ func runChaos(t *testing.T, sharded bool) {
 			}
 			ro.terminate(t)
 			s.start(gpath, dpath, lastSutCkpt)
+		case ActAuthFail:
+			// A denied mutation: 401 for an unknown key, 403 for the
+			// read-scoped key. The error bodies embed only the key's digest
+			// prefix — identical on both sides — so whole bodies compare.
+			authFails++
+			key, want := "no-such-key", http.StatusUnauthorized
+			if a.Variant == 1 {
+				key, want = chaosReadKey, http.StatusForbidden
+			}
+			body := map[string]any{"profile": a.Profile}
+			st1, h1, b1 := doJSONKeyed(t, http.MethodPost, s.url()+"/users", key, body)
+			st2, h2, b2 := doJSONKeyed(t, http.MethodPost, orc.url()+"/users", key, body)
+			if st1 != want || st2 != want {
+				t.Fatalf("action %d AuthFail(v%d): statuses sut=%d oracle=%d, want %d", i, a.Variant, st1, st2, want)
+			}
+			if string(b1) != string(b2) {
+				t.Fatalf("action %d AuthFail(v%d) bodies diverged\n sut:    %s\n oracle: %s", i, a.Variant, b1, b2)
+			}
+			if want == http.StatusUnauthorized &&
+				(h1.Get("WWW-Authenticate") == "" || h1.Get("WWW-Authenticate") != h2.Get("WWW-Authenticate")) {
+				t.Fatalf("action %d AuthFail: WWW-Authenticate sut=%q oracle=%q", i, h1.Get("WWW-Authenticate"), h2.Get("WWW-Authenticate"))
+			}
+		case ActRateLimitBurst:
+			// Drive a fresh zero-refill key past its bucket on both sides:
+			// exactly rateLimitBurstAllowed requests pass, the rest are 429
+			// with the capped Retry-After — deterministically.
+			key := fmt.Sprintf("chaos-burst-%d", rateBursts)
+			rateBursts++
+			body := map[string]any{"profile": a.Query, "k": a.K}
+			for r := 0; r < rateLimitBurstTotal; r++ {
+				st1, h1, b1 := doJSONKeyed(t, http.MethodPost, s.url()+"/query", key, body)
+				st2, _, b2 := doJSONKeyed(t, http.MethodPost, orc.url()+"/query", key, body)
+				if st1 != st2 {
+					t.Fatalf("action %d RateLimitBurst req %d: statuses sut=%d oracle=%d", i, r, st1, st2)
+				}
+				if r < rateLimitBurstAllowed {
+					if st1 != http.StatusOK {
+						t.Fatalf("action %d RateLimitBurst req %d: status %d inside the bucket", i, r, st1)
+					}
+					if r1, r2 := jsonField(t, b1, "results"), jsonField(t, b2, "results"); r1 != r2 {
+						t.Fatalf("action %d RateLimitBurst req %d diverged\n sut:    %s\n oracle: %s", i, r, r1, r2)
+					}
+				} else {
+					if st1 != http.StatusTooManyRequests {
+						t.Fatalf("action %d RateLimitBurst req %d: status %d past the bucket, want 429", i, r, st1)
+					}
+					if string(b1) != string(b2) {
+						t.Fatalf("action %d RateLimitBurst req %d 429 bodies diverged\n sut:    %s\n oracle: %s", i, r, b1, b2)
+					}
+					if ra := h1.Get("Retry-After"); ra != "3600" {
+						t.Fatalf("action %d RateLimitBurst req %d: Retry-After %q, want capped 3600 (zero refill)", i, r, ra)
+					}
+				}
+			}
 		}
 	}
 
 	if restarts == 0 || backpressures == 0 {
 		t.Fatalf("stream exercised %d restarts and %d backpressure episodes; both must be ≥ 1", restarts, backpressures)
 	}
-	t.Logf("chaos run done: %d actions, %d kill+restarts, %d backpressure episodes", len(actions), restarts, backpressures)
+	if hardened && (authFails == 0 || rateBursts == 0) {
+		t.Fatalf("hardened stream exercised %d auth failures and %d rate bursts; both must be ≥ 1", authFails, rateBursts)
+	}
+	t.Logf("chaos run done: %d actions, %d kill+restarts, %d backpressure episodes, %d auth failures, %d rate bursts",
+		len(actions), restarts, backpressures, authFails, rateBursts)
+
+	if hardened {
+		// The hardened meters surfaced through /metrics. Counters are
+		// per-incarnation (a restart zeroes them), so provoke one fresh
+		// forbidden denial before scraping rather than relying on where
+		// the stream's denials landed relative to the last restart.
+		if st, _, _ := doJSONKeyed(t, http.MethodPost, s.url()+"/users", chaosReadKey,
+			map[string]any{"profile": map[uint32]float64{1: 1}}); st != http.StatusForbidden {
+			t.Fatalf("post-run forbidden probe: %d, want 403", st)
+		}
+		st, _, exp := doJSONKeyed(t, http.MethodGet, s.url()+"/metrics", chaosWriteKey, nil)
+		if st != http.StatusOK {
+			t.Fatalf("GET /metrics: %d", st)
+		}
+		for _, want := range []string{
+			"kiffserve_http_requests_total{",
+			"kiffserve_http_request_duration_seconds_bucket{",
+			"kiffserve_rate_limited_total",
+			`kiffserve_auth_failures_total{reason="forbidden"}`,
+			"kiffserve_mutation_queue_capacity",
+		} {
+			if !strings.Contains(string(exp), want) {
+				t.Fatalf("/metrics exposition missing %q", want)
+			}
+		}
+	}
 
 	// --- Convergence: after quiescence (every mutation acknowledged),
 	// the served state must be byte-identical to the oracle.

@@ -224,8 +224,25 @@ func (p *proc) terminate(t *testing.T) {
 
 // --- HTTP helpers --------------------------------------------------------
 
-// doJSON performs one request and returns status + body bytes.
+// harnessKey, when set, is attached as X-API-Key to every doJSON/tryJSON
+// request — how the hardened chaos run authenticates the entire existing
+// driver (checkpoints, healthz polls, mutations) without threading a key
+// through every call site. Tests in this package run sequentially, so a
+// set-and-defer-reset around one run is safe.
+var harnessKey string
+
+// doJSON performs one request (authenticated via harnessKey when set)
+// and returns status + body bytes.
 func doJSON(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	st, _, out := doJSONKeyed(t, method, url, harnessKey, body)
+	return st, out
+}
+
+// doJSONKeyed performs one request with an explicit API key ("" sends no
+// key at all, regardless of harnessKey) and returns status, headers and
+// body — the hardened actions assert on Retry-After and denial bodies.
+func doJSONKeyed(t *testing.T, method, url, key string, body any) (int, http.Header, []byte) {
 	t.Helper()
 	var rd io.Reader
 	if body != nil {
@@ -239,6 +256,9 @@ func doJSON(t *testing.T, method, url string, body any) (int, []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatalf("%s %s: %v", method, url, err)
@@ -248,7 +268,7 @@ func doJSON(t *testing.T, method, url string, body any) (int, []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return resp.StatusCode, out
+	return resp.StatusCode, resp.Header, out
 }
 
 // tryJSON is doJSON without the t.Fatal on transport failure — for
@@ -266,6 +286,9 @@ func tryJSON(method, url string, body any) (int, []byte, error) {
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
 		return 0, nil, err
+	}
+	if harnessKey != "" {
+		req.Header.Set("X-API-Key", harnessKey)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {

@@ -25,11 +25,16 @@ type oracle struct {
 	srv      *server.Server
 	ts       *httptest.Server
 	queue    int
+	cfgMods  []func(*server.Config) // applied on every (re)boot — hardening config
 }
 
-// newOracle boots the oracle from a checkpoint pair.
-func newOracle(t *testing.T, gpath, dpath, ckptRoot string, queue int) *oracle {
-	o := &oracle{t: t, ckptRoot: ckptRoot, queue: queue}
+// newOracle boots the oracle from a checkpoint pair. cfgMods are applied
+// to the server configuration on every boot, including crash restarts —
+// the hardened chaos run injects its API keys and rate limits here so
+// every oracle incarnation enforces exactly what the system under test's
+// flags enforce.
+func newOracle(t *testing.T, gpath, dpath, ckptRoot string, queue int, cfgMods ...func(*server.Config)) *oracle {
+	o := &oracle{t: t, ckptRoot: ckptRoot, queue: queue, cfgMods: cfgMods}
 	o.boot(gpath, dpath)
 	t.Cleanup(func() { o.close() })
 	return o
@@ -53,11 +58,15 @@ func (o *oracle) boot(gpath, dpath string) {
 	// oracle (same pid, checkpoint sequence reset) can never overwrite a
 	// directory an earlier incarnation handed out.
 	o.gen++
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Maintainer:    m,
 		CheckpointDir: filepath.Join(o.ckptRoot, fmt.Sprintf("gen%d", o.gen)),
 		QueueDepth:    o.queue,
-	})
+	}
+	for _, mod := range o.cfgMods {
+		mod(&cfg)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,11 +19,17 @@ const (
 	ActBackpressure
 	ActKillRestart
 	ActReadonlyFlip
+	// Hardened actions (cfg.Hardened): admission-control probes. Both
+	// are read-side or denied-before-apply, so they can never diverge
+	// the mutable state between the system under test and the oracle.
+	ActAuthFail
+	ActRateLimitBurst
 )
 
 func (k ActionKind) String() string {
 	return [...]string{"AddUser", "AddRating", "Query", "Neighbors",
-		"Checkpoint", "Backpressure", "KillRestart", "ReadonlyFlip"}[k]
+		"Checkpoint", "Backpressure", "KillRestart", "ReadonlyFlip",
+		"AuthFail", "RateLimitBurst"}[k]
 }
 
 // Action is one step of a chaos run. Which fields are meaningful
@@ -39,6 +45,7 @@ type Action struct {
 	K       int                  // Query
 	Target  uint32               // Neighbors: user to look up
 	Burst   []map[uint32]float64 // Backpressure: concurrent insert profiles
+	Variant int                  // AuthFail: 0 = unknown key (401), 1 = read key on a mutation (403)
 }
 
 // StreamConfig parameterizes generation. Workers is deliberately
@@ -54,6 +61,7 @@ type StreamConfig struct {
 	Restarts     bool // emit KillRestart/ReadonlyFlip/Checkpoint actions
 	ReadonlyFlip bool // emit ReadonlyFlip (unsupported in sharded mode)
 	ZeroLoss     bool // WAL mode: a KillRestart loses nothing, so no rollback
+	Hardened     bool // emit AuthFail/RateLimitBurst (server must run with auth + rate limiting)
 	Workers      int  // ignored; see the determinism contract above
 }
 
@@ -87,6 +95,10 @@ func GenStream(cfg StreamConfig) []Action {
 			kind = ActCheckpoint
 		case cfg.Restarts && i == 2*cfg.N/3:
 			kind = ActKillRestart
+		case cfg.Hardened && i == cfg.N/4:
+			kind = ActAuthFail
+		case cfg.Hardened && i == cfg.N/2:
+			kind = ActRateLimitBurst
 		default:
 			// Weighted draw; the forced indices above are fixed by cfg
 			// alone, so they never perturb the rng sequence.
@@ -96,7 +108,17 @@ func GenStream(cfg StreamConfig) []Action {
 			case w < 55:
 				kind = ActAddRating
 			case w < 75:
-				kind = ActQuery
+				// Hardened streams carve the admission probes out of the top
+				// of the query range, so a non-hardened config draws the
+				// exact same sequence it always did.
+				switch {
+				case cfg.Hardened && w >= 73:
+					kind = ActRateLimitBurst
+				case cfg.Hardened && w >= 70:
+					kind = ActAuthFail
+				default:
+					kind = ActQuery
+				}
 			case w < 88:
 				kind = ActNeighbors
 			case w < 93 && cfg.Restarts:
@@ -146,6 +168,19 @@ func GenStream(cfg StreamConfig) []Action {
 			// Checkpoint, restart read-only, restart mutable: state is
 			// preserved through the flip.
 			last = cur
+		case ActAuthFail:
+			// A mutation attempt that must be denied (401 for an unknown
+			// key, 403 for a read-scoped one). The profile is the payload
+			// the server must refuse to apply — the population stays put.
+			a.Variant = rng.Intn(2)
+			a.Profile = profile()
+		case ActRateLimitBurst:
+			// A read burst through a zero-refill key: the first `burst`
+			// requests succeed, the rest are 429 — deterministically,
+			// because an empty bucket with rate 0 never refills, however
+			// the wall clock drifts between the two sides.
+			a.Query = profile()
+			a.K = 3 + rng.Intn(6)
 		}
 		actions = append(actions, a)
 	}
@@ -255,6 +290,40 @@ func TestActionStreamShape(t *testing.T) {
 	for i, a := range GenStream(cfg) {
 		if a.Kind == ActReadonlyFlip {
 			t.Fatalf("action %d: ReadonlyFlip emitted with ReadonlyFlip=false", i)
+		}
+	}
+
+	// Non-hardened configs must never emit admission probes — the
+	// pre-hardening streams are unchanged byte for byte.
+	for i, a := range actions {
+		if a.Kind == ActAuthFail || a.Kind == ActRateLimitBurst {
+			t.Fatalf("action %d: %v emitted with Hardened=false", i, a.Kind)
+		}
+	}
+
+	// Hardened config: both probe kinds are forced in (at N/4 and N/2)
+	// and every probe is well-formed.
+	hcfg := cfg
+	hcfg.Hardened = true
+	hardened := GenStream(hcfg)
+	hstats := streamStats(hardened)
+	if hstats[ActAuthFail] == 0 || hstats[ActRateLimitBurst] == 0 {
+		t.Fatalf("hardened stream lacks probes: %d AuthFail, %d RateLimitBurst",
+			hstats[ActAuthFail], hstats[ActRateLimitBurst])
+	}
+	for i, a := range hardened {
+		switch a.Kind {
+		case ActAuthFail:
+			if a.Variant != 0 && a.Variant != 1 {
+				t.Fatalf("hardened action %d: AuthFail variant %d", i, a.Variant)
+			}
+			if len(a.Profile) == 0 {
+				t.Fatalf("hardened action %d: AuthFail without a payload", i)
+			}
+		case ActRateLimitBurst:
+			if len(a.Query) == 0 || a.K <= 0 {
+				t.Fatalf("hardened action %d: malformed burst query %+v", i, a)
+			}
 		}
 	}
 

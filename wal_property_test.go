@@ -98,8 +98,8 @@ type walServed interface {
 // snapServed adapts a Snapshot (whose Neighbors has no error return).
 type snapServed struct{ s *Snapshot }
 
-func (v snapServed) NumUsers() int                           { return v.s.NumUsers() }
-func (v snapServed) Neighbors(u uint32) ([]Neighbor, error)  { return v.s.Neighbors(u), nil }
+func (v snapServed) NumUsers() int                                 { return v.s.NumUsers() }
+func (v snapServed) Neighbors(u uint32) ([]Neighbor, error)        { return v.s.Neighbors(u), nil }
 func (v snapServed) Query(p Profile, k, b int) ([]Neighbor, error) { return v.s.Query(p, k, b) }
 
 // requireServedEqual asserts two sides answer identically: every
